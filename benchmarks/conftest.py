@@ -1,0 +1,119 @@
+"""Shared fixtures for the reproduction benchmark harness.
+
+Heavy artefacts (GPU power traces, co-simulation runs) are cached at
+session scope and shared across the table/figure benchmarks, so the
+whole harness regenerates every figure in a few minutes.  Each driver
+prints its paper-style table through ``emit`` (captured by pytest; run
+with ``-s`` to stream) and also appends it to
+``benchmarks/results/report.txt``.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.actuators import WeightedActuation
+from repro.core.controller import ControllerConfig
+from repro.gpu.gpu import GPU
+from repro.sim.cosim import CosimConfig, CosimResult, run_cosim
+from repro.workloads.benchmarks import BENCHMARK_NAMES, get_benchmark
+from repro.workloads.traces import PowerTrace, capture_trace
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Run lengths: long enough for several kernel launches per benchmark,
+# short enough that the full harness stays in the minutes range.
+TRACE_CYCLES = 4000
+COSIM_CYCLES = 2500
+PENALTY_CYCLES = 8000
+SEED = 11
+
+# Deeper DIWS gain used by the performance studies (Figs. 12-14): the
+# throttle must bite below the issue rate for its cost to be visible.
+PENALTY_MODE_K1 = 15.0
+DIWS_ONLY = WeightedActuation(w1=1.0, w2=0.0, w3=0.0)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "report.txt", "a") as handle:
+        handle.write(f"\n===== {name} =====\n{text}\n")
+
+
+@functools.lru_cache(maxsize=None)
+def benchmark_trace(name: str, cycles: int = TRACE_CYCLES) -> PowerTrace:
+    """GPU-only power trace of a paper benchmark (no PDN coupling)."""
+    spec = get_benchmark(name)
+    gpu = GPU(
+        spec.kernel,
+        config=SystemConfig(),
+        seed=SEED,
+        miss_ratio=spec.miss_ratio,
+        jitter=spec.jitter,
+    )
+    return capture_trace(gpu, cycles, warmup_cycles=300, name=name)
+
+
+@functools.lru_cache(maxsize=None)
+def cosim_run(
+    name: str,
+    use_controller: bool = True,
+    cr_ivr_area_mm2: float = 105.8,
+    cycles: int = COSIM_CYCLES,
+    v_threshold: float = 0.9,
+    k1: float = 2.0,
+    diws_only: bool = False,
+    weights: tuple = None,
+    slew: float = 0.02,
+    seed: int = SEED,
+) -> CosimResult:
+    """Cached co-simulation with the common knob set.
+
+    ``weights`` is an optional (w1, w2, w3) actuation mix (Fig. 13);
+    ``diws_only`` is shorthand for (1, 0, 0).
+    """
+    if weights is not None and diws_only:
+        raise ValueError("pass either weights or diws_only, not both")
+    actuation = None
+    if diws_only:
+        actuation = DIWS_ONLY
+    elif weights is not None:
+        actuation = WeightedActuation(*weights)
+    config = CosimConfig(
+        cycles=cycles,
+        warmup_cycles=200,
+        cr_ivr_area_mm2=cr_ivr_area_mm2,
+        use_controller=use_controller,
+        controller=ControllerConfig(
+            v_threshold=v_threshold, k1=k1, slew_per_decision=slew
+        ),
+        seed=seed,
+        **({"actuation": actuation} if actuation is not None else {}),
+    )
+    return run_cosim(name, config)
+
+
+def penalty_between(base: CosimResult, controlled: CosimResult) -> float:
+    """Performance penalty of ``controlled`` vs ``base``.
+
+    Prefers the kernel-completion-time ratio (robust to tail slack);
+    falls back to the throughput ratio when a long-kernel benchmark
+    completes fewer than two launches inside the window.
+    """
+    try:
+        ratio = controlled.cycles_per_kernel() / base.cycles_per_kernel()
+    except ValueError:
+        ratio = base.throughput() / max(controlled.throughput(), 1e-9)
+    return max(0.0, ratio - 1.0)
+
+
+@pytest.fixture(scope="session")
+def all_benchmarks():
+    return list(BENCHMARK_NAMES)

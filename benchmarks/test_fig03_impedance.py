@@ -1,0 +1,78 @@
+"""Figure 3 — effective impedance of the voltage-stacked GPU.
+
+Regenerates both panels: (a) the unregulated PDN's four impedance
+curves (global, stack, residual same-layer, residual different-layer)
+and (b) the same curves with an 88.3 mm^2 distributed CR-IVR attached,
+showing the suppressed peaks.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.report import format_series
+from repro.circuits.ac import log_frequency_grid
+from repro.pdn.builder import build_stacked_pdn
+from repro.pdn.impedance import ImpedanceAnalyzer
+
+# The paper's Fig. 3(b) attaches an 88.3 mm^2 on-chip CR-IVR.
+FIG3B_AREA_MM2 = 88.3
+
+
+def _curves(cr_area: float):
+    pdn = build_stacked_pdn(cr_ivr_area_mm2=cr_area)
+    analyzer = ImpedanceAnalyzer(pdn)
+    freqs = log_frequency_grid(1e6, 5e8, points_per_decade=12)
+    return analyzer.figure3_curves(freqs)
+
+
+def test_fig3a_unregulated_impedance(benchmark):
+    curves = benchmark.pedantic(_curves, args=(0.0,), rounds=1, iterations=1)
+    emit(
+        "Fig 3(a) impedance without CR-IVR",
+        format_series(
+            {
+                "frequency_mhz": list(np.round(curves["frequency"] / 1e6, 2)),
+                "Z_G": list(curves["z_global"]),
+                "Z_ST": list(curves["z_stack"]),
+                "Z_R_same": list(curves["z_residual_same_layer"]),
+                "Z_R_diff": list(curves["z_residual_diff_layer"]),
+            },
+            x_label="frequency_mhz",
+            title="Fig 3(a): effective impedance (ohm) vs frequency",
+            max_points=18,
+        ),
+    )
+    z_g = curves["z_global"]
+    z_r = curves["z_residual_same_layer"]
+    freqs = curves["frequency"]
+    # Shape assertions: resonance near 70 MHz, dominant DC residual peak.
+    peak_f = freqs[int(np.argmax(z_g))]
+    assert 40e6 < peak_f < 120e6
+    assert z_r[0] > 2 * z_g.max()
+
+
+def test_fig3b_regulated_impedance(benchmark):
+    regulated = benchmark.pedantic(
+        _curves, args=(FIG3B_AREA_MM2,), rounds=1, iterations=1
+    )
+    bare = _curves(0.0)
+    emit(
+        "Fig 3(b) impedance with CR-IVR",
+        format_series(
+            {
+                "frequency_mhz": list(np.round(regulated["frequency"] / 1e6, 2)),
+                "Z_G//ivr": list(regulated["z_global"]),
+                "Z_ST//ivr": list(regulated["z_stack"]),
+                "Z_R_same//ivr": list(regulated["z_residual_same_layer"]),
+                "Z_R_diff//ivr": list(regulated["z_residual_diff_layer"]),
+            },
+            x_label="frequency_mhz",
+            title=f"Fig 3(b): effective impedance with {FIG3B_AREA_MM2} mm^2 CR-IVR",
+            max_points=18,
+        ),
+    )
+    # The CR-IVR must cut the residual low-frequency peak substantially.
+    assert (
+        regulated["z_residual_same_layer"][0]
+        < 0.7 * bare["z_residual_same_layer"][0]
+    )

@@ -1,0 +1,94 @@
+"""Figure 10 — worst-case droop sensitivity to CR-IVR area and latency.
+
+Regenerates both panels from the analytic worst-case model:
+(a) worst voltage vs CR-IVR area budget at several control latencies;
+(b) worst voltage vs control latency at several area budgets.
+
+Paper findings asserted: beyond ~80 cycles of latency the 0.2x-area
+system loses the guardband (knee in (b)); at 0.8x area and above the
+system is insensitive to latency; the chosen design point (0.2x area,
+60 cycles) meets the 0.2 V margin.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.report import format_series
+from repro.pdn.area import AreaModel
+
+GPU_DIE_MM2 = 529.0
+MODEL = AreaModel()
+
+
+def _panel_a():
+    areas = np.linspace(0.05, 2.0, 40) * GPU_DIE_MM2
+    latencies = [60, 80, 120, 140]
+    return {
+        "area_x_gpu": list(np.round(areas / GPU_DIE_MM2, 3)),
+        **{
+            f"worst_v_lat{lat}": [
+                MODEL.worst_voltage_v(a, lat) for a in areas
+            ]
+            for lat in latencies
+        },
+    }
+
+
+def _panel_b():
+    latencies = np.linspace(20, 160, 36)
+    areas_x = [2.0, 0.8, 0.4, 0.2]
+    return {
+        "latency_cycles": list(np.round(latencies, 1)),
+        **{
+            f"worst_v_area{ax}x": [
+                MODEL.worst_voltage_v(ax * GPU_DIE_MM2, lat)
+                for lat in latencies
+            ]
+            for ax in areas_x
+        },
+    }
+
+
+def test_fig10a_area_sensitivity(benchmark):
+    series = benchmark.pedantic(_panel_a, rounds=1, iterations=1)
+    emit(
+        "Fig 10(a) droop vs CR-IVR area",
+        format_series(
+            series,
+            x_label="area_x_gpu",
+            title="Fig 10(a): worst SM voltage vs CR-IVR area budget",
+            max_points=14,
+        ),
+    )
+    v60 = np.array(series["worst_v_lat60"])
+    v140 = np.array(series["worst_v_lat140"])
+    areas = np.array(series["area_x_gpu"])
+    # Monotone in area; faster control is never worse.
+    assert np.all(np.diff(v60) >= -1e-12)
+    assert np.all(v60 >= v140 - 1e-12)
+    # At the design point (0.2x, 60 cycles) the guardband holds...
+    design = v60[np.argmin(np.abs(areas - 0.2))]
+    assert design >= 0.8 - 1e-9
+    # ...but not at 140 cycles with the same area (the (a)-panel knee).
+    assert v140[np.argmin(np.abs(areas - 0.2))] < 0.8
+
+
+def test_fig10b_latency_sensitivity(benchmark):
+    series = benchmark.pedantic(_panel_b, rounds=1, iterations=1)
+    emit(
+        "Fig 10(b) droop vs control latency",
+        format_series(
+            series,
+            x_label="latency_cycles",
+            title="Fig 10(b): worst SM voltage vs control latency",
+            max_points=14,
+        ),
+    )
+    lat = np.array(series["latency_cycles"])
+    v02 = np.array(series["worst_v_area0.2x"])
+    v08 = np.array(series["worst_v_area0.8x"])
+    # 0.2x area: safe at 60 cycles, broken past ~80 (the paper's knee).
+    assert v02[np.argmin(np.abs(lat - 60))] >= 0.8 - 1e-9
+    assert v02[np.argmin(np.abs(lat - 100))] < 0.8
+    # 0.8x+ area: insensitive to latency across the sweep.
+    assert np.all(v08 >= 0.8 - 1e-9)

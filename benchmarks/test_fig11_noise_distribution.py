@@ -1,0 +1,87 @@
+"""Figure 11 — supply-noise distribution across benchmarks.
+
+For every benchmark, runs the voltage-stacked GPU with a 0.2x-die
+CR-IVR twice — circuit-only and cross-layer — and prints the box-plot
+statistics of all 16 SMs' supply voltages, plus the synthetic
+worst-imbalance column on the right of the paper's figure.
+"""
+
+import numpy as np
+
+from conftest import COSIM_CYCLES, cosim_run, emit
+from repro.analysis.metrics import noise_box_stats
+from repro.analysis.report import format_table
+from repro.sim.cosim import CosimConfig, LayerShutoffEvent, run_cosim
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+
+def _distributions():
+    rows = []
+    stats = {}
+    for name in BENCHMARK_NAMES:
+        for label, use_controller in (("circuit", False), ("cross", True)):
+            result = cosim_run(name, use_controller=use_controller)
+            box = noise_box_stats(result.sm_voltages)
+            stats[(name, label)] = box
+            rows.append(
+                [
+                    name,
+                    label,
+                    f"{box.minimum:.3f}",
+                    f"{box.q1:.3f}",
+                    f"{box.median:.3f}",
+                    f"{box.q3:.3f}",
+                    f"{box.maximum:.3f}",
+                ]
+            )
+    # The worst-case imbalance column (rightmost box of Fig. 11).
+    worst = run_cosim(
+        "heartwall",
+        CosimConfig(
+            cycles=COSIM_CYCLES,
+            warmup_cycles=100,
+            shutoff=LayerShutoffEvent(layer=3, start_cycle=800),
+            seed=17,
+        ),
+    )
+    box = noise_box_stats(worst.sm_voltages)
+    stats[("worst case", "cross")] = box
+    rows.append(
+        [
+            "worst case",
+            "cross",
+            f"{box.minimum:.3f}",
+            f"{box.q1:.3f}",
+            f"{box.median:.3f}",
+            f"{box.q3:.3f}",
+            f"{box.maximum:.3f}",
+        ]
+    )
+    return rows, stats
+
+
+def test_fig11_noise_distribution(benchmark):
+    rows, stats = benchmark.pedantic(_distributions, rounds=1, iterations=1)
+    emit(
+        "Fig 11 noise distribution",
+        format_table(
+            ["benchmark", "solution", "min", "q1", "median", "q3", "max"],
+            rows,
+            title="Fig 11: SM supply-voltage distribution (volts)",
+        ),
+    )
+
+    improved = 0
+    for name in BENCHMARK_NAMES:
+        circuit = stats[(name, "circuit")]
+        cross = stats[(name, "cross")]
+        # Medians stay near nominal for both solutions.
+        assert 0.9 < cross.median < 1.1
+        if cross.minimum >= circuit.minimum - 1e-3:
+            improved += 1
+    # Paper: 9 of 12 benchmarks see reduced noise from the controller
+    # (3 outliers from boundary transitions).  Require a clear majority.
+    assert improved >= 8
+
+    # The worst-case column stays bounded with the cross-layer system.
+    assert stats[("worst case", "cross")].q1 > 0.7

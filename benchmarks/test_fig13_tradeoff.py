@@ -1,0 +1,96 @@
+"""Figure 13 — energy-saving / performance-penalty trade-off space.
+
+Sweeps the weighted control input (eq. 9) over the actuation mixes the
+paper plots — pure DIWS, pure FII, pure DCC, and the 0.8/0.2 blends —
+and reports each point's performance penalty and net energy saving
+relative to the conventional PDS.
+
+Paper shape: DIWS reaches the highest net savings (throttling spends no
+extra power); FII and DCC trade some saving for lower penalty (they add
+power instead of removing work); DCC is dominated by FII wherever FII
+slack exists (DCC burns leakage and area).
+"""
+
+import numpy as np
+
+from conftest import (PENALTY_CYCLES, PENALTY_MODE_K1, cosim_run, emit,
+                      penalty_between)
+from repro.analysis.metrics import net_energy_saving
+from repro.analysis.report import format_table
+from repro.core.actuators import CurrentCompensationDAC
+from repro.pdn.efficiency import pde_conventional
+
+MIXES = [
+    ("DIWS", (1.0, 0.0, 0.0)),
+    ("FII", (0.0, 1.0, 0.0)),
+    ("DCC", (0.0, 0.0, 1.0)),
+    ("0.8DIWS+0.2FII", (0.8, 0.2, 0.0)),
+    ("0.8DIWS+0.2DCC", (0.8, 0.0, 0.2)),
+]
+BENCH = "heartwall"  # compute-bound: actuation differences are visible
+V_THRESHOLD = 0.95  # engage the smoothing often enough to differentiate
+
+
+def _tradeoff():
+    base = cosim_run(BENCH, use_controller=False, cycles=PENALTY_CYCLES)
+    base_power = base.power_trace.mean_power_w
+    pde_base = pde_conventional(base_power).pde
+    dac_leakage = CurrentCompensationDAC().leakage_w * 16
+    points = {}
+    rows = []
+    for label, weights in MIXES:
+        run = cosim_run(
+            BENCH,
+            cycles=PENALTY_CYCLES,
+            v_threshold=V_THRESHOLD,
+            k1=PENALTY_MODE_K1,
+            slew=0.5,
+            weights=weights,
+        )
+        penalty = penalty_between(base, run)
+        extra_dynamic = max(
+            0.0, run.power_trace.mean_power_w / base_power - 1
+        )
+        # DCC compensation current and DAC leakage are drawn outside
+        # the GPU's own power trace; charge them here.
+        extra_dynamic += run.mean_dcc_power_w / base_power
+        if weights[2] > 0:
+            extra_dynamic += dac_leakage / base_power
+        pde_vs = run.efficiency().pde
+        saving = net_energy_saving(
+            pde_base, pde_vs, penalty, extra_dynamic_fraction=extra_dynamic
+        )
+        points[label] = (penalty, saving)
+        rows.append([label, f"{penalty:.2%}", f"{saving:.2%}", f"{pde_vs:.1%}"])
+    return rows, points
+
+
+def test_fig13_tradeoff_space(benchmark):
+    rows, points = benchmark.pedantic(_tradeoff, rounds=1, iterations=1)
+    emit(
+        "Fig 13 trade-off space",
+        format_table(
+            ["actuation mix", "performance penalty", "net energy saving",
+             "PDE"],
+            rows,
+            title=(
+                "Fig 13: energy saving vs performance penalty across "
+                f"actuation mixes ({BENCH}, V_th={V_THRESHOLD})"
+            ),
+        ),
+    )
+    # Every mix still nets a positive saving over the conventional PDS.
+    for label, (_, saving) in points.items():
+        assert saving > 0.05, label
+    # The power-adding mechanisms cost less performance than throttling
+    # (the paper: "FII and DCC can deliver a lower performance penalty").
+    assert points["FII"][0] <= points["DIWS"][0] + 1e-9
+    assert points["DCC"][0] <= points["DIWS"][0] + 1e-9
+    # DCC never beats FII once its DAC area/leakage cost is charged
+    # (the paper: "DCC is usually an inferior mechanism when FII can be
+    # applied").
+    assert points["FII"][1] >= points["DCC"][1] - 0.01
+    # Blends interpolate: the 0.8/0.2 mixes sit between the pure points
+    # in penalty.
+    for blend in ("0.8DIWS+0.2FII", "0.8DIWS+0.2DCC"):
+        assert points[blend][0] <= points["DIWS"][0] + 1e-9

@@ -1,0 +1,65 @@
+"""Figure 14 — performance penalty and net energy saving per benchmark.
+
+Runs every benchmark with the default cross-layer configuration
+(DIWS-only smoothing at the 0.9 V threshold, per Section VI-C) against
+the uncontrolled baseline, and reports the per-benchmark performance
+penalty and the net energy saving over the conventional VRM PDS.
+
+Paper bands: penalties within 2-4 %, net savings 10-15 %.
+"""
+
+import numpy as np
+
+from conftest import (PENALTY_CYCLES, PENALTY_MODE_K1, cosim_run, emit,
+                      penalty_between)
+from repro.analysis.metrics import net_energy_saving
+from repro.analysis.report import format_table
+from repro.pdn.efficiency import pde_conventional
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+
+def _per_benchmark():
+    rows = []
+    penalties, savings = [], []
+    for name in BENCHMARK_NAMES:
+        base = cosim_run(name, use_controller=False, cycles=PENALTY_CYCLES)
+        run = cosim_run(
+            name,
+            cycles=PENALTY_CYCLES,
+            k1=PENALTY_MODE_K1,
+            slew=0.5,
+            diws_only=True,
+        )
+        penalty = penalty_between(base, run)
+        pde_base = pde_conventional(base.power_trace.mean_power_w).pde
+        pde_vs = run.efficiency().pde
+        saving = net_energy_saving(pde_base, pde_vs, penalty)
+        penalties.append(penalty)
+        savings.append(saving)
+        rows.append(
+            [name, f"{penalty:.2%}", f"{saving:.2%}", f"{pde_vs:.1%}"]
+        )
+    return rows, np.array(penalties), np.array(savings)
+
+
+def test_fig14_penalty_and_saving(benchmark):
+    rows, penalties, savings = benchmark.pedantic(
+        _per_benchmark, rounds=1, iterations=1
+    )
+    emit(
+        "Fig 14 penalty and net saving",
+        format_table(
+            ["benchmark", "performance penalty", "net energy saving", "PDE"],
+            rows,
+            title="Fig 14: performance loss and net energy saving "
+            "(cross-layer VS vs conventional PDS)",
+        ),
+    )
+    # Paper: penalties distributed within 2-4 %.  Our cleaner supply
+    # throttles less, so we accept the 0-6 % band and assert the core
+    # claim: the penalty is small for every benchmark.
+    assert float(penalties.max()) < 0.06
+    # Net savings: the paper's 10-15 % band (we allow 8-18 %).
+    assert np.all(savings > 0.08)
+    assert np.all(savings < 0.18)
+    assert 0.10 < float(savings.mean()) < 0.16

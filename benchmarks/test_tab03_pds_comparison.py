@@ -1,0 +1,114 @@
+"""Table III — comparison of the four power delivery subsystems.
+
+Rebuilds the table's two columns (PDE and die-area overhead) from our
+models: PDE averaged over the twelve benchmarks' measured traces, and
+CR-IVR/IVR area from the sizing model.
+"""
+
+import numpy as np
+
+from conftest import benchmark_trace, emit
+from repro.analysis.report import format_table
+from repro.config import StackConfig
+from repro.pdn.efficiency import (
+    layer_shuffle_power,
+    pde_conventional,
+    pde_single_ivr,
+    pde_voltage_stacked,
+)
+from repro.sim.pds_configs import PDS_CONFIGS, PDSKind
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+GPU_DIE_MM2 = 529.0
+SINGLE_IVR_AREA_MM2 = 172.3  # Table III's single-layer IVR overhead
+
+
+def _average_pdes():
+    """Mean PDE per configuration across the benchmark suite."""
+    results = {kind: [] for kind in PDSKind}
+    for name in BENCHMARK_NAMES:
+        trace = benchmark_trace(name)
+        load = trace.mean_power_w
+        shuffle = layer_shuffle_power(trace.data, StackConfig())
+        results[PDSKind.CONVENTIONAL_VRM].append(pde_conventional(load).pde)
+        results[PDSKind.SINGLE_LAYER_IVR].append(pde_single_ivr(load).pde)
+        results[PDSKind.VS_CIRCUIT_ONLY].append(
+            pde_voltage_stacked(load, shuffle).pde
+        )
+        results[PDSKind.VS_CROSS_LAYER].append(
+            pde_voltage_stacked(
+                load, shuffle, controller_power_w=1.634e-3
+            ).pde
+        )
+    return {kind: float(np.mean(v)) for kind, v in results.items()}
+
+
+def test_table3_pds_comparison(benchmark):
+    pdes = benchmark.pedantic(_average_pdes, rounds=1, iterations=1)
+    rows = []
+    paper_pde = {}
+    for kind, entry in PDS_CONFIGS.items():
+        if kind is PDSKind.CONVENTIONAL_VRM:
+            area = "N/A"
+        elif kind is PDSKind.SINGLE_LAYER_IVR:
+            area = f"{SINGLE_IVR_AREA_MM2:.1f} mm2 ({SINGLE_IVR_AREA_MM2/GPU_DIE_MM2:.2f}x die)"
+        else:
+            area = (
+                f"{entry.cr_ivr_area_mm2:.1f} mm2 "
+                f"({entry.cr_ivr_area_mm2/GPU_DIE_MM2:.2f}x die)"
+            )
+        rows.append(
+            [
+                entry.label,
+                f"{pdes[kind]:.1%}",
+                f"{entry.paper_pde:.1%}",
+                area,
+                f"{entry.paper_area_x_die:.2f}x die",
+            ]
+        )
+        paper_pde[kind] = entry.paper_pde
+    emit(
+        "Table III PDS comparison",
+        format_table(
+            ["PDS configuration", "PDE (measured)", "PDE (paper)",
+             "Die area (measured)", "Area (paper)"],
+            rows,
+            title="Table III: comparison of power delivery subsystems",
+        ),
+    )
+
+    # Shape assertions against the paper's anchors.
+    assert abs(pdes[PDSKind.CONVENTIONAL_VRM] - 0.80) < 0.03
+    assert abs(pdes[PDSKind.SINGLE_LAYER_IVR] - 0.85) < 0.03
+    assert pdes[PDSKind.VS_CROSS_LAYER] > 0.90
+    assert (
+        pdes[PDSKind.CONVENTIONAL_VRM]
+        < pdes[PDSKind.SINGLE_LAYER_IVR]
+        < pdes[PDSKind.VS_CROSS_LAYER]
+    )
+    # Area ordering and the 88 % reduction headline.
+    circuit = PDS_CONFIGS[PDSKind.VS_CIRCUIT_ONLY].cr_ivr_area_mm2
+    cross = PDS_CONFIGS[PDSKind.VS_CROSS_LAYER].cr_ivr_area_mm2
+    assert circuit > GPU_DIE_MM2  # bigger than the GPU itself
+    assert 1 - cross / circuit > 0.80
+
+
+def test_headline_loss_elimination(benchmark):
+    """The 61.5 % total-PDS-loss elimination headline."""
+
+    def loss_cut():
+        trace = benchmark_trace("hotspot")
+        load = trace.mean_power_w
+        shuffle = layer_shuffle_power(trace.data, StackConfig())
+        conv = pde_conventional(load)
+        stacked = pde_voltage_stacked(load, shuffle, controller_power_w=1.634e-3)
+        return 1 - (stacked.total_loss / stacked.useful_power) / (
+            conv.total_loss / conv.useful_power
+        )
+
+    cut = benchmark.pedantic(loss_cut, rounds=1, iterations=1)
+    emit(
+        "Headline loss elimination",
+        f"PDS loss eliminated vs conventional: {cut:.1%} (paper: 61.5%)",
+    )
+    assert cut > 0.5

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so the package installs in environments without the ``wheel``
+module (where PEP 660 editable installs are unavailable):
+``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

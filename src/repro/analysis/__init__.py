@@ -1,0 +1,32 @@
+"""Metrics and report formatting for the paper's tables and figures."""
+
+from repro.analysis.metrics import (
+    BoxStats,
+    imbalance_distribution,
+    net_energy_saving,
+    noise_box_stats,
+    performance_penalty,
+)
+from repro.analysis.report import format_series, format_table
+from repro.analysis.spectral import (
+    band_power,
+    dominant_frequency,
+    imbalance_spectrum,
+    low_frequency_fraction,
+    power_spectrum,
+)
+
+__all__ = [
+    "BoxStats",
+    "band_power",
+    "dominant_frequency",
+    "format_series",
+    "format_table",
+    "imbalance_distribution",
+    "imbalance_spectrum",
+    "low_frequency_fraction",
+    "net_energy_saving",
+    "noise_box_stats",
+    "performance_penalty",
+    "power_spectrum",
+]

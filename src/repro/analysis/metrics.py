@@ -1,0 +1,147 @@
+"""Evaluation metrics behind Figs. 11-17.
+
+* :func:`noise_box_stats` — the box-plot statistics of Fig. 11;
+* :func:`performance_penalty` / :func:`net_energy_saving` — the Fig. 14
+  accounting (throttling extends execution, which costs leakage energy,
+  offset by the PDE gain);
+* :func:`imbalance_distribution` — the Fig. 17 histogram of per-cycle
+  current imbalance between vertically stacked SMs, normalized to peak
+  SM current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import StackConfig
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Box-and-whisker summary of a voltage (or any) distribution."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def as_tuple(self) -> Tuple[float, float, float, float, float]:
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum)
+
+
+def noise_box_stats(samples: np.ndarray) -> BoxStats:
+    """Fig. 11 box statistics over all SMs and cycles."""
+    flat = np.asarray(samples, dtype=float).ravel()
+    if flat.size == 0:
+        raise ValueError("no samples")
+    q1, median, q3 = np.percentile(flat, [25, 50, 75])
+    return BoxStats(
+        minimum=float(flat.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(flat.max()),
+    )
+
+
+def performance_penalty(
+    baseline_throughput: float, throttled_throughput: float
+) -> float:
+    """Relative slowdown from voltage smoothing (Fig. 12 / 14 y-axis).
+
+    Throughputs are real instructions per cycle for the same workload;
+    the penalty is the fractional increase in execution time.
+    """
+    if baseline_throughput <= 0:
+        raise ValueError("baseline throughput must be positive")
+    if throttled_throughput <= 0:
+        raise ValueError("throttled throughput must be positive")
+    if throttled_throughput > baseline_throughput:
+        return 0.0  # measurement noise: no penalty
+    return baseline_throughput / throttled_throughput - 1.0
+
+
+def net_energy_saving(
+    pde_baseline: float,
+    pde_stacked: float,
+    penalty: float,
+    leakage_fraction: float = 0.15,
+    extra_dynamic_fraction: float = 0.0,
+) -> float:
+    """Fig. 14's net energy saving of a voltage-stacked GPU.
+
+    For the same work, the cross-layer GPU takes ``1 + penalty`` times
+    as long: dynamic energy is unchanged (plus ``extra_dynamic_fraction``
+    for fake instructions / DCC), but leakage accrues over the longer
+    runtime.  Both systems' chip energy is then divided by their PDE to
+    get board-input energy; the saving is the relative reduction.
+    """
+    if not 0 < pde_baseline <= 1 or not 0 < pde_stacked <= 1:
+        raise ValueError("PDEs must be in (0, 1]")
+    if penalty < 0:
+        raise ValueError("penalty cannot be negative")
+    if not 0 <= leakage_fraction < 1:
+        raise ValueError("leakage fraction must be in [0, 1)")
+    dynamic = 1.0 - leakage_fraction
+    chip_baseline = 1.0  # normalized chip energy for the work
+    chip_stacked = (
+        dynamic * (1.0 + extra_dynamic_fraction)
+        + leakage_fraction * (1.0 + penalty)
+    )
+    input_baseline = chip_baseline / pde_baseline
+    input_stacked = chip_stacked / pde_stacked
+    return 1.0 - input_stacked / input_baseline
+
+
+IMBALANCE_BUCKETS = ((0.0, 0.1), (0.1, 0.2), (0.2, 0.4), (0.4, np.inf))
+IMBALANCE_BUCKET_LABELS = (
+    "0-10% imbalance",
+    "10-20% imbalance",
+    "20-40% imbalance",
+    ">40% imbalance",
+)
+
+
+def imbalance_distribution(
+    per_sm_power: np.ndarray,
+    stack: StackConfig = StackConfig(),
+    peak_sm_power_w: float = 8.0,
+) -> Dict[str, float]:
+    """Fig. 17: distribution of vertical SM current imbalance.
+
+    For every cycle and every vertically adjacent SM pair in each stack
+    column, compute ``|I_a - I_b| / I_peak`` and bucket it into the
+    paper's 0-10 / 10-20 / 20-40 / >40 % bins.  Returns bucket -> share.
+    """
+    per_sm_power = np.atleast_2d(np.asarray(per_sm_power, dtype=float))
+    if per_sm_power.shape[1] != stack.num_sms:
+        raise ValueError(
+            f"expected {stack.num_sms} SM columns, got {per_sm_power.shape[1]}"
+        )
+    if peak_sm_power_w <= 0:
+        raise ValueError("peak power must be positive")
+    grid = per_sm_power.reshape(
+        per_sm_power.shape[0], stack.num_layers, stack.num_columns
+    )
+    # Adjacent layers within each column (currents at ~1 V = power).
+    diffs = np.abs(np.diff(grid, axis=1)) / peak_sm_power_w
+    flat = diffs.ravel()
+    shares = {}
+    for (lo, hi), label in zip(IMBALANCE_BUCKETS, IMBALANCE_BUCKET_LABELS):
+        shares[label] = float(np.mean((flat >= lo) & (flat < hi)))
+    return shares
+
+
+def cumulative_within(
+    distribution: Dict[str, float], buckets: Sequence[str]
+) -> float:
+    """Sum of the given buckets' shares (e.g. 'within 40 %' checks)."""
+    return sum(distribution[b] for b in buckets)

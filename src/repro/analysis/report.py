@@ -1,0 +1,77 @@
+"""Plain-text table and series formatting for experiment outputs.
+
+The benchmark harness prints every reproduced table/figure as an ASCII
+table in the same orientation as the paper, so a diff against the
+paper's numbers is a visual exercise.  No plotting dependencies: the
+"figures" are emitted as their underlying data series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, Sequence[Number]],
+    x_label: str,
+    title: str = "",
+    max_points: int = 0,
+) -> str:
+    """Render one or more named y-series against a shared x column.
+
+    ``series`` must contain ``x_label`` as the x values; every other key
+    is a y-series of the same length.  ``max_points`` decimates long
+    sweeps for readability (0 = print everything).
+    """
+    if x_label not in series:
+        raise ValueError(f"series is missing its x column {x_label!r}")
+    x = list(series[x_label])
+    columns = [k for k in series if k != x_label]
+    for name in columns:
+        if len(series[name]) != len(x):
+            raise ValueError(f"series {name!r} length mismatch")
+    indices = range(len(x))
+    if max_points and len(x) > max_points:
+        stride = max(1, len(x) // max_points)
+        indices = range(0, len(x), stride)
+    rows = [[x[i]] + [series[name][i] for name in columns] for i in indices]
+    return format_table([x_label] + columns, rows, title=title)
+
+
+def format_percent(value: float) -> str:
+    """Uniform percentage rendering for report rows."""
+    return f"{100 * value:.1f}%"

@@ -1,0 +1,41 @@
+"""Linear circuit simulation engine (the SPICE 3 substitute).
+
+The power delivery networks studied by the paper are linear RLC networks
+driven by ideal sources, so a modified-nodal-analysis (MNA) engine with a
+fixed-step trapezoidal transient integrator and a complex-valued AC solver
+reproduces exactly what SPICE computes for them.
+
+Public surface:
+
+* :class:`~repro.circuits.netlist.Circuit` — build circuits from named nodes.
+* :class:`~repro.circuits.transient.TransientSolver` — time-domain waveforms.
+* :class:`~repro.circuits.ac.ACAnalysis` — frequency-domain impedances.
+"""
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    DifferenceConductance,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuits.netlist import Circuit, GROUND
+from repro.circuits.transient import TransientResult, TransientSolver
+from repro.circuits.ac import ACAnalysis
+
+__all__ = [
+    "ACAnalysis",
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "DifferenceConductance",
+    "Element",
+    "GROUND",
+    "Inductor",
+    "Resistor",
+    "TransientResult",
+    "TransientSolver",
+    "VoltageSource",
+]

@@ -1,0 +1,94 @@
+"""AC (frequency-domain) analysis: driving-point and transfer impedances.
+
+This is the engine behind the paper's effective-impedance methodology
+(Section III-B): inject a unit sinusoidal current pattern into a set of
+nodes, solve the complex MNA system at each frequency, and read the
+resulting voltage phasors.  Ideal voltage sources are AC grounds, exactly
+as in SPICE ``.AC`` analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.circuits.mna import MNAStructure
+from repro.circuits.netlist import Circuit
+
+
+class ACAnalysis:
+    """Frequency sweeps over a fixed linear circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.structure = MNAStructure(circuit)
+
+    # ------------------------------------------------------------------
+    def solve(self, frequency_hz: float, injections: Dict[str, complex]) -> Dict[str, complex]:
+        """Node voltage phasors for current ``injections`` at one frequency.
+
+        ``injections`` maps node name -> injected current phasor (amps,
+        positive into the node).  Returns a map of every non-ground node
+        to its voltage phasor.
+        """
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        omega = 2.0 * math.pi * frequency_hz
+        matrix = self.structure.assemble_complex(omega)
+        rhs = self.structure.rhs_phasor(injections)
+        solution = np.linalg.solve(matrix, rhs)
+        return {
+            node: complex(solution[self.structure.node(node)])
+            for node in self.circuit.nodes
+        }
+
+    def transfer_impedance(
+        self,
+        frequency_hz: float,
+        injections: Dict[str, complex],
+        observe_pos: str,
+        observe_neg: str = "0",
+    ) -> complex:
+        """V(observe_pos) - V(observe_neg) per unit of the injection pattern.
+
+        With a unit-magnitude injection pattern this *is* the effective
+        impedance seen by that pattern at the observation port.
+        """
+        phasors = self.solve(frequency_hz, injections)
+        vp = phasors.get(observe_pos, 0.0) if observe_pos != "0" else 0.0
+        vn = phasors.get(observe_neg, 0.0) if observe_neg != "0" else 0.0
+        return complex(vp) - complex(vn)
+
+    def impedance_sweep(
+        self,
+        frequencies_hz: Sequence[float],
+        injections: Dict[str, complex],
+        observe_pos: str,
+        observe_neg: str = "0",
+    ) -> np.ndarray:
+        """Magnitude of the transfer impedance across ``frequencies_hz``."""
+        return np.array(
+            [
+                abs(
+                    self.transfer_impedance(
+                        f, injections, observe_pos, observe_neg
+                    )
+                )
+                for f in frequencies_hz
+            ]
+        )
+
+
+def log_frequency_grid(
+    start_hz: float, stop_hz: float, points_per_decade: int = 20
+) -> np.ndarray:
+    """Logarithmically spaced frequency grid, inclusive of both endpoints."""
+    if start_hz <= 0 or stop_hz <= start_hz:
+        raise ValueError(
+            f"need 0 < start < stop, got start={start_hz}, stop={stop_hz}"
+        )
+    decades = math.log10(stop_hz / start_hz)
+    num = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(math.log10(start_hz), math.log10(stop_hz), num)

@@ -1,0 +1,174 @@
+"""Circuit element definitions.
+
+Every element connects two named nodes.  Conventions:
+
+* A positive element current flows from ``node_pos`` to ``node_neg``
+  *through* the element.
+* :class:`CurrentSource` pushes its current *out of* ``node_pos`` and
+  *into* ``node_neg`` through the external circuit — i.e. a positive
+  value sinks current from ``node_pos`` (a load drawing current from a
+  supply rail uses ``node_pos`` = rail, ``node_neg`` = ground).
+* Sources may be constant floats or callables of time ``f(t) -> float``,
+  which is how the GPU power traces drive the PDN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+Waveform = Union[float, Callable[[float], float]]
+
+
+def evaluate_waveform(value: Waveform, t: float) -> float:
+    """Evaluate a constant or time-dependent source value at time ``t``."""
+    if callable(value):
+        return float(value(t))
+    return float(value)
+
+
+@dataclass
+class Element:
+    """Base class for all two-terminal elements."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+
+    def __post_init__(self) -> None:
+        if self.node_pos == self.node_neg:
+            raise ValueError(
+                f"element {self.name!r} connects node {self.node_pos!r} to itself"
+            )
+
+
+@dataclass
+class Resistor(Element):
+    """Linear resistor of ``resistance`` ohms."""
+
+    resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.resistance <= 0:
+            raise ValueError(
+                f"resistor {self.name!r} must have positive resistance, "
+                f"got {self.resistance}"
+            )
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+@dataclass
+class Capacitor(Element):
+    """Linear capacitor of ``capacitance`` farads with initial voltage ``v0``."""
+
+    capacitance: float = 1.0
+    v0: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.capacitance <= 0:
+            raise ValueError(
+                f"capacitor {self.name!r} must have positive capacitance, "
+                f"got {self.capacitance}"
+            )
+
+
+@dataclass
+class Inductor(Element):
+    """Linear inductor of ``inductance`` henries with initial current ``i0``.
+
+    Positive ``i0`` flows from ``node_pos`` to ``node_neg`` through the
+    inductor.
+    """
+
+    inductance: float = 1.0
+    i0: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inductance <= 0:
+            raise ValueError(
+                f"inductor {self.name!r} must have positive inductance, "
+                f"got {self.inductance}"
+            )
+
+
+@dataclass
+class VoltageSource(Element):
+    """Ideal voltage source: V(node_pos) - V(node_neg) = value(t)."""
+
+    value: Waveform = 0.0
+
+    def voltage_at(self, t: float) -> float:
+        return evaluate_waveform(self.value, t)
+
+
+@dataclass
+class DifferenceConductance:
+    """Multi-terminal passive element drawing current from a node-voltage
+    *difference pattern*: i_k = g * w_k * (sum_j w_j * v_j).
+
+    Stamped into MNA as ``g * w w^T`` (symmetric positive semidefinite, so
+    always passive).  With ``weights = [1, -2, 1]`` over three consecutive
+    stack-boundary nodes this is the averaged model of a charge-recycling
+    flying capacitor toggling between adjacent voltage-stack layers: it
+    moves charge only in response to *layer-voltage imbalance*
+    (v_top - 2 v_mid + v_bot) and carries zero current when the stack is
+    balanced — unlike a plain resistor ladder, which would bleed DC.
+
+    ``g`` equals ``f_sw * C_fly`` for a flying capacitor C_fly switched at
+    f_sw (standard switched-capacitor averaging).
+    """
+
+    name: str
+    nodes: List[str] = field(default_factory=list)
+    weights: List[float] = field(default_factory=list)
+    conductance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.weights):
+            raise ValueError(
+                f"element {self.name!r}: {len(self.nodes)} nodes but "
+                f"{len(self.weights)} weights"
+            )
+        if len(self.nodes) < 2:
+            raise ValueError(f"element {self.name!r} needs at least two nodes")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"element {self.name!r} has repeated nodes")
+        if self.conductance < 0:
+            raise ValueError(
+                f"element {self.name!r} must have non-negative conductance, "
+                f"got {self.conductance}"
+            )
+
+    # Attributes Circuit expects of registered elements.
+    @property
+    def node_pos(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def node_neg(self) -> str:
+        return self.nodes[-1]
+
+
+@dataclass
+class CurrentSource(Element):
+    """Ideal current source drawing ``value(t)`` amperes out of ``node_pos``.
+
+    With ``node_pos`` on a supply rail and ``node_neg`` on ground this is a
+    load: it pulls current off the rail, which is how SMs are modeled
+    (time-varying ideal current sources, per the paper's convention).
+    """
+
+    value: Waveform = 0.0
+    # Mutable hook used by the co-simulator: when set, overrides ``value``.
+    override: Optional[float] = field(default=None, compare=False)
+
+    def current_at(self, t: float) -> float:
+        if self.override is not None:
+            return float(self.override)
+        return evaluate_waveform(self.value, t)

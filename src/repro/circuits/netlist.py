@@ -1,0 +1,147 @@
+"""Circuit container: named nodes, element registry, index assignment.
+
+A :class:`Circuit` is a bag of elements connecting string-named nodes.
+The reserved node ``"0"`` (alias ``GROUND``) is the reference; every
+circuit must touch it.  Node indices (for matrix assembly) are assigned
+in insertion order, ground excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    DifferenceConductance,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+    Waveform,
+)
+
+GROUND = "0"
+
+
+class Circuit:
+    """A netlist of linear elements over named nodes.
+
+    Convenience ``add_*`` methods construct and register elements in one
+    call and return them, so builders can keep handles for later mutation
+    (e.g. the co-simulator retains each SM's :class:`CurrentSource` to
+    override its draw every cycle).
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._elements: List[Element] = []
+        self._names: Dict[str, Element] = {}
+        self._node_index: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Register ``element``, enforcing unique names."""
+        if element.name in self._names:
+            raise ValueError(f"duplicate element name: {element.name!r}")
+        self._names[element.name] = element
+        self._elements.append(element)
+        nodes = getattr(element, "nodes", None) or (
+            element.node_pos,
+            element.node_neg,
+        )
+        for node in nodes:
+            if node != GROUND and node not in self._node_index:
+                self._node_index[node] = len(self._node_index)
+        return element
+
+    def add_resistor(self, name: str, pos: str, neg: str, ohms: float) -> Resistor:
+        return self.add(Resistor(name, pos, neg, ohms))  # type: ignore[return-value]
+
+    def add_capacitor(
+        self, name: str, pos: str, neg: str, farads: float, v0: float = 0.0
+    ) -> Capacitor:
+        return self.add(Capacitor(name, pos, neg, farads, v0))  # type: ignore[return-value]
+
+    def add_inductor(
+        self, name: str, pos: str, neg: str, henries: float, i0: float = 0.0
+    ) -> Inductor:
+        return self.add(Inductor(name, pos, neg, henries, i0))  # type: ignore[return-value]
+
+    def add_voltage_source(
+        self, name: str, pos: str, neg: str, value: Waveform
+    ) -> VoltageSource:
+        return self.add(VoltageSource(name, pos, neg, value))  # type: ignore[return-value]
+
+    def add_current_source(
+        self, name: str, pos: str, neg: str, value: Waveform
+    ) -> CurrentSource:
+        return self.add(CurrentSource(name, pos, neg, value))  # type: ignore[return-value]
+
+    def add_difference_conductance(
+        self, name: str, nodes: List[str], weights: List[float], siemens: float
+    ) -> DifferenceConductance:
+        return self.add(  # type: ignore[return-value]
+            DifferenceConductance(name, list(nodes), list(weights), siemens)
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def elements(self) -> List[Element]:
+        return list(self._elements)
+
+    def element(self, name: str) -> Element:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise KeyError(f"no element named {name!r} in circuit {self.name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def nodes(self) -> List[str]:
+        """Non-ground node names in index order."""
+        return sorted(self._node_index, key=self._node_index.__getitem__)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_index)
+
+    def node_index(self, node: str) -> Optional[int]:
+        """Matrix row of ``node``; ``None`` for ground."""
+        if node == GROUND:
+            return None
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise KeyError(f"unknown node {node!r} in circuit {self.name!r}")
+
+    def elements_of_type(self, kind: type) -> List[Element]:
+        return [e for e in self._elements if isinstance(e, kind)]
+
+    def validate(self) -> None:
+        """Sanity-check the topology before analysis.
+
+        Requires at least one element referencing ground (otherwise the
+        MNA system is singular: all node voltages float).
+        """
+        if not self._elements:
+            raise ValueError(f"circuit {self.name!r} is empty")
+        touches_ground = any(
+            GROUND in (e.node_pos, e.node_neg) for e in self._elements
+        )
+        if not touches_ground:
+            raise ValueError(
+                f"circuit {self.name!r} has no connection to ground node '0'"
+            )

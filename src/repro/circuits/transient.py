@@ -1,0 +1,254 @@
+"""Fixed-step trapezoidal transient solver.
+
+The circuit is linear and the step size is fixed, so the MNA matrix —
+including the trapezoidal companion conductances ``2C/h`` and ``h/2L`` —
+is constant.  It is assembled and LU-factorized once; each step only
+rebuilds the right-hand side and back-substitutes, which keeps long
+co-simulations (hundreds of thousands of steps) cheap.
+
+The solver exposes two usage styles:
+
+* :meth:`TransientSolver.run` — simulate an interval, return waveforms.
+* :meth:`TransientSolver.step` — advance one step; used by the GPU/PDN
+  co-simulator, which overrides SM current sources between steps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from repro.circuits.elements import Capacitor, Inductor
+from repro.circuits.mna import MNAStructure
+from repro.circuits.netlist import Circuit
+
+
+class TransientResult:
+    """Recorded waveforms from a transient run."""
+
+    def __init__(self, times: np.ndarray, nodes: List[str], voltages: np.ndarray):
+        self.times = times
+        self.nodes = nodes
+        self._index = {name: k for k, name in enumerate(nodes)}
+        self.voltages = voltages  # shape (num_steps, num_recorded_nodes)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Waveform of ``node``; ground returns zeros."""
+        if node == "0":
+            return np.zeros_like(self.times)
+        return self.voltages[:, self._index[node]]
+
+    def differential(self, pos: str, neg: str) -> np.ndarray:
+        """Waveform of V(pos) - V(neg)."""
+        return self.voltage(pos) - self.voltage(neg)
+
+
+class TransientSolver:
+    """Trapezoidal integrator over a fixed-topology linear circuit."""
+
+    # Conductance used to treat inductors as shorts in the DC solve.
+    _DC_SHORT_SIEMENS = 1e9
+
+    def __init__(self, circuit: Circuit, dt: float) -> None:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.circuit = circuit
+        self.dt = dt
+        self.structure = MNAStructure(circuit)
+        self.capacitors: List[Capacitor] = circuit.elements_of_type(Capacitor)  # type: ignore[assignment]
+        self.inductors: List[Inductor] = circuit.elements_of_type(Inductor)  # type: ignore[assignment]
+
+        self._cap_nodes = [
+            (self.structure.node(c.node_pos), self.structure.node(c.node_neg))
+            for c in self.capacitors
+        ]
+        self._ind_nodes = [
+            (self.structure.node(l.node_pos), self.structure.node(l.node_neg))
+            for l in self.inductors
+        ]
+        self._g_cap = np.array(
+            [2.0 * c.capacitance / dt for c in self.capacitors], dtype=float
+        )
+        self._g_ind = np.array(
+            [dt / (2.0 * l.inductance) for l in self.inductors], dtype=float
+        )
+
+        matrix = self.structure.assemble_resistive()
+        for (p, n), g in zip(self._cap_nodes, self._g_cap):
+            self.structure.stamp_conductance(matrix, p, n, g)
+        for (p, n), g in zip(self._ind_nodes, self._g_ind):
+            self.structure.stamp_conductance(matrix, p, n, g)
+        self._lu = lu_factor(matrix)
+
+        # Fast-path caches for per-step RHS assembly (the inner loop of
+        # long co-simulations): current-source handles and index maps.
+        from repro.circuits.elements import CurrentSource, VoltageSource
+
+        self._current_sources = self.circuit.elements_of_type(CurrentSource)
+        self._cs_pos = [self.structure.node(s.node_pos) for s in self._current_sources]
+        self._cs_neg = [self.structure.node(s.node_neg) for s in self._current_sources]
+        self._vs_rows = [
+            (self.structure.branch_index[v.name], v)
+            for v in self.structure.vsources
+        ]
+
+        # Dynamic state: voltage across / current through each reactive element.
+        self._cap_v = np.array([c.v0 for c in self.capacitors], dtype=float)
+        self._cap_i = np.zeros(len(self.capacitors), dtype=float)
+        self._ind_i = np.array([l.i0 for l in self.inductors], dtype=float)
+        self._ind_v = np.zeros(len(self.inductors), dtype=float)
+
+        self.time = 0.0
+        self.solution = np.zeros(self.structure.size, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def initialize_dc(self, t: float = 0.0) -> np.ndarray:
+        """Start from the DC operating point with sources held at time ``t``.
+
+        Capacitors are open, inductors are (near-)shorts.  The computed
+        node voltages seed capacitor voltages, and inductor currents are
+        read from the short-circuit branch currents.
+        """
+        size = self.structure.size
+        matrix = self.structure.assemble_resistive()
+        for (p, n) in self._ind_nodes:
+            self.structure.stamp_conductance(matrix, p, n, self._DC_SHORT_SIEMENS)
+        rhs = self.structure.rhs_sources(t)
+        solution = np.linalg.solve(matrix, rhs)
+
+        self.solution = np.zeros(size)
+        self.solution[:] = solution
+        self.time = t
+        self._cap_v = np.array(
+            [self._across(solution, p, n) for (p, n) in self._cap_nodes]
+        )
+        self._cap_i = np.zeros(len(self.capacitors))
+        self._ind_v = np.zeros(len(self.inductors))
+        self._ind_i = np.array(
+            [
+                self._DC_SHORT_SIEMENS * self._across(solution, p, n)
+                for (p, n) in self._ind_nodes
+            ]
+        )
+        return solution[: self.structure.num_nodes]
+
+    @staticmethod
+    def _across(solution: np.ndarray, pos, neg) -> float:
+        vp = solution[pos] if pos is not None else 0.0
+        vn = solution[neg] if neg is not None else 0.0
+        return float(vp - vn)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def _fast_rhs(self, t: float) -> np.ndarray:
+        """RHS from independent sources using the cached index maps."""
+        rhs = np.zeros(self.structure.size, dtype=float)
+        for source, pos, neg in zip(self._current_sources, self._cs_pos, self._cs_neg):
+            current = source.current_at(t)
+            if pos is not None:
+                rhs[pos] -= current
+            if neg is not None:
+                rhs[neg] += current
+        for row, source in self._vs_rows:
+            rhs[row] = source.voltage_at(t)
+        return rhs
+
+    def step(self) -> np.ndarray:
+        """Advance one trapezoidal step; return node voltages at the new time."""
+        t_next = self.time + self.dt
+        rhs = self._fast_rhs(t_next)
+
+        ieq_cap = self._g_cap * self._cap_v + self._cap_i
+        for (p, n), ieq in zip(self._cap_nodes, ieq_cap):
+            if p is not None:
+                rhs[p] += ieq
+            if n is not None:
+                rhs[n] -= ieq
+
+        ieq_ind = self._ind_i + self._g_ind * self._ind_v
+        for (p, n), ieq in zip(self._ind_nodes, ieq_ind):
+            if p is not None:
+                rhs[p] -= ieq
+            if n is not None:
+                rhs[n] += ieq
+
+        solution = lu_solve(self._lu, rhs)
+
+        for k, (p, n) in enumerate(self._cap_nodes):
+            v_new = self._across(solution, p, n)
+            self._cap_i[k] = self._g_cap[k] * v_new - ieq_cap[k]
+            self._cap_v[k] = v_new
+        for k, (p, n) in enumerate(self._ind_nodes):
+            v_new = self._across(solution, p, n)
+            self._ind_i[k] = self._g_ind[k] * v_new + ieq_ind[k]
+            self._ind_v[k] = v_new
+
+        self.time = t_next
+        self.solution = solution
+        return solution[: self.structure.num_nodes]
+
+    def node_voltage(self, node: str) -> float:
+        """Voltage of ``node`` at the current solver time."""
+        idx = self.structure.node(node)
+        if idx is None:
+            return 0.0
+        return float(self.solution[idx])
+
+    def vsource_current(self, name: str) -> float:
+        """Current delivered by voltage source ``name`` into the circuit.
+
+        Positive when the source pushes current out of its positive
+        terminal — i.e. when it supplies power.  (The raw MNA branch
+        variable has the opposite sign convention and is negated here.)
+        """
+        try:
+            branch = self.structure.branch_index[name]
+        except KeyError:
+            raise KeyError(f"no voltage source named {name!r}")
+        return -float(self.solution[branch])
+
+    def inductor_current(self, name: str) -> float:
+        """Current through inductor ``name`` at the current solver time."""
+        for k, ind in enumerate(self.inductors):
+            if ind.name == name:
+                return float(self._ind_i[k])
+        raise KeyError(f"no inductor named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Whole-interval convenience runner
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration: float,
+        record: Optional[Sequence[str]] = None,
+        initialize: bool = True,
+    ) -> TransientResult:
+        """Simulate ``duration`` seconds and record node waveforms.
+
+        ``record`` selects node names to store (default: all non-ground
+        nodes).  The initial point (t = start) is included in the result.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if initialize:
+            self.initialize_dc(self.time)
+
+        nodes = list(record) if record is not None else self.circuit.nodes
+        indices = [self.structure.node(n) for n in nodes]
+        num_steps = int(round(duration / self.dt))
+        times = self.time + self.dt * np.arange(num_steps + 1)
+        voltages = np.zeros((num_steps + 1, len(nodes)), dtype=float)
+        voltages[0] = [
+            self.solution[i] if i is not None else 0.0 for i in indices
+        ]
+        for step in range(1, num_steps + 1):
+            solution = self.step()
+            voltages[step] = [
+                solution[i] if i is not None else 0.0 for i in indices
+            ]
+        return TransientResult(times, nodes, voltages)

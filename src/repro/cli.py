@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's main workflows:
+
+* ``cosim``     — run the cross-layer co-simulation of one benchmark;
+* ``impedance`` — print the Fig. 3 effective-impedance curves;
+* ``size``      — CR-IVR die-area sizing for both VS configurations;
+* ``pde``       — PDE breakdown of a benchmark under each PDS;
+* ``benchmarks``— list the available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.workloads.benchmarks import list_benchmarks
+
+    rows = [
+        [spec.name, spec.suite, f"{spec.miss_ratio:.2f}",
+         f"{spec.jitter:.2f}", spec.description]
+        for spec in list_benchmarks(args.suite)
+    ]
+    print(
+        format_table(
+            ["name", "suite", "miss", "jitter", "description"], rows,
+            title="Available benchmarks",
+        )
+    )
+    return 0
+
+
+def _cmd_cosim(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import noise_box_stats
+    from repro.sim.cosim import CosimConfig, run_cosim
+
+    result = run_cosim(
+        args.benchmark,
+        CosimConfig(
+            cycles=args.cycles,
+            warmup_cycles=args.warmup,
+            cr_ivr_area_mm2=args.area,
+            use_controller=not args.no_controller,
+            seed=args.seed,
+        ),
+    )
+    print(result.summary())
+    box = noise_box_stats(result.sm_voltages)
+    print(
+        f"noise: min {box.minimum:.3f} | q1 {box.q1:.3f} | "
+        f"median {box.median:.3f} | q3 {box.q3:.3f} | max {box.maximum:.3f} V"
+    )
+    breakdown = result.efficiency()
+    for component, fraction in breakdown.fractions().items():
+        print(f"  {component:<11s} {fraction:7.2%}")
+    return 0
+
+
+def _cmd_impedance(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_series
+    from repro.circuits.ac import log_frequency_grid
+    from repro.pdn.builder import build_stacked_pdn
+    from repro.pdn.impedance import ImpedanceAnalyzer
+
+    pdn = build_stacked_pdn(cr_ivr_area_mm2=args.area)
+    analyzer = ImpedanceAnalyzer(pdn)
+    freqs = log_frequency_grid(1e6, 5e8, points_per_decade=args.points)
+    curves = analyzer.figure3_curves(freqs)
+    print(
+        format_series(
+            {
+                "frequency_mhz": list(np.round(curves["frequency"] / 1e6, 2)),
+                "Z_G": list(np.round(curves["z_global"], 5)),
+                "Z_ST": list(np.round(curves["z_stack"], 5)),
+                "Z_R_same": list(
+                    np.round(curves["z_residual_same_layer"], 5)
+                ),
+                "Z_R_diff": list(
+                    np.round(curves["z_residual_diff_layer"], 5)
+                ),
+            },
+            x_label="frequency_mhz",
+            title=(
+                f"Effective impedance (ohm), CR-IVR area {args.area} mm^2"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    from repro.pdn.area import AreaModel
+
+    model = AreaModel()
+    gpu_die = 529.0
+    circuit = model.required_area_mm2(None, droop_target_v=args.guardband)
+    cross = model.required_area_mm2(
+        args.latency, droop_target_v=args.guardband
+    )
+    print(f"guardband: {args.guardband} V, control latency: {args.latency} "
+          "cycles")
+    print(f"circuit-only CR-IVR: {circuit:7.1f} mm^2 "
+          f"({circuit / gpu_die:.2f}x GPU die)")
+    print(f"cross-layer CR-IVR:  {cross:7.1f} mm^2 "
+          f"({cross / gpu_die:.2f}x GPU die)")
+    print(f"area reduction:      {1 - cross / circuit:.1%}")
+    return 0
+
+
+def _cmd_pde(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.config import StackConfig, SystemConfig
+    from repro.gpu.gpu import GPU
+    from repro.pdn.efficiency import (
+        layer_shuffle_power,
+        pde_conventional,
+        pde_single_ivr,
+        pde_voltage_stacked,
+    )
+    from repro.workloads.benchmarks import get_benchmark
+    from repro.workloads.traces import capture_trace
+
+    spec = get_benchmark(args.benchmark)
+    gpu = GPU(
+        spec.kernel, config=SystemConfig(), seed=args.seed,
+        miss_ratio=spec.miss_ratio, jitter=spec.jitter,
+    )
+    trace = capture_trace(gpu, args.cycles, warmup_cycles=300)
+    load = trace.mean_power_w
+    shuffle = layer_shuffle_power(trace.data, StackConfig())
+    rows = []
+    for label, breakdown in [
+        ("single layer VRM", pde_conventional(load)),
+        ("single layer IVR", pde_single_ivr(load)),
+        ("VS circuit only", pde_voltage_stacked(load, shuffle)),
+        (
+            "VS cross-layer",
+            pde_voltage_stacked(load, shuffle, controller_power_w=1.634e-3),
+        ),
+    ]:
+        rows.append([label, f"{breakdown.pde:.1%}",
+                     f"{breakdown.total_loss:.2f} W"])
+    print(
+        format_table(
+            ["PDS", "PDE", "loss"], rows,
+            title=(
+                f"{spec.name}: load {load:.1f} W, layer imbalance "
+                f"{shuffle / load:.1%}"
+            ),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Voltage-stacked GPU cross-layer simulator (MICRO'18)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("benchmarks", help="list available workloads")
+    p.add_argument("--suite", default="", choices=["", "rodinia", "cuda_sdk"])
+    p.set_defaults(func=_cmd_benchmarks)
+
+    p = sub.add_parser("cosim", help="run the cross-layer co-simulation")
+    p.add_argument("benchmark", nargs="?", default="hotspot")
+    p.add_argument("--cycles", type=int, default=3000)
+    p.add_argument("--warmup", type=int, default=300)
+    p.add_argument("--area", type=float, default=105.8,
+                   help="CR-IVR area in mm^2")
+    p.add_argument("--no-controller", action="store_true",
+                   help="circuit-only voltage stacking")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_cosim)
+
+    p = sub.add_parser("impedance", help="effective impedance curves (Fig 3)")
+    p.add_argument("--area", type=float, default=0.0)
+    p.add_argument("--points", type=int, default=8,
+                   help="frequency points per decade")
+    p.set_defaults(func=_cmd_impedance)
+
+    p = sub.add_parser("size", help="CR-IVR area sizing (Table III)")
+    p.add_argument("--latency", type=float, default=60.0,
+                   help="control loop latency in cycles")
+    p.add_argument("--guardband", type=float, default=0.2,
+                   help="voltage guardband in volts")
+    p.set_defaults(func=_cmd_size)
+
+    p = sub.add_parser("pde", help="PDE breakdown of a benchmark")
+    p.add_argument("benchmark", nargs="?", default="hotspot")
+    p.add_argument("--cycles", type=int, default=3000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_pde)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""System configuration (Table I of the paper).
+
+The example GPU is modeled after NVIDIA Fermi: 16 streaming multiprocessors
+(SMs) sharing one L2 cache and off-chip DRAM.  Voltage stacking partitions
+the 16 SMs into a 4x4 array: four stack *layers* of four SMs each, with a
+single 4.1 V supply at the board.  The dataclasses below carry every row of
+Table I plus the handful of derived quantities (layer/column indexing, die
+area, nominal power envelope) that the rest of the library needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Architectural configuration of the example Fermi-class GPU (Table I)."""
+
+    num_sms: int = 16
+    sm_clock_hz: float = 700e6
+    threads_per_sm: int = 1536
+    threads_per_warp: int = 32
+    registers_per_sm_kb: int = 128
+    shared_memory_kb: int = 48
+    memory_channels: int = 6
+    memory_bandwidth_gbs: float = 179.2
+    memory_controller: str = "FR-FCFS"
+    warp_scheduler: str = "GTO"
+    shader_cores_per_sm: int = 32
+    lsu_per_sm: int = 16
+    sfu_per_sm: int = 4
+    issue_width: int = 2
+    process_technology_nm: int = 40
+    die_area_mm2: float = 529.0
+
+    @property
+    def warps_per_sm_max(self) -> int:
+        """Maximum resident warps per SM (1536 threads / 32 threads-per-warp)."""
+        return self.threads_per_sm // self.threads_per_warp
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one SM clock cycle in seconds."""
+        return 1.0 / self.sm_clock_hz
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """Voltage-stacking partition of the GPU (Table I, lower half).
+
+    ``num_layers`` voltage domains are stacked in series between the board
+    supply and ground; each layer holds ``num_columns`` SMs.  SM numbering
+    follows the paper: SM1-SM4 sit in the top layer (VDD .. 3/4 VDD),
+    SM5-SM8 in the next (3/4 .. 2/4 VDD), and so on down to SM13-SM16 in
+    the bottom layer (1/4 VDD .. GND).  Layer index 0 is the *bottom* layer
+    in this library (its lower rail is ground), so the paper's SM13-16 live
+    in layer 0 and SM1-4 in layer ``num_layers - 1``.
+    """
+
+    num_layers: int = 4
+    num_columns: int = 4
+    board_voltage: float = 4.1
+    sm_voltage: float = 1.0
+    voltage_guardband: float = 0.2
+
+    @property
+    def num_sms(self) -> int:
+        return self.num_layers * self.num_columns
+
+    @property
+    def nominal_layer_voltage(self) -> float:
+        """Per-layer share of the board supply at perfect balance."""
+        return self.board_voltage / self.num_layers
+
+    @property
+    def min_safe_voltage(self) -> float:
+        """Lowest acceptable SM supply: nominal minus the guardband."""
+        return self.sm_voltage - self.voltage_guardband
+
+    def sm_index(self, layer: int, column: int) -> int:
+        """Flat SM index (0-based) for ``layer`` (0 = bottom) and ``column``."""
+        self._check(layer, column)
+        return layer * self.num_columns + column
+
+    def layer_column(self, sm_index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`sm_index`."""
+        if not 0 <= sm_index < self.num_sms:
+            raise ValueError(f"sm_index out of range: {sm_index}")
+        return divmod(sm_index, self.num_columns)[0], sm_index % self.num_columns
+
+    def paper_sm_number(self, layer: int, column: int) -> int:
+        """1-based SM number as printed in the paper (SM1 is top-layer)."""
+        self._check(layer, column)
+        layer_from_top = self.num_layers - 1 - layer
+        return layer_from_top * self.num_columns + column + 1
+
+    def sms_in_layer(self, layer: int) -> List[int]:
+        """Flat indices of all SMs in ``layer`` (0 = bottom)."""
+        if not 0 <= layer < self.num_layers:
+            raise ValueError(f"layer out of range: {layer}")
+        start = layer * self.num_columns
+        return list(range(start, start + self.num_columns))
+
+    def sms_in_column(self, column: int) -> List[int]:
+        """Flat indices of the vertically stacked SMs in ``column``."""
+        if not 0 <= column < self.num_columns:
+            raise ValueError(f"column out of range: {column}")
+        return [layer * self.num_columns + column for layer in range(self.num_layers)]
+
+    def _check(self, layer: int, column: int) -> None:
+        if not 0 <= layer < self.num_layers:
+            raise ValueError(f"layer out of range: {layer}")
+        if not 0 <= column < self.num_columns:
+            raise ValueError(f"column out of range: {column}")
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Power envelope of the SM grid.
+
+    The paper notes the SM grid accounts for 80 % of peak and 93 % of
+    average whole-GPU power; the Fermi-class part draws on the order of
+    130 W in the SM grid at peak.  ``sm_peak_power_w`` is the per-SM peak;
+    leakage is a fixed fraction of peak, the rest is activity-driven
+    dynamic power.
+    """
+
+    sm_peak_power_w: float = 8.0
+    leakage_fraction: float = 0.15
+    sm_grid_peak_fraction: float = 0.80
+    sm_grid_avg_fraction: float = 0.93
+
+    @property
+    def sm_leakage_power_w(self) -> float:
+        return self.sm_peak_power_w * self.leakage_fraction
+
+    @property
+    def sm_dynamic_peak_w(self) -> float:
+        return self.sm_peak_power_w - self.sm_leakage_power_w
+
+    def grid_peak_power_w(self, num_sms: int) -> float:
+        return self.sm_peak_power_w * num_sms
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Bundle of all Table I configuration used throughout the library."""
+
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    stack: StackConfig = field(default_factory=StackConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+
+    def __post_init__(self) -> None:
+        if self.stack.num_sms != self.gpu.num_sms:
+            raise ValueError(
+                f"stack holds {self.stack.num_sms} SMs but GPU has {self.gpu.num_sms}"
+            )
+
+
+DEFAULT_CONFIG = SystemConfig()

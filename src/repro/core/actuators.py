@@ -1,0 +1,181 @@
+"""Voltage-smoothing actuation mechanisms (Section IV-C).
+
+Fig. 5 surveys GPU power-actuation mechanisms by response time; only
+three are fast enough (<= tens of cycles) for the low-frequency noise
+band the architecture layer must cover:
+
+* **DIWS** — dynamic issue width scaling (reduce SM power);
+* **FII** — fake instruction injection (increase SM power);
+* **DCC** — dynamic current compensation through a binary-weighted
+  current DAC (increase layer current directly, at area/leakage cost).
+
+:class:`WeightedActuation` implements the weighted control input of
+eq. (9): a desired power adjustment is split across the three mechanisms
+by weights ``(w1, w2, w3)``, then each mechanism converts its share into
+its native command (issue width, fakes/cycle, DAC code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.gpu.isa import ENERGY, InstructionClass
+
+# ---------------------------------------------------------------------------
+# Fig. 5: response timescales (cycles at 700 MHz)
+# ---------------------------------------------------------------------------
+ACTUATION_TIMESCALES: Dict[str, tuple] = {
+    # mechanism: (min_cycles, max_cycles, usable_for_smoothing)
+    "dcc": (1, 4, True),
+    "fii": (1, 8, True),
+    "diws": (1, 10, True),
+    "thread_migration": (1_000, 100_000, False),
+    "power_gating": (1_000, 50_000, False),
+    "dfs": (100_000, 10_000_000, False),  # DPLL re-lock ~ms
+}
+
+
+def smoothing_capable() -> Dict[str, tuple]:
+    """Mechanisms fast enough for voltage smoothing (the paper's trio)."""
+    return {k: v for k, v in ACTUATION_TIMESCALES.items() if v[2]}
+
+
+@dataclass(frozen=True)
+class CurrentCompensationDAC:
+    """Binary-weighted current DAC for DCC (Section IV-C).
+
+    ``n_bits`` binary-weighted current sources; code 0..2^n-1 adds
+    ``code * unit_power_w`` of dummy load on the target layer within one
+    cycle.  Costs die area and leakage whenever deployed.
+    """
+
+    n_bits: int = 6
+    unit_power_w: float = 0.05  # LSB power Pd0
+    area_um2_per_bit: float = 450.0
+    leakage_w_per_bit: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        if self.unit_power_w <= 0:
+            raise ValueError("unit power must be positive")
+
+    @property
+    def max_code(self) -> int:
+        return 2**self.n_bits - 1
+
+    @property
+    def max_power_w(self) -> float:
+        return self.max_code * self.unit_power_w
+
+    @property
+    def area_um2(self) -> float:
+        return self.n_bits * self.area_um2_per_bit
+
+    @property
+    def leakage_w(self) -> float:
+        return self.n_bits * self.leakage_w_per_bit
+
+    def code_for_power(self, power_w: float) -> int:
+        """Closest DAC code delivering ``power_w`` (clamped)."""
+        if power_w <= 0:
+            return 0
+        return min(self.max_code, int(round(power_w / self.unit_power_w)))
+
+    def power_for_code(self, code: int) -> float:
+        if not 0 <= code <= self.max_code:
+            raise ValueError(f"code {code} outside 0..{self.max_code}")
+        return code * self.unit_power_w
+
+
+@dataclass(frozen=True)
+class ActuationCommand:
+    """Per-SM actuation outputs of one control decision."""
+
+    issue_width: float = 2.0  # DIWS command for the drooping SM
+    fake_rate: float = 0.0  # FII command for the neighbouring layer
+    dcc_code: int = 0  # DCC command for the neighbouring layer
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.issue_width <= 2.0:
+            raise ValueError(f"issue width out of range: {self.issue_width}")
+        if not 0.0 <= self.fake_rate <= 2.0:
+            raise ValueError(f"fake rate out of range: {self.fake_rate}")
+        if self.dcc_code < 0:
+            raise ValueError("dcc code cannot be negative")
+
+
+@dataclass(frozen=True)
+class WeightedActuation:
+    """The weighted control input of eq. (9).
+
+    ``w1 + w2 + w3`` need not be 1; each weight scales how much of the
+    proportional error its mechanism absorbs.  ``issue_width_max`` is the
+    hardware width; ``instruction_power_w`` approximates ``P_dyn,ins``
+    (the per-instruction dynamic power at full clock).
+    """
+
+    w1: float = 1.0  # DIWS
+    w2: float = 0.0  # FII
+    w3: float = 0.0  # DCC
+    dac: CurrentCompensationDAC = CurrentCompensationDAC()
+    issue_width_max: float = 2.0
+    instruction_power_w: float = ENERGY[InstructionClass.FALU] * 700e6
+
+    def __post_init__(self) -> None:
+        if min(self.w1, self.w2, self.w3) < 0:
+            raise ValueError("weights must be non-negative")
+        if self.w1 + self.w2 + self.w3 <= 0:
+            raise ValueError("at least one weight must be positive")
+
+    def commands(
+        self, error_v: float, k1: float, k2: float, k3: float
+    ) -> ActuationCommand:
+        """Map a voltage error (``V_nominal - V_sm``, volts) to commands.
+
+        Follows Algorithm 1: DIWS throttles the drooping SM by
+        ``k1 * w1 * error`` issue slots, FII raises the layer above by
+        ``k2 * w2 * error`` fakes/cycle, and DCC adds
+        ``k3 * w3 * error`` watts of compensation current.
+        """
+        if error_v <= 0:
+            return ActuationCommand(self.issue_width_max, 0.0, 0)
+        width = self.issue_width_max - k1 * self.w1 * error_v
+        fake = k2 * self.w2 * error_v
+        dcc_power = k3 * self.w3 * error_v
+        return ActuationCommand(
+            issue_width=min(self.issue_width_max, max(0.0, width)),
+            fake_rate=min(2.0, max(0.0, fake)),
+            dcc_code=self.dac.code_for_power(dcc_power),
+        )
+
+    def boost_commands(
+        self, overvoltage_v: float, k2: float, k3: float
+    ) -> ActuationCommand:
+        """Power-adding commands for an *underdrawing* layer.
+
+        Realizes eq. (6)'s ``P_i = k V_i`` on the high side: a layer
+        whose voltage sits above nominal draws proportionally more power
+        through FII / DCC, which is self-limiting (commands vanish as
+        the layer returns to nominal).
+        """
+        if overvoltage_v <= 0:
+            return ActuationCommand(self.issue_width_max, 0.0, 0)
+        fake = k2 * self.w2 * overvoltage_v
+        dcc_power = k3 * self.w3 * overvoltage_v
+        return ActuationCommand(
+            issue_width=self.issue_width_max,
+            fake_rate=min(2.0, max(0.0, fake)),
+            dcc_code=self.dac.code_for_power(dcc_power),
+        )
+
+    def power_effect_w(self, command: ActuationCommand) -> float:
+        """Approximate eq. (9): power the command adds (+) or sheds (-)."""
+        diws_drop = (
+            -(self.issue_width_max - command.issue_width)
+            * self.instruction_power_w
+        )
+        fii_add = command.fake_rate * self.instruction_power_w
+        dcc_add = self.dac.power_for_code(command.dcc_code)
+        return diws_drop + fii_add + dcc_add

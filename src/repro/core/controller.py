@@ -1,0 +1,242 @@
+"""Algorithm 1: the boundary-triggered voltage smoothing controller.
+
+Every control period the controller reads the filtered boundary-node
+voltages from the per-SM detectors, derives each SM's layer voltage
+``V_sm(i,j) = V(i,j) - V(i-1,j)``, and — only when an SM droops below
+``v_threshold`` — computes proportional actuation:
+
+* the drooping SM's issue width is cut by ``k1 * w1 * (V_nom - V_sm)``;
+* fake instructions at rate ``k2 * w2 * (V_nom - V_sm)`` are injected
+  into the SM *above* it in the stack (raising the neighbour layer's
+  current restores the series balance from the other side);
+* a DCC code worth ``k3 * w3 * (V_nom - V_sm)`` watts is applied near
+  the layer above.
+
+Commands take effect after the loop latency (detector + compute +
+actuate + wire delay), modeled by a delay queue.  When the SM recovers
+above the threshold its commands relax back to defaults.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import StackConfig
+from repro.core.actuators import ActuationCommand, WeightedActuation
+from repro.core.detectors import DETECTOR_OPTIONS, DetectorSpec, VoltageDetector
+from repro.core.overheads import control_latency_cycles
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of the Algorithm 1 controller."""
+
+    # Gains follow the sampled-stability analysis: the per-volt power
+    # response k_i * P_instr must stay below the 2C/T limit (~12 W/V at
+    # the 60-cycle loop), or the loop limit-cycles.
+    v_threshold: float = 0.9  # droop trigger voltage (Section VI-C default)
+    # Symmetric boost trigger: a layer voltage above this marks an
+    # underdrawing layer and engages FII/DCC on it directly.  Sits a bit
+    # beyond the droop threshold's mirror so ordinary workload variance
+    # does not burn fake-instruction power.
+    v_high_threshold: float = 1.15
+    v_nominal: float = 1.0
+    k1: float = 1.0  # DIWS proportional factor (issue slots per volt)
+    k2: float = 8.0  # FII proportional factor (fakes/cycle per volt)
+    k3: float = 20.0  # DCC proportional factor (watts per volt)
+    control_period_cycles: int = 4  # decision rate of the controller
+    # Maximum per-decision change of issue width / fake rate (slew
+    # limiting): abrupt full-swing actuation steps would ring the PDN's
+    # package resonance harder than the noise being fixed, and the slew
+    # bound also caps the overshoot accumulated during the loop latency
+    # (ramp <= slew * latency / period), which is what keeps the high
+    # FII gain stable.
+    slew_per_decision: float = 0.02
+    latency_cycles: Optional[int] = None  # None -> budget from overheads
+    detector: DetectorSpec = field(
+        default_factory=lambda: DETECTOR_OPTIONS["oddd"]
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.v_threshold <= self.v_nominal:
+            raise ValueError("need 0 < v_threshold <= v_nominal")
+        if self.v_high_threshold < self.v_nominal:
+            raise ValueError("v_high_threshold must be >= v_nominal")
+        if self.control_period_cycles <= 0:
+            raise ValueError("control period must be positive")
+        if min(self.k1, self.k2, self.k3) < 0:
+            raise ValueError("proportional factors must be non-negative")
+        if self.slew_per_decision <= 0:
+            raise ValueError("slew limit must be positive")
+
+    @property
+    def total_latency_cycles(self) -> int:
+        if self.latency_cycles is not None:
+            return self.latency_cycles
+        return control_latency_cycles(self.detector)
+
+
+@dataclass
+class ControlDecision:
+    """Per-GPU actuation computed by one controller invocation."""
+
+    issue_widths: np.ndarray  # per SM
+    fake_rates: np.ndarray  # per SM
+    dcc_powers_w: np.ndarray  # per SM (watts of compensation current)
+    triggered_sms: List[int] = field(default_factory=list)
+
+
+class VoltageSmoothingController:
+    """Algorithm 1 with detectors, latency pipeline and statistics."""
+
+    def __init__(
+        self,
+        stack: StackConfig = StackConfig(),
+        config: ControllerConfig = ControllerConfig(),
+        actuation: Optional[WeightedActuation] = None,
+        dt_s: float = 1.0 / 700e6,
+    ) -> None:
+        self.stack = stack
+        self.config = config
+        self.actuation = actuation or WeightedActuation()
+        self.dt_s = dt_s
+        self.detectors = [
+            VoltageDetector(config.detector, filter_initial_v=stack.sm_voltage)
+            for _ in range(stack.num_sms)
+        ]
+        # (apply_at_cycle, decision) queue modelling the loop latency.
+        self._pipeline: Deque[Tuple[int, ControlDecision]] = deque()
+        self._last_decision_cycle = -config.control_period_cycles
+        self.active_decision = self._default_decision()
+        self._last_enqueued = self._default_decision()
+        # Statistics for performance-penalty accounting.
+        self.throttled_cycles = 0
+        self.decisions_made = 0
+        self.triggers = 0
+
+    # ------------------------------------------------------------------
+    def _default_decision(self) -> ControlDecision:
+        n = self.stack.num_sms
+        return ControlDecision(
+            issue_widths=np.full(n, 2.0),
+            fake_rates=np.zeros(n),
+            dcc_powers_w=np.zeros(n),
+        )
+
+    def observe(self, cycle: int, sm_voltages: np.ndarray) -> None:
+        """Feed this cycle's true SM voltages through the detectors.
+
+        Runs the per-SM RC filters every cycle; makes a control decision
+        every ``control_period_cycles`` and enqueues it to apply after
+        the loop latency.
+        """
+        sm_voltages = np.asarray(sm_voltages, dtype=float)
+        if sm_voltages.shape != (self.stack.num_sms,):
+            raise ValueError(
+                f"expected {self.stack.num_sms} SM voltages, got "
+                f"{sm_voltages.shape}"
+            )
+        measured = np.array(
+            [
+                detector.sample(v, self.dt_s)
+                for detector, v in zip(self.detectors, sm_voltages)
+            ]
+        )
+        if cycle - self._last_decision_cycle < self.config.control_period_cycles:
+            return
+        self._last_decision_cycle = cycle
+        decision = self._decide(measured)
+        self._apply_slew_limit(decision)
+        self._last_enqueued = decision
+        self.decisions_made += 1
+        if decision.triggered_sms:
+            self.triggers += 1
+        self._pipeline.append(
+            (cycle + self.config.total_latency_cycles, decision)
+        )
+
+    def _decide(self, measured: np.ndarray) -> ControlDecision:
+        """The Algorithm 1 loop body over all (layer, column) positions.
+
+        Two symmetric boundary triggers implement eq. (6)'s
+        ``P_i = k V_i`` around the deadband:
+
+        * an SM below ``v_threshold`` is overdrawing — DIWS throttles it
+          proportionally to its droop;
+        * an SM above ``v_high_threshold`` is underdrawing — FII / DCC
+          raise its power proportionally to its overvoltage.  (In a
+          series stack the overvolted SM is exactly the ``SM(i+1, j)``
+          neighbour of a drooping SM that Algorithm 1 names as the
+          injection target; triggering on its own voltage keeps the
+          boost engaged until balance is actually restored instead of
+          releasing as soon as the drooping SM crosses back over its
+          threshold.)
+        """
+        cfg = self.config
+        decision = self._default_decision()
+        for sm in range(self.stack.num_sms):
+            v_sm = measured[sm]
+            if v_sm < cfg.v_threshold:
+                decision.triggered_sms.append(sm)
+                error = cfg.v_nominal - v_sm
+                command = self.actuation.commands(
+                    error, cfg.k1, cfg.k2, cfg.k3
+                )
+                decision.issue_widths[sm] = command.issue_width
+            elif v_sm > cfg.v_high_threshold:
+                decision.triggered_sms.append(sm)
+                boost = self.actuation.boost_commands(
+                    v_sm - cfg.v_nominal, cfg.k2, cfg.k3
+                )
+                decision.fake_rates[sm] = max(
+                    decision.fake_rates[sm], boost.fake_rate
+                )
+                decision.dcc_powers_w[sm] = max(
+                    decision.dcc_powers_w[sm],
+                    self.actuation.dac.power_for_code(boost.dcc_code),
+                )
+        return decision
+
+    def _apply_slew_limit(self, decision: ControlDecision) -> None:
+        """Clamp each command within +-slew of the last enqueued value."""
+        slew = self.config.slew_per_decision
+        previous = self._last_enqueued
+        np.clip(
+            decision.issue_widths,
+            previous.issue_widths - slew,
+            previous.issue_widths + slew,
+            out=decision.issue_widths,
+        )
+        np.clip(
+            decision.fake_rates,
+            previous.fake_rates - slew,
+            previous.fake_rates + slew,
+            out=decision.fake_rates,
+        )
+        np.clip(
+            decision.dcc_powers_w,
+            previous.dcc_powers_w - slew,
+            previous.dcc_powers_w + slew,
+            out=decision.dcc_powers_w,
+        )
+
+    def commands_for(self, cycle: int) -> ControlDecision:
+        """The actuation in force at ``cycle`` (after loop latency)."""
+        while self._pipeline and self._pipeline[0][0] <= cycle:
+            _, decision = self._pipeline.popleft()
+            self.active_decision = decision
+        if np.any(self.active_decision.issue_widths < 2.0):
+            self.throttled_cycles += 1
+        return self.active_decision
+
+    # ------------------------------------------------------------------
+    @property
+    def throttle_fraction(self) -> float:
+        """Fraction of decisions windows spent throttling (for Fig. 12)."""
+        if self.decisions_made == 0:
+            return 0.0
+        return self.triggers / self.decisions_made

@@ -1,0 +1,127 @@
+"""Front-end voltage detectors (Table II) and the RC anti-alias filter.
+
+A detector is placed next to every SM behind a first-order RC low-pass
+(10 kOhm / 2 pF, cutoff 1/(RC) = 50 Mrad/s) that strips the
+high-frequency noise the CR-IVRs already handle, then quantizes the
+filtered voltage at the device's resolution after its latency.
+
+Three implementation options from Table II are modeled: the on-die
+droop detector (ODDD), the critical path monitor (CPM), and a flash ADC.
+All satisfy the front-end requirements; they differ in latency, power
+and resolution, which feeds the controller-latency budget of
+``repro.core.overheads``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """One row of Table II."""
+
+    name: str
+    latency_cycles: int  # representative latency within the Table II range
+    latency_range_cycles: tuple
+    power_mw: float
+    power_range_mw: tuple
+    resolution_v: float
+    output: str
+
+    def __post_init__(self) -> None:
+        lo, hi = self.latency_range_cycles
+        if not lo <= self.latency_cycles <= hi:
+            raise ValueError(f"{self.name}: latency outside its own range")
+        if self.resolution_v <= 0:
+            raise ValueError(f"{self.name}: resolution must be positive")
+
+
+DETECTOR_OPTIONS: Dict[str, DetectorSpec] = {
+    "oddd": DetectorSpec(
+        name="ODDD",
+        latency_cycles=2,
+        latency_range_cycles=(1, 2),
+        power_mw=5.0,
+        power_range_mw=(0.0, 10.0),
+        resolution_v=0.015,
+        output="detect indicator",
+    ),
+    "cpm": DetectorSpec(
+        name="CPM",
+        latency_cycles=30,
+        latency_range_cycles=(10, 100),
+        power_mw=45.0,
+        power_range_mw=(30.0, 60.0),
+        resolution_v=0.05,
+        output="timing variation",
+    ),
+    "adc": DetectorSpec(
+        name="ADC",
+        latency_cycles=5,
+        latency_range_cycles=(1, 10),
+        power_mw=50.0,
+        power_range_mw=(10.0, 100.0),
+        resolution_v=1.0 / 2**8,  # 8-bit over a 1 V range
+        output="N-bit digital signal",
+    ),
+}
+
+
+class RCLowPassFilter:
+    """First-order RC filter ahead of each detector (Section IV-D1).
+
+    Default 10 kOhm and 2 pF: cutoff omega_c = 1/(RC) = 5e7 rad/s
+    (the paper's 50 M(rad/s) cutoff), occupying 1120 um^2.
+    """
+
+    AREA_UM2 = 1120.0
+
+    def __init__(
+        self, r_ohm: float = 10e3, c_farad: float = 2e-12, initial_v: float = 1.0
+    ) -> None:
+        if r_ohm <= 0 or c_farad <= 0:
+            raise ValueError("R and C must be positive")
+        self.r_ohm = r_ohm
+        self.c_farad = c_farad
+        self.state_v = initial_v
+
+    @property
+    def cutoff_rad_s(self) -> float:
+        return 1.0 / (self.r_ohm * self.c_farad)
+
+    def step(self, input_v: float, dt_s: float) -> float:
+        """Advance the filter by ``dt_s`` with the given input; return output."""
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        tau = self.r_ohm * self.c_farad
+        alpha = dt_s / (tau + dt_s)
+        self.state_v += alpha * (input_v - self.state_v)
+        return self.state_v
+
+    def reset(self, value_v: float) -> None:
+        self.state_v = value_v
+
+
+class VoltageDetector:
+    """A filtered, quantized, delayed voltage sensor for one SM."""
+
+    def __init__(
+        self,
+        spec: DetectorSpec = DETECTOR_OPTIONS["oddd"],
+        filter_initial_v: float = 1.0,
+    ) -> None:
+        self.spec = spec
+        self.filter = RCLowPassFilter(initial_v=filter_initial_v)
+
+    def sample(self, true_voltage_v: float, dt_s: float) -> float:
+        """Filter and quantize one voltage sample.
+
+        Latency is *not* applied here — the controller pipelines the
+        whole loop delay (detector + compute + actuate + wires) in one
+        place, per the paper's lumped-latency treatment.
+        """
+        filtered = self.filter.step(true_voltage_v, dt_s)
+        step = self.spec.resolution_v
+        return round(filtered / step) * step

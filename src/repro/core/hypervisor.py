@@ -1,0 +1,155 @@
+"""Algorithm 2: the VS-aware power management hypervisor.
+
+Higher-level power optimizations (DFS, power gating) issue per-SM
+frequency and gating commands that are oblivious to voltage stacking.
+Applied raw, they can create large *sustained* layer-current imbalance —
+safe (the controller still bounds the noise) but wasteful, since the
+CR-IVRs burn a slice of every shuffled watt and the smoothing controller
+throttles performance.
+
+The hypervisor sits between the OS and the GPU (Fig. 7) and remaps the
+commands so the power difference across any stack column stays within a
+dynamically adjusted budget:
+
+* each SM's frequency is clamped to within ``f_threshold`` of the
+  slowest SM in its column (Algorithm 2's frequency rule);
+* a gating request is vetoed when it would push the column's leakage
+  imbalance beyond ``p_threshold``;
+* both thresholds tighten when the smoothing controller reports heavy
+  throttling (the feedback noted at Algorithm 2 step 4) and relax when
+  smoothing is idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.config import StackConfig
+from repro.gpu.isa import ExecUnit
+from repro.gpu.power import LEAKAGE_SHARE
+
+
+@dataclass
+class HypervisorConfig:
+    """Imbalance budgets of the VS-aware hypervisor."""
+
+    base_frequency_threshold_hz: float = 100e6  # max intra-column f spread
+    base_leakage_threshold_w: float = 0.5  # max intra-column leakage spread
+    # Threshold adaptation: full-throttle smoothing halves the budgets.
+    adaptation_strength: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_frequency_threshold_hz <= 0:
+            raise ValueError("frequency threshold must be positive")
+        if self.base_leakage_threshold_w <= 0:
+            raise ValueError("leakage threshold must be positive")
+        if not 0.0 <= self.adaptation_strength < 1.0:
+            raise ValueError("adaptation strength must be in [0,1)")
+
+
+class VSAwareHypervisor:
+    """Command-mapping layer between OS power management and the GPU."""
+
+    def __init__(
+        self,
+        stack: StackConfig = StackConfig(),
+        config: HypervisorConfig = HypervisorConfig(),
+        sm_leakage_w: float = 1.2,
+    ) -> None:
+        self.stack = stack
+        self.config = config
+        self.sm_leakage_w = sm_leakage_w
+        self._throttle_fraction = 0.0
+        self.frequency_overrides = 0
+        self.gating_vetoes = 0
+
+    # ------------------------------------------------------------------
+    # Threshold adaptation (Algorithm 2 step 4)
+    # ------------------------------------------------------------------
+    def update_performance_feedback(self, throttle_fraction: float) -> None:
+        """Report the smoothing controller's throttle fraction (0..1)."""
+        if not 0.0 <= throttle_fraction <= 1.0:
+            raise ValueError("throttle fraction must be in [0,1]")
+        self._throttle_fraction = throttle_fraction
+
+    @property
+    def frequency_threshold_hz(self) -> float:
+        shrink = 1.0 - self.config.adaptation_strength * self._throttle_fraction
+        return self.config.base_frequency_threshold_hz * shrink
+
+    @property
+    def leakage_threshold_w(self) -> float:
+        shrink = 1.0 - self.config.adaptation_strength * self._throttle_fraction
+        return self.config.base_leakage_threshold_w * shrink
+
+    # ------------------------------------------------------------------
+    # Command mapping
+    # ------------------------------------------------------------------
+    def map_frequencies(self, requested_hz: Sequence[float]) -> np.ndarray:
+        """Clamp per-SM frequency requests to the column budget.
+
+        Every SM is raised to at least
+        ``min(column frequencies) + threshold`` distance from its column
+        peers: i.e. the spread within a column is capped at the
+        threshold by *raising* the slow SMs (Algorithm 2 raises
+        frequency rather than lowering the fast SM, preserving the
+        performance target of the optimization that asked for it).
+        """
+        requested = np.asarray(requested_hz, dtype=float)
+        if requested.shape != (self.stack.num_sms,):
+            raise ValueError(
+                f"expected {self.stack.num_sms} frequencies, got {requested.shape}"
+            )
+        if np.any(requested <= 0):
+            raise ValueError("frequencies must be positive")
+        mapped = requested.copy()
+        threshold = self.frequency_threshold_hz
+        for column in range(self.stack.num_columns):
+            sms = self.stack.sms_in_column(column)
+            fastest = max(mapped[sm] for sm in sms)
+            floor = fastest - threshold
+            for sm in sms:
+                if mapped[sm] < floor:
+                    mapped[sm] = floor
+                    self.frequency_overrides += 1
+        return mapped
+
+    def map_gating(
+        self, requested_gates: Sequence[Set[ExecUnit]]
+    ) -> List[Set[ExecUnit]]:
+        """Veto gating requests that unbalance column leakage.
+
+        ``requested_gates[sm]`` is the set of units PG wants gated in
+        that SM.  Requests are granted greedily per column, most
+        leakage-saving first, until the column's leakage spread would
+        exceed the budget; the rest are vetoed (``gate' = 0``).
+        """
+        if len(requested_gates) != self.stack.num_sms:
+            raise ValueError(
+                f"expected {self.stack.num_sms} gate sets, got "
+                f"{len(requested_gates)}"
+            )
+        granted: List[Set[ExecUnit]] = [set() for _ in range(self.stack.num_sms)]
+        threshold = self.leakage_threshold_w
+        for column in range(self.stack.num_columns):
+            sms = self.stack.sms_in_column(column)
+            savings = {sm: 0.0 for sm in sms}
+            requests: List[Tuple[float, int, ExecUnit]] = []
+            for sm in sms:
+                for unit in requested_gates[sm]:
+                    saving = self.sm_leakage_w * LEAKAGE_SHARE[unit]
+                    requests.append((saving, sm, unit))
+            # Most saving first so vetoes cost the least.
+            for saving, sm, unit in sorted(requests, reverse=True):
+                candidate = dict(savings)
+                candidate[sm] += saving
+                spread = max(candidate.values()) - min(candidate.values())
+                if spread <= threshold:
+                    granted[sm].add(unit)
+                    savings = candidate
+                else:
+                    self.gating_vetoes += 1
+        return granted

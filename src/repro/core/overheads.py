@@ -1,0 +1,53 @@
+"""Controller implementation overheads (Section IV-D).
+
+The paper synthesizes the voltage-smoothing controller plus the sixteen
+per-SM instruction issue adjusters in TSMC 40 nm: 1.634 mW and 3084 um^2
+at the GPU's 700 MHz.  The total control latency budget sums detector
+response, controller computation, actuation delay, and the round-trip
+Elmore wire delay between the detectors/actuators and the centrally
+placed controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detectors import DETECTOR_OPTIONS, DetectorSpec, RCLowPassFilter
+
+
+@dataclass(frozen=True)
+class ControllerOverheads:
+    """Synthesized cost of the smoothing controller (paper constants)."""
+
+    # Synopsys DC, TSMC 40 nm, controller + 16 issue adjusters @ 700 MHz.
+    power_w: float = 1.634e-3
+    area_um2: float = 3084.0
+    computation_cycles: int = 12
+    actuation_cycles: int = 2
+    # Round-trip tapered-buffer Elmore delay, controller at die centre.
+    communication_cycles: int = 44
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 * 1e-6
+
+    def total_area_um2(self, num_sms: int = 16) -> float:
+        """Controller plus the per-SM RC filters."""
+        return self.area_um2 + num_sms * RCLowPassFilter.AREA_UM2
+
+
+def control_latency_cycles(
+    detector: DetectorSpec = DETECTOR_OPTIONS["oddd"],
+    overheads: ControllerOverheads = ControllerOverheads(),
+) -> int:
+    """Total loop latency: detector + compute + actuate + wires.
+
+    With the default ODDD detector this lands at the paper's 60-cycle
+    design point.
+    """
+    return (
+        detector.latency_cycles
+        + overheads.computation_cycles
+        + overheads.actuation_cycles
+        + overheads.communication_cycles
+    )

@@ -1,0 +1,150 @@
+"""Prior-art supply-noise mitigation baselines (Section II-C).
+
+The paper surveys three families of conventional (single-layer)
+mitigation schemes and argues none transfers to voltage stacking:
+
+* **checkpoint-recovery** — let emergencies happen, detect, roll back
+  and re-execute.  Fine for rare events; the sustained imbalance noise
+  of a VS system makes emergencies frequent and the rollback cost
+  explodes (:class:`CheckpointRecoveryModel` quantifies this);
+* **detection-throttle** — sense a droop and throttle processor
+  activity.  Conventional throttling is *global* (all cores slow
+  equally), which in a stack scales balance and imbalance by the same
+  factor: the droop shrinks only in proportion to the throttle depth
+  and can never be closed, so the guardband stays violated
+  (:class:`GlobalThrottleController` demonstrates this when swapped in
+  for Algorithm 1 in the co-simulator);
+* compiler/runtime code reshaping — out of scope here (needs real
+  code streams), discussed in DESIGN.md.
+
+Both baselines exist to be compared against the cross-layer controller
+in the ablation benchmark (`benchmarks/test_ablation_prior_art.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import StackConfig
+from repro.core.controller import ControlDecision
+
+
+@dataclass(frozen=True)
+class CheckpointRecoveryModel:
+    """Cost model of checkpoint/rollback noise tolerance.
+
+    An *emergency* is any cycle in which some SM's supply leaves the
+    guardband.  Each emergency rolls the machine back
+    ``rollback_cycles`` (restore + re-execute) and consecutive
+    emergencies within one rollback window collapse into one event.
+    """
+
+    emergency_threshold_v: float = 0.8
+    rollback_cycles: int = 1000
+    checkpoint_overhead: float = 0.02  # steady-state logging cost
+
+    def __post_init__(self) -> None:
+        if self.rollback_cycles <= 0:
+            raise ValueError("rollback cost must be positive")
+        if not 0 <= self.checkpoint_overhead < 1:
+            raise ValueError("overhead must be in [0,1)")
+
+    def count_emergencies(self, sm_voltages: np.ndarray) -> int:
+        """Distinct emergency events in a (cycles, sms) voltage record."""
+        sm_voltages = np.atleast_2d(np.asarray(sm_voltages, dtype=float))
+        emergency_cycles = np.flatnonzero(
+            (sm_voltages < self.emergency_threshold_v).any(axis=1)
+        )
+        if emergency_cycles.size == 0:
+            return 0
+        events = 1
+        last = emergency_cycles[0]
+        for cycle in emergency_cycles[1:]:
+            if cycle - last >= self.rollback_cycles:
+                events += 1
+                last = cycle
+        return events
+
+    def effective_slowdown(self, sm_voltages: np.ndarray) -> float:
+        """Execution-time inflation factor from rollbacks + logging.
+
+        1.0 means no cost; 2.0 means the program takes twice as long.
+        """
+        sm_voltages = np.atleast_2d(np.asarray(sm_voltages, dtype=float))
+        cycles = sm_voltages.shape[0]
+        events = self.count_emergencies(sm_voltages)
+        wasted = events * self.rollback_cycles
+        return (1.0 + self.checkpoint_overhead) * (1.0 + wasted / cycles)
+
+
+class GlobalThrottleController:
+    """Conventional detection-throttle, applied chip-wide.
+
+    Duck-type compatible with the co-simulator's controller interface
+    (``observe`` / ``commands_for`` / ``throttled_cycles``): when *any*
+    SM droops below the threshold, every SM's issue width is throttled
+    to ``throttle_width`` for ``hold_cycles``.  This is what a
+    single-layer scheme would do — and in a voltage stack it cannot
+    meet the guardband, because scaling all layer currents together
+    shrinks the *imbalance* (the actual noise source) only by the same
+    proportion it costs in performance.
+    """
+
+    def __init__(
+        self,
+        stack: StackConfig = StackConfig(),
+        v_threshold: float = 0.9,
+        throttle_width: float = 1.0,
+        hold_cycles: int = 100,
+        latency_cycles: int = 60,
+    ) -> None:
+        if not 0 < v_threshold <= 1.2:
+            raise ValueError("bad threshold")
+        if not 0 <= throttle_width <= 2.0:
+            raise ValueError("bad throttle width")
+        self.stack = stack
+        self.v_threshold = v_threshold
+        self.throttle_width = throttle_width
+        self.hold_cycles = hold_cycles
+        self.latency_cycles = latency_cycles
+        self._throttle_until = -1
+        self._pending_trigger: Optional[int] = None
+        self.throttled_cycles = 0
+        self.triggers = 0
+        self.decisions_made = 0
+
+    def observe(self, cycle: int, sm_voltages: np.ndarray) -> None:
+        sm_voltages = np.asarray(sm_voltages, dtype=float)
+        if sm_voltages.shape != (self.stack.num_sms,):
+            raise ValueError(
+                f"expected {self.stack.num_sms} SM voltages"
+            )
+        self.decisions_made += 1
+        if self._pending_trigger is None and float(sm_voltages.min()) < self.v_threshold:
+            self._pending_trigger = cycle + self.latency_cycles
+            self.triggers += 1
+
+    def commands_for(self, cycle: int) -> ControlDecision:
+        if self._pending_trigger is not None and cycle >= self._pending_trigger:
+            self._throttle_until = cycle + self.hold_cycles
+            self._pending_trigger = None
+        n = self.stack.num_sms
+        throttling = cycle < self._throttle_until
+        if throttling:
+            self.throttled_cycles += 1
+        width = self.throttle_width if throttling else 2.0
+        return ControlDecision(
+            issue_widths=np.full(n, width),
+            fake_rates=np.zeros(n),
+            dcc_powers_w=np.zeros(n),
+            triggered_sms=list(range(n)) if throttling else [],
+        )
+
+    @property
+    def throttle_fraction(self) -> float:
+        if self.decisions_made == 0:
+            return 0.0
+        return self.triggers / self.decisions_made

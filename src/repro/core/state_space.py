@@ -1,0 +1,199 @@
+"""Linear dynamic model of the stacked power grid (Section IV-A).
+
+One stack column is modeled by the boundary-node voltages
+``X = [V1 .. V_{N-1}, V_N]`` (``V_N`` pinned to VDD by the supply), each
+boundary backed by capacitance ``C``.  Layer ``i`` (between nodes ``i``
+and ``i-1``) draws current ``I_i = P_i / (V_i - V_{i-1})``; linearizing
+around the balanced equilibrium ``V_i = i * VDD / N`` gives the paper's
+eq. (4)/(5) form::
+
+    Xdot = A X + B U + dF
+
+with ``A = 0`` (the grid is a pure integrator bank), ``U = [P1..PN]``
+the per-layer SM powers (the control input), and ``dF`` the current
+disturbance.  ``B`` is banded: node ``i`` integrates
+``(I_{i+1} - I_i)/C``, so ``B[i, i] = -1/C`` and ``B[i, i+1] = +1/C``.
+(The matrix as typeset in the paper's eq. (4) places every ``-1/C`` in
+the first column — a transcription slip; the banded form follows
+directly from eq. (1) and is what we implement.)
+
+Proportional state feedback ``U = K X`` with ``K = k I`` (eq. 6) yields
+the closed loop ``Xdot = (A + B K) X + dF`` (eq. 7), stable for every
+``k > 0``: each deviation decays as ``exp(-k t / C)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StackedGridModel:
+    """State-space model of one voltage-stack column.
+
+    ``cr_stamp_conductance_s`` optionally includes the column's CR-IVR in
+    the plant: each flying-cap position adds a ``[1, -2, 1]`` difference
+    conductance across three consecutive boundary nodes, entering the
+    state matrix as ``-(g/C) * w w^T`` — the circuit layer's contribution
+    to the cross-layer stability analysis.  With it at zero the model is
+    the paper's bare eq. (4) integrator bank.
+    """
+
+    num_layers: int = 4
+    layer_capacitance_f: float = 256e-9  # boundary-node capacitance
+    vdd: float = 4.0  # paper's Section IV uses the idealized 4 V supply
+    cr_stamp_conductance_s: float = 0.0  # per flying-cap position
+    load_conductance_s: float = 0.0  # small-signal SM conductance per layer
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 2:
+            raise ValueError("need at least two stacked layers")
+        if self.layer_capacitance_f <= 0:
+            raise ValueError("capacitance must be positive")
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.cr_stamp_conductance_s < 0:
+            raise ValueError("CR conductance cannot be negative")
+        if self.load_conductance_s < 0:
+            raise ValueError("load conductance cannot be negative")
+
+    @classmethod
+    def cross_layer_default(cls) -> "StackedGridModel":
+        """The analysis model of the paper's cross-layer design point.
+
+        Aggregates the four columns: 512 nF effective boundary storage
+        (local SM decaps plus the package/bulk capacitance reflected at
+        the controller's sub-MHz frequencies), the 0.2x-die CR-IVR's
+        15.9 S split over three ladder boundaries, and the 6 S total
+        small-signal load conductance per layer.
+        """
+        return cls(
+            layer_capacitance_f=512e-9,
+            cr_stamp_conductance_s=5.29,
+            load_conductance_s=6.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Matrices
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return self.num_layers  # V1..V_{N-1} plus the pinned V_N
+
+    def a_matrix(self) -> np.ndarray:
+        """State matrix.
+
+        Zero without a CR-IVR (pure integrators; V_N held by the
+        supply).  With ``cr_stamp_conductance_s`` set, the ladder's
+        flying-cap positions stamp their equalizing Laplacian, giving
+        the boundary nodes natural decay toward balance.
+        """
+        n = self.num_states
+        a = np.zeros((n, n))
+        c = self.layer_capacitance_f
+        g = self.cr_stamp_conductance_s
+        # Boundary nodes 0..n-1 are V1..V_N; virtual node -1 is ground
+        # (deviation 0) and node n-1 (V_N) is pinned by the supply.
+        if g > 0.0:
+            for centre in range(n - 1):  # flying cap centred at V1..V_{N-1}
+                trio = [centre + 1, centre, centre - 1]
+                weights = [1.0, -2.0, 1.0]
+                for i, wi in zip(trio, weights):
+                    if not 0 <= i < n - 1:  # skip ground and the pinned V_N
+                        continue
+                    for j, wj in zip(trio, weights):
+                        if not 0 <= j < n - 1:
+                            continue
+                        a[i, j] -= (g / c) * wi * wj
+        g_load = self.load_conductance_s
+        if g_load > 0.0:
+            # Each layer's SM conducts between its two boundary nodes:
+            # a [1, -1] stamp per layer.
+            for layer in range(self.num_layers):
+                duo = [layer, layer - 1]  # top node V_{layer+1} is index layer
+                weights = [1.0, -1.0]
+                for i, wi in zip(duo, weights):
+                    if not 0 <= i < n - 1:
+                        continue
+                    for j, wj in zip(duo, weights):
+                        if not 0 <= j < n - 1:
+                            continue
+                        a[i, j] -= (g_load / c) * wi * wj
+        return a
+
+    def b_matrix(self) -> np.ndarray:
+        """Control-input matrix mapping layer powers to node-voltage rates."""
+        n = self.num_states
+        c = self.layer_capacitance_f
+        b = np.zeros((n, n))
+        for i in range(n - 1):  # interior boundary nodes V1..V_{N-1}
+            b[i, i] = -1.0 / c
+            b[i, i + 1] = 1.0 / c
+        # V_N row stays zero: the supply pins it.
+        return b
+
+    def feedback_matrix(self, k: float) -> np.ndarray:
+        """K = k * I over the controllable states (eq. 6)."""
+        gain = np.eye(self.num_states) * k
+        gain[-1, -1] = 0.0  # V_N is not controlled
+        return gain
+
+    def closed_loop(self, k: float) -> np.ndarray:
+        """A + B K of eq. (7)."""
+        return self.a_matrix() + self.b_matrix() @ self.feedback_matrix(k)
+
+    # ------------------------------------------------------------------
+    # Equilibrium
+    # ------------------------------------------------------------------
+    def equilibrium(self) -> np.ndarray:
+        """Balanced operating point: V_i = i * VDD / N (eq. [1 2 3 4]')."""
+        step = self.vdd / self.num_layers
+        return step * np.arange(1, self.num_states + 1)
+
+    def layer_voltages(self, state: np.ndarray) -> np.ndarray:
+        """Per-layer voltages V_i - V_{i-1} from the node-voltage state."""
+        state = np.asarray(state, dtype=float)
+        if state.shape != (self.num_states,):
+            raise ValueError(
+                f"state must have {self.num_states} entries, got {state.shape}"
+            )
+        padded = np.concatenate([[0.0], state])
+        return np.diff(padded)
+
+    # ------------------------------------------------------------------
+    # Continuous-time simulation (for analysis; the co-simulator uses
+    # the full circuit model instead)
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        k: float,
+        dt: float,
+        steps: int,
+        disturbance: Optional[Callable[[float], np.ndarray]] = None,
+        x0: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Forward-Euler rollout of the closed loop around equilibrium.
+
+        ``disturbance(t)`` returns the dF vector (volts/second of state
+        drift, i.e. dI/C).  Returns (times, deviations) where deviations
+        has shape (steps+1, num_states) and is measured from equilibrium.
+        """
+        if dt <= 0 or steps <= 0:
+            raise ValueError("dt and steps must be positive")
+        closed = self.closed_loop(k)
+        x = np.zeros(self.num_states) if x0 is None else np.asarray(x0, float).copy()
+        times = dt * np.arange(steps + 1)
+        trajectory = np.zeros((steps + 1, self.num_states))
+        trajectory[0] = x
+        for n in range(steps):
+            drift = closed @ x
+            if disturbance is not None:
+                drift = drift + disturbance(times[n])
+            x = x + dt * drift
+            # V_N deviation is pinned to zero by the ideal supply.
+            x[-1] = 0.0
+            trajectory[n + 1] = x
+        return times, trajectory

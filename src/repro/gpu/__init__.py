@@ -1,0 +1,43 @@
+"""Simplified cycle-level Fermi-class GPU model (GPGPU-Sim substitute).
+
+The model reproduces the architectural behaviour the paper's control
+scheme interacts with:
+
+* per-SM dual-issue front end with a GTO warp scheduler and a register
+  scoreboard (so issue rates land in the paper's observed 0.8-1.8
+  warps/cycle band);
+* ALU / SFU / LSU execution blocks with per-class latencies;
+* a shared L2/DRAM memory model with hit/miss latencies and a global
+  bandwidth limit;
+* the two architectural actuation hooks the paper adds — dynamic issue
+  width scaling (DIWS, fractional widths via a down-counter window) and
+  fake instruction injection (FII) — plus per-SM frequency scaling and
+  execution-unit power gating for the collaborative power-management
+  studies;
+* a GPUWattch-style event power model emitting per-SM power every cycle.
+"""
+
+from repro.gpu.isa import InstructionClass, Instruction, UNIT_FOR_CLASS
+from repro.gpu.kernels import KernelSpec, build_warps
+from repro.gpu.warp import Warp, Scoreboard
+from repro.gpu.scheduler import GTOScheduler, GatingAwareScheduler
+from repro.gpu.memory import MemorySystem
+from repro.gpu.power import SMPowerModel
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.gpu import GPU
+
+__all__ = [
+    "GPU",
+    "GTOScheduler",
+    "GatingAwareScheduler",
+    "Instruction",
+    "InstructionClass",
+    "KernelSpec",
+    "MemorySystem",
+    "SMPowerModel",
+    "Scoreboard",
+    "StreamingMultiprocessor",
+    "UNIT_FOR_CLASS",
+    "Warp",
+    "build_warps",
+]

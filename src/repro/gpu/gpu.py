@@ -1,0 +1,138 @@
+"""The 16-SM GPU stepping in lockstep.
+
+All SMs run the same kernel (the SPMD execution model that motivates
+voltage stacking in a GPU), with per-SM seeds and optional jitter
+providing the realistic small activity mismatches that become layer
+current imbalance in the stack.  ``step()`` advances every SM one cycle
+and returns the per-SM power vector — the signal the PDN co-simulator
+converts to layer currents.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import GPUConfig, PowerConfig, StackConfig, SystemConfig
+from repro.gpu.kernels import KernelSpec
+from repro.gpu.memory import MemorySystem
+from repro.gpu.power import SMPowerModel
+from repro.gpu.scheduler import GatingAwareScheduler, GTOScheduler
+from repro.gpu.sm import StreamingMultiprocessor
+
+
+class GPU:
+    """A Fermi-class GPU: 16 SMs, shared memory system, per-cycle power."""
+
+    def __init__(
+        self,
+        kernel: KernelSpec,
+        config: SystemConfig = SystemConfig(),
+        seed: int = 0,
+        miss_ratio: float = 0.3,
+        jitter: float = 0.0,
+        gating_aware_scheduler: bool = False,
+    ) -> None:
+        self.config = config
+        self.kernel = kernel
+        self.memory = MemorySystem(miss_ratio=miss_ratio, seed=seed)
+        power_model = SMPowerModel(config.gpu, config.power)
+        self.sms: List[StreamingMultiprocessor] = []
+        for sm_id in range(config.gpu.num_sms):
+            scheduler = (
+                GatingAwareScheduler() if gating_aware_scheduler else GTOScheduler()
+            )
+            # SPMD: every SM runs the same instruction streams (same
+            # stream seed); only the jitter seed differs per SM.  SMs do
+            # not self-rearm — the GPU launches kernels at global
+            # barriers (below) so phase drift stays bounded.
+            self.sms.append(
+                StreamingMultiprocessor(
+                    sm_id,
+                    kernel,
+                    self.memory,
+                    power_model=power_model,
+                    seed=seed,
+                    jitter=jitter,
+                    scheduler=scheduler,
+                    jitter_seed=seed * 65_537 + sm_id + 1,
+                    rearm=False,
+                )
+            )
+        self.cycle = 0
+        self.kernels_launched = 1
+        self.kernel_launch_cycles = [0]
+        self._generation = 0
+        # SMs listed here do not block the kernel-launch barrier (used
+        # to model halted/powered-off SMs in worst-case experiments).
+        self.barrier_exempt: set = set()
+
+    @property
+    def num_sms(self) -> int:
+        return len(self.sms)
+
+    def step(self) -> np.ndarray:
+        """Advance one clock; return per-SM power (watts, flat SM order).
+
+        When every SM has drained its kernel instance, the next kernel
+        launches on all SMs simultaneously — the global barrier a real
+        kernel launch provides under the SPMD model.  SMs that finish
+        early idle at base power until the barrier (the tail imbalance
+        the per-SM jitter models).
+        """
+        if all(
+            sm.kernel_done or sm.sm_id in self.barrier_exempt
+            for sm in self.sms
+        ):
+            self._generation += 1
+            for sm in self.sms:
+                sm.start_new_kernel(self._generation)
+            self.kernels_launched += 1
+            self.kernel_launch_cycles.append(self.cycle)
+        powers = np.empty(self.num_sms)
+        for k, sm in enumerate(self.sms):
+            powers[k] = sm.step(self.cycle)
+        self.cycle += 1
+        return powers
+
+    def run(self, cycles: int) -> np.ndarray:
+        """Advance ``cycles`` clocks; return the (cycles, num_sms) trace."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        trace = np.empty((cycles, self.num_sms))
+        for step in range(cycles):
+            trace[step] = self.step()
+        return trace
+
+    # ------------------------------------------------------------------
+    # Actuation fan-out (used by the controller and the hypervisor)
+    # ------------------------------------------------------------------
+    def set_issue_widths(self, widths: Sequence[float]) -> None:
+        for sm, width in zip(self.sms, widths):
+            sm.set_issue_width(width)
+
+    def set_fake_rates(self, rates: Sequence[float]) -> None:
+        for sm, rate in zip(self.sms, rates):
+            sm.set_fake_rate(rate)
+
+    def set_frequency_scales(self, scales: Sequence[float]) -> None:
+        for sm, scale in zip(self.sms, scales):
+            sm.set_frequency_scale(scale)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def issue_rates(self) -> np.ndarray:
+        return np.array([sm.stats.issue_rate for sm in self.sms])
+
+    def total_instructions(self) -> int:
+        return sum(sm.stats.instructions_issued for sm in self.sms)
+
+    def total_fake_instructions(self) -> int:
+        return sum(sm.stats.fake_instructions for sm in self.sms)
+
+    def layer_powers(self, per_sm_power: np.ndarray) -> np.ndarray:
+        """Aggregate a per-SM power vector into per-layer totals."""
+        stack = self.config.stack
+        return per_sm_power.reshape(stack.num_layers, stack.num_columns).sum(axis=1)

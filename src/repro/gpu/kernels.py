@@ -1,0 +1,205 @@
+"""Kernel descriptions -> per-warp instruction streams.
+
+A :class:`KernelSpec` describes a GPU kernel statistically — instruction
+mix, memory intensity, dependence density, warp count, body length —
+and :func:`build_warps` expands it into concrete per-warp instruction
+streams with register dependencies.  All randomness flows through an
+explicit seed so every simulation is reproducible.
+
+The specs are how the twelve paper benchmarks are realized (see
+``repro.workloads.benchmarks``): each benchmark is a KernelSpec tuned to
+its published character (memory-bound BFS, SFU-heavy blackscholes,
+phase-structured backprop, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.gpu.isa import Instruction, InstructionClass
+from repro.gpu.warp import Warp
+
+# Register file window each warp cycles through; small enough to create
+# realistic read-after-write dependence chains.
+_NUM_REGS = 16
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Statistical description of a kernel's instruction stream.
+
+    ``mix`` maps instruction classes to relative frequencies (normalized
+    internally).  ``dependence`` in [0, 1] sets how often an instruction
+    reads the most recently written register (longer RAW chains -> lower
+    issue rate).  ``warps_per_sm`` and ``body_length`` set occupancy and
+    stream length; ``phase_period``/``phase_memory_boost`` overlay a
+    coarse compute/memory phase structure (cycles of alternating
+    behaviour, the source of low-frequency power swing).
+    """
+
+    name: str
+    mix: Dict[InstructionClass, float] = field(
+        default_factory=lambda: {
+            InstructionClass.FALU: 0.5,
+            InstructionClass.IALU: 0.3,
+            InstructionClass.LOAD: 0.15,
+            InstructionClass.STORE: 0.05,
+        }
+    )
+    dependence: float = 0.35
+    warps_per_sm: int = 12
+    body_length: int = 4000
+    phase_period: int = 0  # instructions per phase; 0 disables phases
+    phase_memory_boost: float = 0.0  # extra LOAD weight in memory phases
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise ValueError(f"kernel {self.name!r} has an empty mix")
+        if any(w < 0 for w in self.mix.values()):
+            raise ValueError(f"kernel {self.name!r} has negative mix weights")
+        if sum(self.mix.values()) <= 0:
+            raise ValueError(f"kernel {self.name!r} mix sums to zero")
+        if not 0.0 <= self.dependence <= 1.0:
+            raise ValueError(f"dependence must be in [0,1], got {self.dependence}")
+        if self.warps_per_sm <= 0:
+            raise ValueError(f"warps_per_sm must be positive")
+        if self.body_length <= 0:
+            raise ValueError(f"body_length must be positive")
+
+
+def _sample_stream(
+    spec: KernelSpec, rng: np.random.Generator, length: int
+) -> List[Instruction]:
+    """Draw one instruction stream from the spec's statistics.
+
+    All random draws are vectorized — streams run to thousands of
+    instructions and this is the hot path of GPU construction.
+    """
+    classes = list(spec.mix.keys())
+    weights = np.array([spec.mix[c] for c in classes], dtype=float)
+    base_probs = weights / weights.sum()
+
+    # Per-position class probabilities (two alternating phase profiles).
+    positions = np.arange(length)
+    if spec.phase_period > 0 and spec.phase_memory_boost > 0:
+        boosted = np.array(
+            [
+                spec.mix[c]
+                + (spec.phase_memory_boost if c is InstructionClass.LOAD else 0.0)
+                for c in classes
+            ]
+        )
+        boosted = boosted / boosted.sum()
+        in_memory_phase = (positions // spec.phase_period) % 2 == 1
+    else:
+        boosted = base_probs
+        in_memory_phase = np.zeros(length, dtype=bool)
+
+    uniform = rng.random(length)
+    cum_base = np.cumsum(base_probs)
+    cum_boost = np.cumsum(boosted)
+    idx_base = np.searchsorted(cum_base, uniform, side="right")
+    idx_boost = np.searchsorted(cum_boost, uniform, side="right")
+    op_indices = np.where(in_memory_phase, idx_boost, idx_base)
+    op_indices = np.clip(op_indices, 0, len(classes) - 1)
+
+    use_chain = rng.random(length) < spec.dependence
+    random_src1 = rng.integers(0, _NUM_REGS, size=length)
+    add_src2 = rng.random(length) < 0.5
+    random_src2 = rng.integers(0, _NUM_REGS, size=length)
+
+    stream: List[Instruction] = []
+    last_dest = -1
+    next_reg = 0
+    for position in range(length):
+        op = classes[op_indices[position]]
+        dest = next_reg
+        next_reg = (next_reg + 1) % _NUM_REGS
+        src1 = (
+            last_dest
+            if (last_dest >= 0 and use_chain[position])
+            else int(random_src1[position])
+        )
+        srcs = (
+            (src1, int(random_src2[position])) if add_src2[position] else (src1,)
+        )
+        if op is InstructionClass.STORE or op is InstructionClass.BRANCH:
+            dest = -1
+        stream.append(Instruction(op, dest, srcs))
+        if dest >= 0:
+            last_dest = dest
+    return stream
+
+
+# Cache of generated base streams: under SPMD all 16 SMs request the
+# same (spec, seed) streams, so generation runs once per GPU, not per SM.
+_STREAM_CACHE: dict = {}
+_STREAM_CACHE_LIMIT = 64
+
+
+def _spec_cache_key(spec: KernelSpec, seed: int, count: int) -> tuple:
+    return (
+        spec.name,
+        tuple(sorted((c.value, w) for c, w in spec.mix.items())),
+        spec.dependence,
+        spec.body_length,
+        spec.phase_period,
+        spec.phase_memory_boost,
+        seed,
+        count,
+    )
+
+
+def _base_streams(
+    spec: KernelSpec, seed: int, count: int
+) -> List[List[Instruction]]:
+    key = _spec_cache_key(spec, seed, count)
+    cached = _STREAM_CACHE.get(key)
+    if cached is None:
+        rng = np.random.default_rng(seed)
+        cached = [_sample_stream(spec, rng, spec.body_length) for _ in range(count)]
+        if len(_STREAM_CACHE) >= _STREAM_CACHE_LIMIT:
+            _STREAM_CACHE.clear()
+        _STREAM_CACHE[key] = cached
+    return cached
+
+
+def build_warps(
+    spec: KernelSpec,
+    seed: int,
+    num_warps: Optional[int] = None,
+    jitter: float = 0.0,
+    jitter_seed: Optional[int] = None,
+) -> List[Warp]:
+    """Materialize the kernel's warps for one SM.
+
+    ``seed`` draws the instruction streams; under the SPMD execution
+    model every SM passes the *same* seed so all SMs run identical code
+    (the balance property that motivates GPU voltage stacking).
+
+    ``jitter`` in [0, 1) perturbs each warp's stream length, modelling
+    per-SM thread-block tail imbalance; it draws from ``jitter_seed``
+    (unique per SM) so SMs diverge only in workload tails, not code.
+    """
+    if jitter < 0 or jitter >= 1:
+        raise ValueError(f"jitter must be in [0,1), got {jitter}")
+    jitter_rng = np.random.default_rng(seed if jitter_seed is None else jitter_seed)
+    count = num_warps if num_warps is not None else spec.warps_per_sm
+    base = _base_streams(spec, seed, count)
+    warps: List[Warp] = []
+    for warp_id in range(count):
+        stream = base[warp_id]
+        if jitter > 0:
+            scale = 1.0 + jitter * float(jitter_rng.uniform(-1.0, 1.0))
+            length = max(1, int(round(spec.body_length * scale)))
+            if length <= spec.body_length:
+                stream = stream[:length]
+            else:
+                stream = stream + stream[: length - spec.body_length]
+        else:
+            stream = list(stream)
+        warps.append(Warp(warp_id, stream))
+    return warps

@@ -1,0 +1,85 @@
+"""GPUWattch-substitute event power model.
+
+Per-cycle SM power = leakage (gateable per execution unit) + issue base
+activity + the energy of every instruction issued this cycle times the
+clock frequency.  Frequency scaling reduces dynamic power linearly (the
+paper's DFS masks clocks rather than scaling voltage, so power is
+proportional to f, not f^3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.config import GPUConfig, PowerConfig
+from repro.gpu.isa import ExecUnit, Instruction
+
+# Share of SM leakage attributable to each gateable execution block;
+# the rest (register file, fetch, L1) is ungateable.
+LEAKAGE_SHARE = {
+    ExecUnit.ALU: 0.30,
+    ExecUnit.SFU: 0.10,
+    ExecUnit.LSU: 0.15,
+}
+UNGATEABLE_LEAKAGE_SHARE = 1.0 - sum(LEAKAGE_SHARE.values())
+
+# Dynamic energy per cycle for clocking/fetch even with no issue (J).
+IDLE_DYNAMIC_ENERGY = 0.6e-9
+
+
+@dataclass
+class SMPowerModel:
+    """Converts issue events into per-cycle SM power (watts)."""
+
+    gpu: GPUConfig = GPUConfig()
+    power: PowerConfig = PowerConfig()
+
+    def leakage_w(self, gated_units: Iterable[ExecUnit] = ()) -> float:
+        """Static power with the given execution units power-gated."""
+        total = self.power.sm_leakage_power_w
+        gated = sum(LEAKAGE_SHARE[u] for u in set(gated_units))
+        return total * (1.0 - gated)
+
+    def cycle_power_w(
+        self,
+        issued: Iterable[Instruction],
+        frequency_scale: float = 1.0,
+        gated_units: Iterable[ExecUnit] = (),
+    ) -> float:
+        """Total SM power for one cycle with all issue energy up front.
+
+        ``issued`` are the instructions dispatched this cycle (0-2 plus
+        fakes); ``frequency_scale`` is f/f_nominal from DFS.
+        """
+        return self.cycle_power_from_energy(
+            sum(i.energy for i in issued), frequency_scale, gated_units
+        )
+
+    def cycle_power_from_energy(
+        self,
+        dynamic_energy_j: float,
+        frequency_scale: float = 1.0,
+        gated_units: Iterable[ExecUnit] = (),
+    ) -> float:
+        """Total SM power for one cycle given its dynamic energy draw.
+
+        Used by the SM's energy wheel, which smears each instruction's
+        energy over its pipeline occupancy before calling this.
+        """
+        if frequency_scale < 0:
+            raise ValueError(f"frequency_scale must be >= 0, got {frequency_scale}")
+        f = self.gpu.sm_clock_hz * frequency_scale
+        energy = IDLE_DYNAMIC_ENERGY + dynamic_energy_j
+        return self.leakage_w(gated_units) + energy * f
+
+    @property
+    def peak_power_w(self) -> float:
+        """Sanity anchor: dual-issue of the hottest ops at full clock."""
+        from repro.gpu.isa import ENERGY, InstructionClass
+
+        hottest = max(ENERGY.values())
+        return (
+            self.leakage_w()
+            + (IDLE_DYNAMIC_ENERGY + 2 * hottest) * self.gpu.sm_clock_hz
+        )

@@ -1,0 +1,77 @@
+"""Warp schedulers: GTO (Table I) and the gating-aware two-level GATES.
+
+* :class:`GTOScheduler` — greedy-then-oldest: keep issuing from the warp
+  issued last as long as it stays ready, otherwise fall back to the
+  oldest ready warp.  The scheduler the paper's configuration uses.
+* :class:`GatingAwareScheduler` — the Warped-Gates-style two-level
+  scheduler (GATES): prefer warps whose next instruction targets an
+  execution unit that is already powered on, extending unit idle windows
+  so power gating can engage (Section V's PG study).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.gpu.isa import ExecUnit
+from repro.gpu.warp import Warp
+
+
+class GTOScheduler:
+    """Greedy-then-oldest warp selection."""
+
+    def __init__(self) -> None:
+        self._last_warp_id: Optional[int] = None
+
+    def select(self, warps: List[Warp], cycle: int) -> Optional[Warp]:
+        """Pick the next warp to issue from, or ``None`` if none ready."""
+        ready = [w for w in warps if w.is_ready(cycle)]
+        if not ready:
+            return None
+        if self._last_warp_id is not None:
+            for warp in ready:
+                if warp.warp_id == self._last_warp_id:
+                    return warp
+        # Oldest = least progressed, ties broken by warp id.
+        chosen = min(ready, key=lambda w: (w.pc, w.warp_id))
+        self._last_warp_id = chosen.warp_id
+        return chosen
+
+    def issued(self, warp: Warp) -> None:
+        self._last_warp_id = warp.warp_id
+
+    def reset(self) -> None:
+        self._last_warp_id = None
+
+
+class GatingAwareScheduler(GTOScheduler):
+    """GATES: bias selection toward already-active execution units.
+
+    ``active_units`` is refreshed by the SM each cycle with the units
+    currently powered on; ready warps whose next instruction needs an
+    active unit are preferred, so gated units stay idle longer and the
+    break-even condition of power gating is met more often.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.active_units: Set[ExecUnit] = set(ExecUnit)
+
+    def set_active_units(self, units: Iterable[ExecUnit]) -> None:
+        self.active_units = set(units)
+
+    def select(self, warps: List[Warp], cycle: int) -> Optional[Warp]:
+        ready = [w for w in warps if w.is_ready(cycle)]
+        if not ready:
+            return None
+        preferred = [
+            w for w in ready if w.peek() is not None and w.peek().unit in self.active_units
+        ]
+        pool = preferred if preferred else ready
+        if self._last_warp_id is not None:
+            for warp in pool:
+                if warp.warp_id == self._last_warp_id:
+                    return warp
+        chosen = min(pool, key=lambda w: (w.pc, w.warp_id))
+        self._last_warp_id = chosen.warp_id
+        return chosen

@@ -1,0 +1,102 @@
+"""Warp state and the register scoreboard.
+
+A :class:`Warp` owns a linear instruction stream (kernels unroll loops
+when the stream is built) and a per-warp :class:`Scoreboard` mapping
+register ids to the cycle their pending write completes.  A warp is
+*ready* when its next instruction's sources and destination are free —
+the check the paper's issue path performs before dispatch ("only when
+the warp is marked ready in the scoreboard can it be issued").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpu.isa import Instruction
+
+# Sentinel meaning "pending on an unresolved memory access".
+PENDING_MEMORY = -1
+
+
+class Scoreboard:
+    """Register -> ready-cycle map for one warp."""
+
+    def __init__(self) -> None:
+        self._ready_at: Dict[int, int] = {}
+
+    def is_ready(self, reg: int, cycle: int) -> bool:
+        ready = self._ready_at.get(reg)
+        if ready is None:
+            return True
+        if ready == PENDING_MEMORY:
+            return False
+        return cycle >= ready
+
+    def mark_pending(self, reg: int, ready_cycle: int) -> None:
+        """Record a write to ``reg`` completing at ``ready_cycle``.
+
+        ``PENDING_MEMORY`` marks an unresolved memory access; it is
+        released explicitly by :meth:`release`.
+        """
+        if reg < 0:
+            return
+        self._ready_at[reg] = ready_cycle
+
+    def release(self, reg: int, cycle: int) -> None:
+        """Resolve a memory-pending register at ``cycle``."""
+        if self._ready_at.get(reg) == PENDING_MEMORY:
+            self._ready_at[reg] = cycle
+
+    def pending_count(self, cycle: int) -> int:
+        return sum(
+            1
+            for ready in self._ready_at.values()
+            if ready == PENDING_MEMORY or ready > cycle
+        )
+
+
+@dataclass
+class Warp:
+    """One warp's execution state within an SM."""
+
+    warp_id: int
+    instructions: List[Instruction]
+    pc: int = 0
+    scoreboard: Scoreboard = field(default_factory=Scoreboard)
+    last_issue_cycle: int = -1
+    # Registers whose loads are in flight (for release on completion).
+    outstanding_loads: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.instructions)
+
+    def peek(self) -> Optional[Instruction]:
+        if self.done:
+            return None
+        return self.instructions[self.pc]
+
+    def is_ready(self, cycle: int) -> bool:
+        """Can the next instruction issue this cycle?"""
+        instruction = self.peek()
+        if instruction is None:
+            return False
+        board = self.scoreboard
+        if not board.is_ready(instruction.dest, cycle):
+            return False
+        return all(board.is_ready(reg, cycle) for reg in instruction.srcs)
+
+    def advance(self, cycle: int) -> Instruction:
+        """Issue the next instruction (caller must have checked readiness)."""
+        instruction = self.instructions[self.pc]
+        self.pc += 1
+        self.last_issue_cycle = cycle
+        return instruction
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the stream retired (0..1)."""
+        if not self.instructions:
+            return 1.0
+        return self.pc / len(self.instructions)

@@ -1,0 +1,150 @@
+"""CR-IVR die-area sizing — the 912 mm^2 vs 105.8 mm^2 story (Table III).
+
+Sizing logic (Section III-C and Section IV):
+
+* The guardband condition requires the worst-case voltage droop to stay
+  within ``stack.voltage_guardband`` (0.2 V).
+* **Circuit-only** voltage stacking must absorb the worst *sustained*
+  layer-current imbalance (a whole layer's SMs dropping to leakage while
+  the others run at peak) with the CR-IVR conductance alone — this is
+  what blows the area up to ~1.7x the GPU die.
+* **Cross-layer** voltage stacking lets the architectural controller
+  remove the sustained component within its control latency; the CR-IVR
+  then only bridges (a) the imbalance transient during the latency
+  window and (b) the small high-frequency residue the controller cannot
+  reach.  Effective worst-case imbalance shrinks to
+  ``max(residual_fraction, latency / latency_horizon)`` of the sustained
+  worst case — an order of magnitude less area.
+
+The droop model is ``droop = I_eff / G_total`` with
+``G_total = G_crivr(area) + G_background``, where the background
+conductance is the PDN's own low-frequency residual path (measured from
+the impedance model, ~1/Z_R(DC)), and droop saturates at the nominal
+layer voltage (the rail cannot swing below zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import PowerConfig, StackConfig
+from repro.pdn.parameters import DEFAULT_PDN, PDNParameters
+
+# Fraction of the worst-case sustained imbalance the architectural
+# controller cannot cancel (actuation granularity, FII availability).
+RESIDUAL_IMBALANCE_FRACTION = 0.08
+# Control latency (cycles) beyond which architectural smoothing no
+# longer reduces the effective imbalance the CR-IVR must carry.
+LATENCY_HORIZON_CYCLES = 420.0
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Analytic worst-case droop and CR-IVR area sizing."""
+
+    stack: StackConfig = StackConfig()
+    power: PowerConfig = PowerConfig()
+    params: PDNParameters = DEFAULT_PDN
+    # PDN residual path at DC: 1 / Z_R(DC) of the unregulated network
+    # (the ~0.23 ohm plateau measured by the impedance analyzer).
+    background_conductance: float = 4.35  # S
+
+    # ------------------------------------------------------------------
+    # Worst-case imbalance
+    # ------------------------------------------------------------------
+    @property
+    def worst_sustained_imbalance_a(self) -> float:
+        """Worst sustained layer-current imbalance (amps).
+
+        One whole layer drops from peak activity to leakage-only while
+        its stack neighbours stay at peak: the CR-IVRs must reroute the
+        difference.
+        """
+        per_sm = self.power.sm_dynamic_peak_w / self.stack.sm_voltage
+        return self.stack.num_columns * per_sm
+
+    def effective_imbalance_a(self, control_latency_cycles: Optional[float]) -> float:
+        """Worst imbalance the CR-IVR must carry.
+
+        ``None`` means no architectural control (circuit-only).
+        """
+        worst = self.worst_sustained_imbalance_a
+        if control_latency_cycles is None:
+            return worst
+        if control_latency_cycles < 0:
+            raise ValueError("control latency cannot be negative")
+        fraction = max(
+            RESIDUAL_IMBALANCE_FRACTION,
+            control_latency_cycles / LATENCY_HORIZON_CYCLES,
+        )
+        return worst * min(1.0, fraction)
+
+    # ------------------------------------------------------------------
+    # Droop model
+    # ------------------------------------------------------------------
+    def worst_droop_v(
+        self,
+        cr_ivr_area_mm2: float,
+        control_latency_cycles: Optional[float] = None,
+    ) -> float:
+        """Worst-case layer voltage droop for a given CR-IVR area.
+
+        Saturates at the nominal SM voltage — the rail cannot droop
+        below ground.
+        """
+        g_total = (
+            self.params.cr_conductance_for_area(cr_ivr_area_mm2)
+            + self.background_conductance
+        )
+        droop = self.effective_imbalance_a(control_latency_cycles) / g_total
+        return min(droop, self.stack.sm_voltage)
+
+    def worst_voltage_v(
+        self,
+        cr_ivr_area_mm2: float,
+        control_latency_cycles: Optional[float] = None,
+    ) -> float:
+        """Worst-case SM supply voltage (Fig. 10's y-axis)."""
+        return self.stack.sm_voltage - self.worst_droop_v(
+            cr_ivr_area_mm2, control_latency_cycles
+        )
+
+    # ------------------------------------------------------------------
+    # Sizing (inverse of the droop model)
+    # ------------------------------------------------------------------
+    def required_area_mm2(
+        self,
+        control_latency_cycles: Optional[float] = None,
+        droop_target_v: Optional[float] = None,
+    ) -> float:
+        """Minimum CR-IVR area meeting the guardband condition."""
+        target = (
+            droop_target_v
+            if droop_target_v is not None
+            else self.stack.voltage_guardband
+        )
+        if target <= 0:
+            raise ValueError(f"droop target must be positive, got {target}")
+        needed_g = self.effective_imbalance_a(control_latency_cycles) / target
+        extra_g = max(0.0, needed_g - self.background_conductance)
+        return self.params.cr_area_for_conductance(extra_g)
+
+
+def required_cr_ivr_area(
+    cross_layer: bool,
+    control_latency_cycles: float = 60.0,
+    stack: StackConfig = StackConfig(),
+    power: PowerConfig = PowerConfig(),
+    params: PDNParameters = DEFAULT_PDN,
+) -> float:
+    """Convenience sizing entry point (square millimetres).
+
+    ``cross_layer=False`` sizes the circuit-only configuration (worst
+    sustained imbalance, no architectural help) — the paper's 912 mm^2.
+    ``cross_layer=True`` sizes with the smoothing controller at the given
+    latency — the paper's 105.8 mm^2 (0.2x the GPU die) at 60 cycles.
+    """
+    model = AreaModel(stack=stack, power=power, params=params)
+    latency = control_latency_cycles if cross_layer else None
+    return model.required_area_mm2(latency)

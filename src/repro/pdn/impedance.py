@@ -1,0 +1,226 @@
+"""Effective impedance analysis of the voltage-stacked PDN (Fig. 3).
+
+The paper characterizes supply reliability by decomposing an arbitrary
+per-SM load-current vector into three orthogonal components and measuring
+the network's impedance to each:
+
+* **global** (``Z_G``) — the all-SM mean: every SM loaded identically.
+  Behaves like the single-layer PDS impedance and produces the classic
+  package-inductance/on-chip-decap resonance peak (~70 MHz here).
+* **stack** (``Z_ST``) — per-column mean minus the global mean: one
+  vertical stack loaded more than its neighbours.
+* **residual** (``Z_R``) — what remains: *current imbalance between SMs
+  in the same stack*.  This component sees a high impedance plateau from
+  DC through the low-MHz range — the dominant worst-case noise source in
+  voltage stacking, and the reason the paper adds architectural control.
+
+Effective impedance is reported per-SM: apply the unit stimulus pattern,
+observe the voltage deviation *across one SM* (its top minus bottom
+rail), take the magnitude.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits import ACAnalysis
+from repro.circuits.ac import log_frequency_grid
+from repro.pdn.builder import StackedPDN
+
+
+class StimulusKind(enum.Enum):
+    """Which orthogonal current component excites the network."""
+
+    GLOBAL = "global"
+    STACK = "stack"
+    RESIDUAL = "residual"
+
+
+def decompose_currents(
+    per_sm: np.ndarray, num_layers: int, num_columns: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a per-SM current vector into global/stack/residual components.
+
+    ``per_sm`` is flat in layer-major order (layer 0 = bottom).  The
+    three returned vectors sum to the input exactly.
+    """
+    per_sm = np.asarray(per_sm, dtype=float)
+    if per_sm.shape != (num_layers * num_columns,):
+        raise ValueError(
+            f"expected {num_layers * num_columns} per-SM entries, "
+            f"got shape {per_sm.shape}"
+        )
+    grid = per_sm.reshape(num_layers, num_columns)
+    global_mean = float(grid.mean())
+    global_part = np.full_like(grid, global_mean)
+    column_means = grid.mean(axis=0, keepdims=True)
+    stack_part = np.broadcast_to(column_means - global_mean, grid.shape)
+    residual = grid - global_part - stack_part
+    return (
+        global_part.reshape(-1).copy(),
+        np.asarray(stack_part).reshape(-1).copy(),
+        residual.reshape(-1),
+    )
+
+
+class ImpedanceAnalyzer:
+    """Frequency-domain effective impedances of a stacked PDN."""
+
+    def __init__(self, pdn: StackedPDN) -> None:
+        self.pdn = pdn
+        self.stack = pdn.stack
+        self.ac = ACAnalysis(pdn.circuit)
+
+    # ------------------------------------------------------------------
+    # Stimulus patterns
+    # ------------------------------------------------------------------
+    def pattern(
+        self,
+        kind: StimulusKind,
+        column: int = 0,
+        sm: int = 0,
+    ) -> np.ndarray:
+        """Unit per-SM current pattern for ``kind``.
+
+        Patterns are normalized so the *stimulated* SM carries 1 A of its
+        component, making the reported impedances directly comparable.
+        """
+        n = self.stack.num_sms
+        if kind is StimulusKind.GLOBAL:
+            return np.ones(n)
+        if kind is StimulusKind.STACK:
+            raw = np.zeros(n)
+            for index in self.stack.sms_in_column(column):
+                raw[index] = 1.0
+            _, stack_part, _ = decompose_currents(
+                raw, self.stack.num_layers, self.stack.num_columns
+            )
+            peak = np.max(np.abs(stack_part))
+            return stack_part / peak
+        if kind is StimulusKind.RESIDUAL:
+            raw = np.zeros(n)
+            raw[sm] = 1.0
+            _, _, residual = decompose_currents(
+                raw, self.stack.num_layers, self.stack.num_columns
+            )
+            return residual / residual[sm]
+        raise ValueError(f"unknown stimulus kind: {kind}")
+
+    def injections(self, per_sm_amps: np.ndarray) -> Dict[str, complex]:
+        """AC injection map for a per-SM load-current pattern.
+
+        A load of +I across an SM pulls I out of its top rail and returns
+        it at its bottom rail.
+        """
+        injections: Dict[str, complex] = {}
+        for sm, amps in enumerate(per_sm_amps):
+            if amps == 0.0:
+                continue
+            top, bottom = self.pdn.sm_terminals(sm)
+            injections[top] = injections.get(top, 0.0) - complex(amps)
+            if bottom != "0":
+                injections[bottom] = injections.get(bottom, 0.0) + complex(amps)
+        return injections
+
+    # ------------------------------------------------------------------
+    # Effective impedances
+    # ------------------------------------------------------------------
+    def effective_impedance(
+        self,
+        frequency_hz: float,
+        kind: StimulusKind,
+        observe_sm: int = 0,
+        column: int = 0,
+        sm: int = 0,
+    ) -> complex:
+        """Complex effective impedance at one frequency.
+
+        The voltage deviation is observed across ``observe_sm``; the
+        stimulus is selected by ``kind`` (with ``column``/``sm`` choosing
+        which stack or SM is excited).
+        """
+        pattern = self.pattern(kind, column=column, sm=sm)
+        injections = self.injections(pattern)
+        top, bottom = self.pdn.sm_terminals(observe_sm)
+        return self.ac.transfer_impedance(frequency_hz, injections, top, bottom)
+
+    def sweep(
+        self,
+        frequencies_hz: Sequence[float],
+        kind: StimulusKind,
+        observe_sm: int = 0,
+        column: int = 0,
+        sm: int = 0,
+    ) -> np.ndarray:
+        """|Z_eff| across a frequency grid."""
+        return np.array(
+            [
+                abs(
+                    self.effective_impedance(
+                        f, kind, observe_sm=observe_sm, column=column, sm=sm
+                    )
+                )
+                for f in frequencies_hz
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 3 bundle and worst-case summary
+    # ------------------------------------------------------------------
+    def figure3_curves(
+        self,
+        frequencies_hz: Optional[Sequence[float]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """The four curves of Fig. 3 over ``frequencies_hz``.
+
+        Returns ``{"frequency", "z_global", "z_stack",
+        "z_residual_same_layer", "z_residual_diff_layer"}``.  The
+        residual stimulus excites the bottom-layer SM of column 0;
+        same-layer observes that SM itself, different-layer observes the
+        SM two layers above it in the same column.
+        """
+        if frequencies_hz is None:
+            frequencies_hz = log_frequency_grid(1e6, 5e8, points_per_decade=15)
+        frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+        stim_sm = self.stack.sm_index(0, 0)
+        diff_layer_sm = self.stack.sm_index(min(2, self.stack.num_layers - 1), 0)
+        return {
+            "frequency": frequencies_hz,
+            "z_global": self.sweep(
+                frequencies_hz, StimulusKind.GLOBAL, observe_sm=stim_sm
+            ),
+            "z_stack": self.sweep(
+                frequencies_hz, StimulusKind.STACK, observe_sm=stim_sm, column=0
+            ),
+            "z_residual_same_layer": self.sweep(
+                frequencies_hz, StimulusKind.RESIDUAL, observe_sm=stim_sm, sm=stim_sm
+            ),
+            "z_residual_diff_layer": self.sweep(
+                frequencies_hz,
+                StimulusKind.RESIDUAL,
+                observe_sm=diff_layer_sm,
+                sm=stim_sm,
+            ),
+        }
+
+    def worst_case_impedance(
+        self, frequencies_hz: Optional[Sequence[float]] = None
+    ) -> float:
+        """Maximum |Z_eff| over all stimulus kinds and frequencies.
+
+        This is the quantity the guardband condition bounds: with worst
+        current concentration ``I`` at the worst frequency, droop is
+        ``I * worst_case_impedance()``, which must stay inside the
+        voltage margin (Section III-C).
+        """
+        curves = self.figure3_curves(frequencies_hz)
+        return float(
+            max(
+                curves["z_global"].max(),
+                curves["z_stack"].max(),
+                curves["z_residual_same_layer"].max(),
+            )
+        )

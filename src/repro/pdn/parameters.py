@@ -1,0 +1,114 @@
+"""Lumped PDN element values and conversion-stage constants.
+
+The RLC values follow the GPUvolt-style lumped manycore model the paper
+cites: a board-level Thevenin source, package R+L, per-domain C4 bump R+L,
+an on-chip grid of link resistances, and per-SM decoupling capacitance
+with ESR.  Absolute values are *calibration constants*, chosen so the
+unregulated 4x4 voltage-stacked network reproduces the two impedance
+signatures that drive the paper (Fig. 3a):
+
+* a global resonance peak near 70 MHz (package/C4 inductance against the
+  series-stacked on-chip decap), peaking at a few tens of milliohms;
+* a residual (current-imbalance) impedance plateau of roughly
+  0.2-0.3 ohm from DC through the low-MHz range.
+
+Conversion-stage efficiencies are anchored to Table III: board VRM PDS
+~80 % total PDE, single-layer IVR PDS ~85 %, voltage stacking >92 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class PDNParameters:
+    """Every electrical constant of the power delivery models."""
+
+    # ------------------------------------------------------------------
+    # Shared board + package parasitics (both PDS topologies)
+    # ------------------------------------------------------------------
+    board_resistance: float = 0.1e-3  # ohm, PCB trace + connector
+    package_resistance: float = 0.2e-3  # ohm
+    package_inductance: float = 60e-12  # H
+    ground_return_resistance: float = 0.2e-3  # ohm
+    ground_return_inductance: float = 20e-12  # H
+
+    # ------------------------------------------------------------------
+    # C4 bump arrays (per stack column for VS, per SM for conventional)
+    # ------------------------------------------------------------------
+    c4_resistance: float = 0.4e-3  # ohm per bump group
+    c4_inductance: float = 5e-12  # H per bump group
+
+    # ------------------------------------------------------------------
+    # On-chip grid
+    # ------------------------------------------------------------------
+    link_resistance: float = 80e-3  # ohm between adjacent same-rail taps
+    sm_decap: float = 64e-9  # F per SM
+    sm_decap_esr: float = 20e-3  # ohm in series with each SM decap
+    # Small-signal conductance of an active SM (partial constant-current
+    # behaviour of digital logic: alpha * P / V^2 with alpha < 1).
+    sm_conductance: float = 1.5  # S
+
+    # ------------------------------------------------------------------
+    # Conversion stages (Table III anchors)
+    # ------------------------------------------------------------------
+    vrm_efficiency: float = 0.85  # board VRM, conventional PDS
+    ivr_efficiency: float = 0.90  # on-chip SC IVR, single-layer IVR PDS
+    ivr_input_voltage: float = 2.0  # V delivered on-chip before the IVR
+    # Light front-end conversion on the board feeding the on-chip IVR.
+    board_front_efficiency: float = 0.97
+    # Charge-recycling IVR: efficiency of shuffling imbalanced power
+    # between layers (conduction + switching + ripple losses).
+    cr_shuffle_efficiency: float = 0.60
+    cr_quiescent_power: float = 0.5  # W, bias + clocking of all sub-IVRs
+    # Level-shifted voltage-domain-crossing interfaces at the L2/memory
+    # ports (Section III-A), as a fraction of delivered power.
+    level_shifter_overhead: float = 0.01
+
+    # ------------------------------------------------------------------
+    # CR-IVR technology (area -> conductance)
+    # ------------------------------------------------------------------
+    cr_switching_frequency: float = 50e6  # Hz
+    # Flying-capacitance density after switch/routing overhead.  With the
+    # paper's 40 nm MIM process this calibrates the circuit-only sizing
+    # to the 912 mm^2 anchor (1.72x the 529 mm^2 GPU die).
+    cr_capacitance_density: float = 3.0e-9  # F per mm^2 usable as C_fly
+
+    # ------------------------------------------------------------------
+    # PDN resistance summaries used by the analytic efficiency models
+    # ------------------------------------------------------------------
+    @property
+    def series_resistance(self) -> float:
+        """Board-to-chip loop resistance (one-way + ground return)."""
+        return (
+            self.board_resistance
+            + self.package_resistance
+            + self.c4_resistance
+            + self.ground_return_resistance
+        )
+
+    def cr_conductance_for_area(self, area_mm2: float) -> float:
+        """Total charge-transfer conductance of CR-IVRs of ``area_mm2``.
+
+        Standard switched-capacitor averaging: G = f_sw * C_fly, with
+        C_fly proportional to allocated die area.
+        """
+        if area_mm2 < 0:
+            raise ValueError(f"area must be non-negative, got {area_mm2}")
+        return self.cr_switching_frequency * self.cr_capacitance_density * area_mm2
+
+    def cr_area_for_conductance(self, siemens: float) -> float:
+        """Inverse of :meth:`cr_conductance_for_area`."""
+        if siemens < 0:
+            raise ValueError(f"conductance must be non-negative, got {siemens}")
+        return siemens / (
+            self.cr_switching_frequency * self.cr_capacitance_density
+        )
+
+    def with_overrides(self, **kwargs) -> "PDNParameters":
+        """Copy with selected fields replaced (frozen-dataclass helper)."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_PDN = PDNParameters()

@@ -1,0 +1,25 @@
+"""Higher-level power optimization techniques (Section V / VI-D).
+
+Simplified versions of the two techniques the paper combines with
+voltage stacking to demonstrate collaborative power management:
+
+* :mod:`repro.power_mgmt.dfs` — the control-theoretic dynamic frequency
+  scaling strategy of GRAPE: 50 MHz steps, 4096-cycle decision periods,
+  clock masking as the actuation mechanism;
+* :mod:`repro.power_mgmt.power_gating` — the Warped-Gates strategy:
+  gating-aware two-level scheduling (GATES) plus the Blackout gating
+  scheme with idle-detect and break-even cycle accounting.
+"""
+
+from repro.power_mgmt.dfs import DFSConfig, GrapeDFSController
+from repro.power_mgmt.power_gating import (
+    PowerGatingConfig,
+    WarpedGatesController,
+)
+
+__all__ = [
+    "DFSConfig",
+    "GrapeDFSController",
+    "PowerGatingConfig",
+    "WarpedGatesController",
+]

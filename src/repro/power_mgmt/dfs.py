@@ -1,0 +1,107 @@
+"""GRAPE-style control-theoretic dynamic frequency scaling.
+
+Per the paper's methodology (Section V): the frequency scaling step is
+50 MHz, each decision period is 4096 cycles, and the dynamic frequency
+is implemented by masking clocks.  The controller finds the lowest
+per-SM frequency that still meets a performance target, re-deciding
+every period from measured instruction throughput:
+
+* below target -> step the SM's frequency up;
+* comfortably above target (with hysteresis) -> step it down.
+
+The resulting per-SM frequency requests are exactly what the VS-aware
+hypervisor (Algorithm 2) intercepts before they reach a voltage-stacked
+GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DFSConfig:
+    """GRAPE controller constants."""
+
+    nominal_frequency_hz: float = 700e6
+    min_frequency_hz: float = 200e6
+    step_hz: float = 50e6  # the paper's frequency scaling step
+    decision_period_cycles: int = 4096  # the paper's decision period
+    # Step down only when throughput exceeds target by this factor.
+    hysteresis: float = 1.08
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_frequency_hz <= self.nominal_frequency_hz:
+            raise ValueError("need 0 < min frequency <= nominal")
+        if self.step_hz <= 0:
+            raise ValueError("step must be positive")
+        if self.decision_period_cycles <= 0:
+            raise ValueError("decision period must be positive")
+        if self.hysteresis < 1.0:
+            raise ValueError("hysteresis must be >= 1")
+
+    def quantize(self, frequency_hz: float) -> float:
+        """Snap to the 50 MHz grid within [min, nominal]."""
+        stepped = round(frequency_hz / self.step_hz) * self.step_hz
+        return float(
+            min(self.nominal_frequency_hz, max(self.min_frequency_hz, stepped))
+        )
+
+
+class GrapeDFSController:
+    """Per-SM frequency selection against a performance target.
+
+    ``performance_target`` is the desired fraction of each SM's
+    full-speed throughput (the paper's Fig. 15 sweeps 70 %, 50 %, 20 %).
+    """
+
+    def __init__(
+        self,
+        num_sms: int = 16,
+        performance_target: float = 0.7,
+        config: DFSConfig = DFSConfig(),
+    ) -> None:
+        if not 0.0 < performance_target <= 1.0:
+            raise ValueError(
+                f"performance target must be in (0,1], got {performance_target}"
+            )
+        self.num_sms = num_sms
+        self.performance_target = performance_target
+        self.config = config
+        self.frequencies_hz = np.full(num_sms, config.nominal_frequency_hz)
+        self._baseline_throughput: np.ndarray = np.zeros(num_sms)
+        self.decisions = 0
+
+    def calibrate_baseline(self, full_speed_instructions: Sequence[float]) -> None:
+        """Record each SM's full-speed instructions-per-period baseline."""
+        baseline = np.asarray(full_speed_instructions, dtype=float)
+        if baseline.shape != (self.num_sms,):
+            raise ValueError(f"expected {self.num_sms} baselines")
+        if np.any(baseline <= 0):
+            raise ValueError("baselines must be positive")
+        self._baseline_throughput = baseline
+
+    def decide(self, instructions_this_period: Sequence[float]) -> np.ndarray:
+        """One GRAPE decision: returns the new per-SM frequency requests."""
+        if not np.any(self._baseline_throughput > 0):
+            raise RuntimeError("call calibrate_baseline() before decide()")
+        measured = np.asarray(instructions_this_period, dtype=float)
+        if measured.shape != (self.num_sms,):
+            raise ValueError(f"expected {self.num_sms} measurements")
+        cfg = self.config
+        targets = self.performance_target * self._baseline_throughput
+        for sm in range(self.num_sms):
+            if measured[sm] < targets[sm]:
+                self.frequencies_hz[sm] += cfg.step_hz
+            elif measured[sm] > targets[sm] * cfg.hysteresis:
+                self.frequencies_hz[sm] -= cfg.step_hz
+            self.frequencies_hz[sm] = cfg.quantize(self.frequencies_hz[sm])
+        self.decisions += 1
+        return self.frequencies_hz.copy()
+
+    def frequency_scales(self) -> np.ndarray:
+        """Current per-SM f/f_nominal (the GPU's clock-mask input)."""
+        return self.frequencies_hz / self.config.nominal_frequency_hz

@@ -1,0 +1,44 @@
+"""Integrated hybrid simulation infrastructure (Section V).
+
+Couples the three layers the way the paper couples GPGPU-Sim and
+SPICE 3: every GPU clock cycle the timing model emits per-SM power,
+the PDN circuit model converts it to currents and advances the supply
+transient, the detectors sample the resulting SM voltages, and the
+smoothing controller's (latency-delayed) commands reconfigure the GPU's
+issue adjusters before the next cycle.
+"""
+
+from repro.sim.cosim import (
+    CosimConfig,
+    CosimResult,
+    LayerShutoffEvent,
+    run_cosim,
+    run_crosslayer_cosim,
+)
+from repro.sim.pds_configs import PDS_CONFIGS, PDSKind
+from repro.sim.power_experiments import (
+    run_baseline,
+    run_dfs_experiment,
+    run_pg_experiment,
+)
+from repro.sim.trace_cosim import (
+    apply_actuation_replay,
+    replay_trace,
+    run_current_pattern,
+)
+
+__all__ = [
+    "CosimConfig",
+    "CosimResult",
+    "LayerShutoffEvent",
+    "PDSKind",
+    "PDS_CONFIGS",
+    "apply_actuation_replay",
+    "replay_trace",
+    "run_baseline",
+    "run_cosim",
+    "run_crosslayer_cosim",
+    "run_current_pattern",
+    "run_dfs_experiment",
+    "run_pg_experiment",
+]

@@ -1,0 +1,351 @@
+"""The coupled GPU / PDN / controller simulation loop.
+
+Per GPU clock cycle:
+
+1. the GPU timing model advances one cycle with whatever actuation is
+   in force (issue widths, fake rates, DCC compensation) and emits each
+   SM's power;
+2. each SM's power becomes a load current ``I = P / V_sm`` on the PDN
+   (the time-varying ideal-current-source convention), plus any DCC
+   compensation power on its layer;
+3. the transient solver advances the circuit by one clock period (in
+   ``circuit_substeps`` trapezoidal steps for resonance accuracy);
+4. the per-SM supply voltages feed the detectors and (cross-layer only)
+   the Algorithm 1 controller, whose latency-delayed commands update
+   the GPU's actuation for subsequent cycles.
+
+:class:`LayerShutoffEvent` reproduces the paper's synthetic worst-case
+imbalance (Fig. 9): at a chosen time a whole layer's SMs are forced to
+stop issuing, dropping them to idle power while the rest of the stack
+keeps running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits import TransientSolver
+from repro.config import StackConfig, SystemConfig
+from repro.core.actuators import WeightedActuation
+from repro.core.controller import ControllerConfig, VoltageSmoothingController
+from repro.gpu.gpu import GPU
+from repro.gpu.kernels import KernelSpec
+from repro.pdn.builder import StackedPDN, build_stacked_pdn
+from repro.pdn.efficiency import (
+    EfficiencyBreakdown,
+    layer_shuffle_power,
+    pde_voltage_stacked,
+)
+from repro.pdn.parameters import DEFAULT_PDN, PDNParameters
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.traces import PowerTrace
+
+
+@dataclass(frozen=True)
+class LayerShutoffEvent:
+    """Force a layer's SMs idle from ``start_cycle`` to ``end_cycle``."""
+
+    layer: int = 3
+    start_cycle: int = 2000
+    end_cycle: int = 10**9
+
+    def active(self, cycle: int) -> bool:
+        return self.start_cycle <= cycle < self.end_cycle
+
+
+@dataclass(frozen=True)
+class CosimConfig:
+    """Knobs of one co-simulation run."""
+
+    cycles: int = 3000
+    warmup_cycles: int = 200
+    cr_ivr_area_mm2: float = 105.8  # the paper's 0.2x-die design point
+    use_controller: bool = True
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    # Reliability default: DIWS + FII (Algorithm 1's paired actuation).
+    # Performance studies override with DIWS-only or swept weights.
+    actuation: Optional[WeightedActuation] = field(
+        default_factory=lambda: WeightedActuation(w1=1.0, w2=1.0, w3=0.0)
+    )
+    circuit_substeps: int = 2
+    seed: int = 1
+    shutoff: Optional[LayerShutoffEvent] = None
+    # Swap in an alternative controller implementation (duck-typed:
+    # observe / commands_for / throttled_cycles) — used by the
+    # prior-art ablation (e.g. GlobalThrottleController).
+    controller_object: Optional[object] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+        if self.warmup_cycles < 0:
+            raise ValueError("warmup cannot be negative")
+        if self.circuit_substeps <= 0:
+            raise ValueError("need at least one circuit substep")
+
+
+class CosimResult:
+    """Waveforms and statistics of one co-simulation."""
+
+    def __init__(
+        self,
+        benchmark: str,
+        power_trace: PowerTrace,
+        sm_voltages: np.ndarray,
+        supply_current: np.ndarray,
+        stack: StackConfig,
+        instructions: int,
+        fake_instructions: int,
+        throttled_cycles: int,
+        controller_power_w: float,
+        kernels_completed: int = 0,
+        mean_dcc_power_w: float = 0.0,
+    ) -> None:
+        self.benchmark = benchmark
+        self.power_trace = power_trace
+        self.sm_voltages = sm_voltages  # (cycles, num_sms)
+        self.supply_current = supply_current  # (cycles,)
+        self.stack = stack
+        self.instructions = instructions
+        self.fake_instructions = fake_instructions
+        self.throttled_cycles = throttled_cycles
+        self.controller_power_w = controller_power_w
+        self.kernels_completed = kernels_completed
+        self.mean_dcc_power_w = mean_dcc_power_w
+        self.kernel_durations: np.ndarray = np.array([])
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cycles(self) -> int:
+        return self.sm_voltages.shape[0]
+
+    @property
+    def min_voltage(self) -> float:
+        return float(self.sm_voltages.min())
+
+    @property
+    def max_voltage(self) -> float:
+        return float(self.sm_voltages.max())
+
+    def voltage_percentiles(self, q) -> np.ndarray:
+        """Noise-distribution percentiles over all SMs and cycles (Fig. 11)."""
+        return np.percentile(self.sm_voltages, q)
+
+    def worst_sm_voltage_trace(self) -> np.ndarray:
+        """Per-cycle minimum SM voltage (Fig. 9's critical waveform)."""
+        return self.sm_voltages.min(axis=1)
+
+    def efficiency(
+        self, params: PDNParameters = DEFAULT_PDN
+    ) -> EfficiencyBreakdown:
+        """PDE breakdown of this run, from the measured trace imbalance."""
+        load = self.power_trace.mean_power_w
+        shuffle = layer_shuffle_power(self.power_trace.data, self.stack)
+        return pde_voltage_stacked(
+            load, shuffle, self.stack, params,
+            controller_power_w=self.controller_power_w,
+        )
+
+    def throughput(self) -> float:
+        """Real instructions per cycle across the GPU."""
+        return self.instructions / self.num_cycles
+
+    def cycles_per_kernel(self) -> float:
+        """Mean kernel completion time — the performance-penalty metric.
+
+        Throttling that merely eats kernel-tail slack does not extend
+        completion time; throttling on the critical SM does.  Requires
+        at least one completed kernel in the measured window.
+        """
+        if self.kernels_completed <= 0 or len(self.kernel_durations) == 0:
+            raise ValueError(
+                "no kernel completed in the measurement window; run longer"
+            )
+        return float(np.mean(self.kernel_durations))
+
+    def summary(self) -> str:
+        eff = self.efficiency()
+        return (
+            f"{self.benchmark}: {self.num_cycles} cycles, "
+            f"mean power {self.power_trace.mean_power_w:.1f} W, "
+            f"PDE {eff.pde:.1%}, "
+            f"V(min) {self.min_voltage:.3f} V, "
+            f"throughput {self.throughput():.1f} instr/cycle, "
+            f"fakes {self.fake_instructions}"
+        )
+
+
+def run_cosim(
+    benchmark: str = "hotspot",
+    config: CosimConfig = CosimConfig(),
+    system: SystemConfig = SystemConfig(),
+    params: PDNParameters = DEFAULT_PDN,
+    kernel: Optional[KernelSpec] = None,
+) -> CosimResult:
+    """Run one coupled GPU/PDN/controller simulation.
+
+    ``benchmark`` picks a paper workload; pass ``kernel`` to run a
+    custom :class:`KernelSpec` instead (with default memory behaviour).
+    """
+    stack = system.stack
+    if kernel is None:
+        spec = get_benchmark(benchmark)
+        gpu = GPU(
+            spec.kernel, config=system, seed=config.seed,
+            miss_ratio=spec.miss_ratio, jitter=spec.jitter,
+        )
+        name = spec.name
+    else:
+        gpu = GPU(kernel, config=system, seed=config.seed)
+        name = kernel.name
+
+    pdn = build_stacked_pdn(
+        stack=stack, params=params, cr_ivr_area_mm2=config.cr_ivr_area_mm2
+    )
+    cycle_s = system.gpu.cycle_time_s
+    solver = TransientSolver(pdn.circuit, dt=cycle_s / config.circuit_substeps)
+    # Seed the circuit at a balanced operating point.
+    nominal_current = (
+        system.power.sm_peak_power_w * 0.5 / stack.sm_voltage
+    )
+    pdn.set_sm_currents(np.full(stack.num_sms, nominal_current))
+    solver.initialize_dc()
+
+    controller = None
+    controller_power = 0.0
+    if config.use_controller:
+        if config.controller_object is not None:
+            controller = config.controller_object
+        else:
+            controller = VoltageSmoothingController(
+                stack=stack,
+                config=config.controller,
+                actuation=config.actuation,
+                dt_s=cycle_s,
+            )
+        from repro.core.overheads import ControllerOverheads
+
+        controller_power = ControllerOverheads().power_w
+
+    num = stack.num_sms
+    # Vectorized SM-voltage readout: (top, bottom) node indices per SM.
+    top_idx = np.empty(num, dtype=int)
+    bot_idx = np.empty(num, dtype=int)
+    bot_is_ground = np.zeros(num, dtype=bool)
+    for sm in range(num):
+        top, bottom = pdn.sm_terminals(sm)
+        top_idx[sm] = solver.structure.node(top)
+        if bottom == "0":
+            bot_is_ground[sm] = True
+            bot_idx[sm] = 0
+        else:
+            bot_idx[sm] = solver.structure.node(bottom)
+
+    sm_voltages = np.empty((config.cycles, num))
+    powers_rec = np.empty((config.cycles, num))
+    supply_current = np.empty(config.cycles)
+    dcc_powers = np.zeros(num)
+    voltages_now = np.full(num, stack.sm_voltage)
+    shutoff_sms: List[int] = (
+        stack.sms_in_layer(config.shutoff.layer) if config.shutoff else []
+    )
+
+    conductance_bias = params.sm_conductance * stack.sm_voltage
+    total_cycles = config.warmup_cycles + config.cycles
+    dcc_energy_accum = 0.0
+    instructions_at_start = 0
+    kernels_at_start = gpu.kernels_launched
+    for cycle in range(total_cycles):
+        recording = cycle >= config.warmup_cycles
+        if cycle == config.warmup_cycles:
+            instructions_at_start = gpu.total_instructions()
+            kernels_at_start = gpu.kernels_launched
+
+        # 1. GPU cycle under the actuation currently in force.
+        powers = gpu.step()
+
+        # 2. Powers -> PDN currents.  Per the paper's convention each SM
+        # is a time-varying *ideal* current source: I = P / V_nominal.
+        # (Dividing by the instantaneous voltage would add the classic
+        # constant-power negative resistance and destabilize the grid.)
+        # The netlist's small-signal load conductance already draws
+        # ~g*V per SM, so that bias is deducted from the source to keep
+        # the total SM draw equal to P / V_nominal.
+        currents = (powers + dcc_powers) / stack.sm_voltage - conductance_bias
+        pdn.set_sm_currents(np.maximum(currents, 0.0))
+
+        # 3. Circuit transient over one clock period.
+        for _ in range(config.circuit_substeps):
+            node_v = solver.step()
+        bottoms = np.where(bot_is_ground, 0.0, node_v[bot_idx])
+        voltages_now = node_v[top_idx] - bottoms
+
+        # Halted SMs must not block the kernel-launch barrier.  Event
+        # timing is relative to the *recorded* window (cycle 0 = end of
+        # warmup).
+        recorded_cycle = cycle - config.warmup_cycles
+        if config.shutoff is not None:
+            gpu.barrier_exempt = (
+                set(shutoff_sms)
+                if config.shutoff.active(recorded_cycle)
+                else set()
+            )
+
+        # 4. Detection + control (commands apply after the loop latency).
+        if controller is not None:
+            controller.observe(cycle, voltages_now)
+            decision = controller.commands_for(cycle)
+            widths = decision.issue_widths.copy()
+            fakes = decision.fake_rates
+            if config.shutoff and config.shutoff.active(recorded_cycle):
+                widths[shutoff_sms] = 0.0
+            gpu.set_issue_widths(widths)
+            gpu.set_fake_rates(fakes)
+            dcc_powers = decision.dcc_powers_w
+        elif config.shutoff is not None:
+            widths = np.full(num, 2.0)
+            if config.shutoff.active(recorded_cycle):
+                widths[shutoff_sms] = 0.0
+            gpu.set_issue_widths(widths)
+
+        if recording:
+            k = cycle - config.warmup_cycles
+            powers_rec[k] = powers
+            sm_voltages[k] = voltages_now
+            supply_current[k] = solver.vsource_current("vdd")
+            dcc_energy_accum += float(dcc_powers.sum())
+
+    trace = PowerTrace(
+        powers_rec, frequency_hz=system.gpu.sm_clock_hz, name=name
+    )
+    launches = np.asarray(gpu.kernel_launch_cycles)
+    durations = np.diff(launches[launches >= config.warmup_cycles])
+    result = CosimResult(
+        benchmark=name,
+        power_trace=trace,
+        sm_voltages=sm_voltages,
+        supply_current=supply_current,
+        stack=stack,
+        instructions=gpu.total_instructions() - instructions_at_start,
+        fake_instructions=gpu.total_fake_instructions(),
+        throttled_cycles=(
+            controller.throttled_cycles if controller is not None else 0
+        ),
+        controller_power_w=controller_power,
+        kernels_completed=gpu.kernels_launched - kernels_at_start,
+        mean_dcc_power_w=dcc_energy_accum / config.cycles,
+    )
+    result.kernel_durations = durations
+    return result
+
+
+def run_crosslayer_cosim(
+    benchmark: str = "hotspot", cycles: int = 2000, **kwargs
+) -> CosimResult:
+    """Convenience entry point: default cross-layer configuration."""
+    return run_cosim(
+        benchmark=benchmark, config=CosimConfig(cycles=cycles, **kwargs)
+    )

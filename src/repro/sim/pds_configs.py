@@ -1,0 +1,62 @@
+"""The four PDS configurations under comparison (Table III rows).
+
+Each configuration bundles its topology kind, CR-IVR sizing and whether
+the architectural smoothing controller runs — the axes that distinguish
+the rows of Table III and the bars of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.pdn.area import required_cr_ivr_area
+
+
+class PDSKind(enum.Enum):
+    """Topology families from Table III."""
+
+    CONVENTIONAL_VRM = "single_layer_vrm"
+    SINGLE_LAYER_IVR = "single_layer_ivr"
+    VS_CIRCUIT_ONLY = "vs_circuit_only"
+    VS_CROSS_LAYER = "vs_cross_layer"
+
+
+@dataclass(frozen=True)
+class PDSConfigEntry:
+    """One Table III row: topology plus its sizing."""
+
+    kind: PDSKind
+    label: str
+    cr_ivr_area_mm2: float
+    has_controller: bool
+    paper_pde: float  # the PDE Table III reports
+    paper_area_x_die: float  # die-area overhead in GPU-die multiples
+
+
+def default_pds_configs() -> Dict[PDSKind, PDSConfigEntry]:
+    """Build the four rows with areas from the sizing model."""
+    circuit_area = required_cr_ivr_area(cross_layer=False)
+    cross_area = required_cr_ivr_area(cross_layer=True, control_latency_cycles=60)
+    return {
+        PDSKind.CONVENTIONAL_VRM: PDSConfigEntry(
+            PDSKind.CONVENTIONAL_VRM, "Single layer VRM", 0.0, False,
+            paper_pde=0.80, paper_area_x_die=0.0,
+        ),
+        PDSKind.SINGLE_LAYER_IVR: PDSConfigEntry(
+            PDSKind.SINGLE_LAYER_IVR, "Single layer IVR", 0.0, False,
+            paper_pde=0.85, paper_area_x_die=0.33,
+        ),
+        PDSKind.VS_CIRCUIT_ONLY: PDSConfigEntry(
+            PDSKind.VS_CIRCUIT_ONLY, "VS circuit only", circuit_area, False,
+            paper_pde=0.93, paper_area_x_die=1.72,
+        ),
+        PDSKind.VS_CROSS_LAYER: PDSConfigEntry(
+            PDSKind.VS_CROSS_LAYER, "VS cross-layer", cross_area, True,
+            paper_pde=0.923, paper_area_x_die=0.20,
+        ),
+    }
+
+
+PDS_CONFIGS = default_pds_configs()

@@ -1,0 +1,85 @@
+"""Physical unit helpers and shared constants.
+
+The simulator works internally in SI units (volts, amperes, ohms, henries,
+farads, seconds, hertz, watts).  These helpers exist so that netlists and
+configuration tables can be written with the same notation the paper uses
+(``mOhm``, ``nH``, ``uF``, ``MHz`` ...) without sprinkling powers of ten
+through the code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Metric prefixes
+# ---------------------------------------------------------------------------
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def m_ohm(value: float) -> float:
+    """Convert milliohms to ohms."""
+    return value * MILLI
+
+
+def n_henry(value: float) -> float:
+    """Convert nanohenries to henries."""
+    return value * NANO
+
+
+def p_henry(value: float) -> float:
+    """Convert picohenries to henries."""
+    return value * PICO
+
+
+def u_farad(value: float) -> float:
+    """Convert microfarads to farads."""
+    return value * MICRO
+
+
+def n_farad(value: float) -> float:
+    """Convert nanofarads to farads."""
+    return value * NANO
+
+
+def p_farad(value: float) -> float:
+    """Convert picofarads to farads."""
+    return value * PICO
+
+
+def mega_hertz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * MEGA
+
+
+def nano_second(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANO
+
+
+def micro_second(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICRO
+
+
+def mm2(value: float) -> float:
+    """Identity helper marking a die area expressed in square millimetres."""
+    return value
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Duration of ``cycles`` clock cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Number of clock cycles spanning ``seconds`` at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz

@@ -1,0 +1,186 @@
+"""The twelve evaluation benchmarks as statistical kernel models.
+
+Six from Rodinia 2.0 (backprop, bfs, heartwall, hotspot, pathfinder,
+srad) and six from the NVIDIA CUDA SDK (blackscholes, scalarprod,
+sortingnet, simpleface, fastwalsh, simpleatomic) — the suite used across
+Figs. 8, 11, 12, 14 and 17.
+
+Each :class:`BenchmarkSpec` couples a kernel model with its memory-system
+behaviour and its SM-to-SM activity mismatch level.  Tuning targets:
+
+* issue rates inside the paper's observed 0.8-1.8 warps/cycle band;
+* layer imbalance "usually below 20 % of layer power", with ``backprop``
+  the most imbalanced and ``heartwall`` the most uniform (Fig. 17);
+* ``pathfinder``, ``fastwalsh`` and ``simpleatomic`` carrying strong
+  phase transitions (the Fig. 11 outliers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.gpu.isa import InstructionClass as IC
+from repro.gpu.kernels import KernelSpec
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A paper benchmark: kernel statistics plus system-level behaviour."""
+
+    name: str
+    suite: str  # "rodinia" or "cuda_sdk"
+    kernel: KernelSpec
+    miss_ratio: float
+    jitter: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_ratio <= 1.0:
+            raise ValueError(f"{self.name}: miss_ratio out of range")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"{self.name}: jitter out of range")
+
+
+def _spec(name, suite, mix, dependence, miss, jitter, desc, phase_period=0,
+          phase_boost=0.0, warps=12, body=120):
+    return BenchmarkSpec(
+        name=name,
+        suite=suite,
+        kernel=KernelSpec(
+            name,
+            mix=mix,
+            dependence=dependence,
+            warps_per_sm=warps,
+            body_length=body,
+            phase_period=phase_period,
+            phase_memory_boost=phase_boost,
+        ),
+        miss_ratio=miss,
+        jitter=jitter,
+        description=desc,
+    )
+
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        # ------------------------------- Rodinia 2.0 -------------------
+        _spec(
+            "backprop", "rodinia",
+            {IC.FMA: 0.35, IC.FALU: 0.25, IC.LOAD: 0.22, IC.STORE: 0.10,
+             IC.IALU: 0.08},
+            dependence=0.40, miss=0.35, jitter=0.16,
+            desc="neural-net training; layered phases make it the most "
+                 "layer-imbalanced workload (Fig. 17 worst case)",
+            phase_period=45, phase_boost=1.5,
+        ),
+        _spec(
+            "bfs", "rodinia",
+            {IC.LOAD: 0.40, IC.IALU: 0.30, IC.BRANCH: 0.20, IC.STORE: 0.10},
+            dependence=0.45, miss=0.55, jitter=0.10,
+            desc="breadth-first search; irregular memory-bound traversal",
+            warps=32,
+        ),
+        _spec(
+            "heartwall", "rodinia",
+            {IC.FMA: 0.40, IC.FALU: 0.30, IC.LOAD: 0.18, IC.IALU: 0.12},
+            dependence=0.30, miss=0.18, jitter=0.01,
+            desc="image tracking; dense regular compute — the most "
+                 "uniform workload (Fig. 17 best case)",
+        ),
+        _spec(
+            "hotspot", "rodinia",
+            {IC.FMA: 0.35, IC.FALU: 0.25, IC.LOAD: 0.25, IC.STORE: 0.15},
+            dependence=0.40, miss=0.25, jitter=0.05,
+            desc="thermal stencil; balanced compute/memory iterations",
+        ),
+        _spec(
+            "pathfinder", "rodinia",
+            {IC.IALU: 0.40, IC.LOAD: 0.25, IC.BRANCH: 0.20, IC.STORE: 0.15},
+            dependence=0.50, miss=0.30, jitter=0.08,
+            desc="dynamic programming over a grid; strong row-boundary "
+                 "phase transitions (a Fig. 11 outlier)",
+            phase_period=30, phase_boost=2.0, warps=16,
+        ),
+        _spec(
+            "srad", "rodinia",
+            {IC.FMA: 0.30, IC.FALU: 0.30, IC.SFU: 0.12, IC.LOAD: 0.18,
+             IC.STORE: 0.10},
+            dependence=0.35, miss=0.22, jitter=0.04,
+            desc="speckle-reducing anisotropic diffusion; compute heavy "
+                 "with transcendental use",
+        ),
+        # ------------------------------- CUDA SDK ----------------------
+        _spec(
+            "blackscholes", "cuda_sdk",
+            {IC.SFU: 0.30, IC.FMA: 0.30, IC.FALU: 0.20, IC.LOAD: 0.12,
+             IC.STORE: 0.08},
+            dependence=0.30, miss=0.12, jitter=0.03,
+            desc="option pricing; SFU-saturated streaming compute",
+        ),
+        _spec(
+            "scalarprod", "cuda_sdk",
+            {IC.LOAD: 0.35, IC.FMA: 0.35, IC.IALU: 0.20, IC.STORE: 0.10},
+            dependence=0.40, miss=0.30, jitter=0.05,
+            desc="dot products; bandwidth-bound streaming reduction",
+            warps=20,
+        ),
+        _spec(
+            "sortingnet", "cuda_sdk",
+            {IC.IALU: 0.40, IC.BRANCH: 0.25, IC.LOAD: 0.20, IC.STORE: 0.15},
+            dependence=0.50, miss=0.20, jitter=0.06,
+            desc="bitonic sorting networks; branch-dense regular stages",
+        ),
+        _spec(
+            "simpleface", "cuda_sdk",
+            {IC.FMA: 0.30, IC.FALU: 0.25, IC.LOAD: 0.25, IC.IALU: 0.20},
+            dependence=0.35, miss=0.28, jitter=0.06,
+            desc="face-detection cascade; mixed compute and lookups",
+        ),
+        _spec(
+            "fastwalsh", "cuda_sdk",
+            {IC.FALU: 0.35, IC.LOAD: 0.30, IC.IALU: 0.20, IC.STORE: 0.15},
+            dependence=0.45, miss=0.35, jitter=0.07,
+            desc="Walsh-Hadamard transform; butterfly stages alternate "
+                 "compute and memory sharply (a Fig. 11 outlier)",
+            phase_period=24, phase_boost=2.5, warps=16,
+        ),
+        _spec(
+            "simpleatomic", "cuda_sdk",
+            {IC.LOAD: 0.30, IC.STORE: 0.25, IC.IALU: 0.30, IC.BRANCH: 0.15},
+            dependence=0.60, miss=0.45, jitter=0.12,
+            desc="atomic-intrinsic stress; serialized contention makes "
+                 "activity spiky (a Fig. 11 outlier)",
+            phase_period=20, phase_boost=1.5, warps=20,
+        ),
+    ]
+}
+
+BENCHMARK_NAMES: List[str] = list(_REGISTRY)
+
+# Display aliases the paper's figures use.
+_ALIASES = {
+    "backp": "backprop",
+    "sard": "srad",  # the paper's figures spell srad as "sard"
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by name (case-insensitive, paper aliases ok)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARK_NAMES)}"
+        )
+
+
+def list_benchmarks(suite: str = "") -> List[BenchmarkSpec]:
+    """All benchmarks, optionally filtered by suite."""
+    specs = list(_REGISTRY.values())
+    if suite:
+        specs = [s for s in specs if s.suite == suite]
+    return specs

@@ -1,0 +1,106 @@
+"""Adversarial microbenchmarks (power viruses).
+
+Conventional supply-noise studies stress the PDS with synthetic
+*microbenchmarks* whose activity alternates at a chosen period,
+concentrating di/dt energy at one frequency.  The paper's Section III-B
+argues such pulse-train worst cases are exactly what the effective
+impedance analysis bounds; these generators let the time-domain
+experiments construct them at the *GPU* level (real instructions, real
+issue machinery) rather than as raw current patterns.
+
+Two flavours:
+
+* :func:`didt_virus` — a global di/dt virus: all SMs alternate between
+  compute-saturated and idle phases at a target period, pumping the
+  package resonance when the period matches;
+* :func:`imbalance_virus` — the VS-specific attack: activity alternates
+  *between stack layers* so the residual (imbalance) component is
+  pumped instead, at a chosen period.
+
+Both return per-SM "activity schedules" the GPU applies through DIWS
+issue-width modulation (the cleanest way to impose an activity envelope
+on real instruction streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import StackConfig
+
+
+@dataclass(frozen=True)
+class VirusSchedule:
+    """A periodic per-SM issue-width envelope.
+
+    ``widths(cycle)`` returns the per-SM issue-width vector at a cycle;
+    the driver applies it via ``GPU.set_issue_widths`` each cycle.
+    """
+
+    period_cycles: int
+    high_width: float
+    low_width: float
+    pattern: str  # "global" or "imbalance"
+    stack: StackConfig = StackConfig()
+
+    def __post_init__(self) -> None:
+        if self.period_cycles < 2:
+            raise ValueError("period must be at least 2 cycles")
+        if not 0.0 <= self.low_width <= self.high_width <= 2.0:
+            raise ValueError("need 0 <= low <= high <= 2")
+        if self.pattern not in ("global", "imbalance"):
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+
+    @property
+    def frequency_hz(self) -> float:
+        return 700e6 / self.period_cycles
+
+    def widths(self, cycle: int) -> np.ndarray:
+        """Per-SM issue widths at ``cycle``."""
+        n = self.stack.num_sms
+        in_high = (cycle % self.period_cycles) < self.period_cycles // 2
+        if self.pattern == "global":
+            value = self.high_width if in_high else self.low_width
+            return np.full(n, value)
+        # Imbalance virus: top half of the stack swings against the
+        # bottom half, keeping total activity roughly constant while
+        # maximizing the residual/stack components.
+        widths = np.empty(n)
+        half = self.stack.num_layers // 2
+        for layer in range(self.stack.num_layers):
+            upper = layer >= half
+            active = in_high if upper else not in_high
+            value = self.high_width if active else self.low_width
+            for sm in self.stack.sms_in_layer(layer):
+                widths[sm] = value
+        return widths
+
+
+def didt_virus(
+    period_cycles: int = 11,  # ~63 MHz at 700 MHz: the resonance pump
+    high_width: float = 2.0,
+    low_width: float = 0.0,
+) -> VirusSchedule:
+    """Global di/dt virus at the given alternation period."""
+    return VirusSchedule(
+        period_cycles=period_cycles,
+        high_width=high_width,
+        low_width=low_width,
+        pattern="global",
+    )
+
+
+def imbalance_virus(
+    period_cycles: int = 700,  # ~1 MHz: deep in the residual plateau
+    high_width: float = 2.0,
+    low_width: float = 0.2,
+) -> VirusSchedule:
+    """Layer-alternating imbalance virus — the VS-specific worst case."""
+    return VirusSchedule(
+        period_cycles=period_cycles,
+        high_width=high_width,
+        low_width=low_width,
+        pattern="imbalance",
+    )

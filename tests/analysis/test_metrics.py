@@ -1,0 +1,124 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    IMBALANCE_BUCKET_LABELS,
+    BoxStats,
+    cumulative_within,
+    imbalance_distribution,
+    net_energy_saving,
+    noise_box_stats,
+    performance_penalty,
+)
+from repro.config import StackConfig
+
+
+class TestBoxStats:
+    def test_ordering(self):
+        rng = np.random.default_rng(1)
+        stats = noise_box_stats(rng.normal(1.0, 0.05, (100, 16)))
+        assert (
+            stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+        )
+
+    def test_iqr(self):
+        b = BoxStats(0.0, 0.25, 0.5, 0.75, 1.0)
+        assert b.iqr == pytest.approx(0.5)
+        assert b.as_tuple() == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            noise_box_stats(np.array([]))
+
+    def test_constant_distribution(self):
+        stats = noise_box_stats(np.full((10, 4), 1.0))
+        assert stats.minimum == stats.maximum == 1.0
+
+
+class TestPerformancePenalty:
+    def test_no_slowdown(self):
+        assert performance_penalty(10.0, 10.0) == 0.0
+
+    def test_faster_clamps_to_zero(self):
+        assert performance_penalty(10.0, 11.0) == 0.0
+
+    def test_three_percent(self):
+        assert performance_penalty(10.0, 10.0 / 1.03) == pytest.approx(0.03)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            performance_penalty(0.0, 1.0)
+        with pytest.raises(ValueError):
+            performance_penalty(1.0, 0.0)
+
+
+class TestNetEnergySaving:
+    def test_pure_pde_gain(self):
+        # No penalty: saving is just the PDE ratio improvement.
+        saving = net_energy_saving(0.80, 0.923, penalty=0.0)
+        assert saving == pytest.approx(1 - 0.80 / 0.923)
+
+    def test_penalty_erodes_saving(self):
+        clean = net_energy_saving(0.80, 0.923, penalty=0.0)
+        penalized = net_energy_saving(0.80, 0.923, penalty=0.04)
+        assert penalized < clean
+
+    def test_paper_band(self):
+        """Fig. 14: with 2-4% penalty, net savings land in 10-15%."""
+        for penalty in (0.02, 0.03, 0.04):
+            saving = net_energy_saving(
+                0.80, 0.923, penalty, extra_dynamic_fraction=0.01
+            )
+            assert 0.08 < saving < 0.16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            net_energy_saving(0.0, 0.9, 0.0)
+        with pytest.raises(ValueError):
+            net_energy_saving(0.8, 0.9, -0.1)
+        with pytest.raises(ValueError):
+            net_energy_saving(0.8, 0.9, 0.0, leakage_fraction=1.0)
+
+
+class TestImbalanceDistribution:
+    def test_balanced_trace_all_in_lowest_bucket(self):
+        trace = np.full((50, 16), 4.0)
+        dist = imbalance_distribution(trace)
+        assert dist["0-10% imbalance"] == pytest.approx(1.0)
+
+    def test_shares_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        dist = imbalance_distribution(rng.uniform(0, 8, (100, 16)))
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_extreme_imbalance_in_top_bucket(self):
+        trace = np.zeros((10, 16))
+        trace[:, :4] = 8.0  # bottom layer at peak, layer above at zero
+        dist = imbalance_distribution(trace)
+        assert dist[">40% imbalance"] > 0.3
+
+    def test_buckets_match_paper_bins(self):
+        assert IMBALANCE_BUCKET_LABELS == (
+            "0-10% imbalance",
+            "10-20% imbalance",
+            "20-40% imbalance",
+            ">40% imbalance",
+        )
+
+    def test_cumulative_within(self):
+        dist = {"a": 0.5, "b": 0.43, "c": 0.07}
+        assert cumulative_within(dist, ["a", "b"]) == pytest.approx(0.93)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            imbalance_distribution(np.ones((5, 8)))
+        with pytest.raises(ValueError):
+            imbalance_distribution(np.ones((5, 16)), peak_sm_power_w=0.0)
+
+    def test_custom_stack(self):
+        stack = StackConfig(num_layers=2, num_columns=2, board_voltage=2.0)
+        trace = np.array([[0.0, 0.0, 8.0, 8.0]])  # top layer at peak
+        dist = imbalance_distribution(trace, stack)
+        assert dist[">40% imbalance"] == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""Tests for ASCII report formatting."""
+
+import pytest
+
+from repro.analysis.report import format_percent, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "pde"], [["vrm", 0.80], ["vs", 0.923]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "vrm" in lines[2]
+        assert "0.923" in lines[3]
+
+    def test_title_prepended(self):
+        out = format_table(["a"], [[1]], title="Table III")
+        assert out.splitlines()[0] == "Table III"
+
+    def test_column_count_validated(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_floats_rendered_compactly(self):
+        out = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_wide_cells_stretch_columns(self):
+        out = format_table(["x"], [["averyverylongvalue"]])
+        header = out.splitlines()[0]
+        assert len(header) >= len("averyverylongvalue")
+
+
+class TestFormatSeries:
+    def test_xy_table(self):
+        out = format_series(
+            {"freq": [1, 2, 3], "z": [0.1, 0.2, 0.3]}, x_label="freq"
+        )
+        assert "freq" in out
+        assert "z" in out
+
+    def test_missing_x_rejected(self):
+        with pytest.raises(ValueError, match="x column"):
+            format_series({"z": [1]}, x_label="freq")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            format_series({"x": [1, 2], "y": [1]}, x_label="x")
+
+    def test_decimation(self):
+        out = format_series(
+            {"x": list(range(100)), "y": list(range(100))},
+            x_label="x",
+            max_points=10,
+        )
+        # Header + separator + ~10 rows.
+        assert len(out.splitlines()) <= 14
+
+
+class TestFormatPercent:
+    def test_rendering(self):
+        assert format_percent(0.923) == "92.3%"
+        assert format_percent(0.0375) == "3.8%"

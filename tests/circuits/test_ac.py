@@ -1,0 +1,95 @@
+"""AC analysis tests against closed-form impedance formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import ACAnalysis, Circuit
+from repro.circuits.ac import log_frequency_grid
+
+
+def parallel_rc(r=10.0, c=1e-9):
+    ckt = Circuit("prc")
+    ckt.add_resistor("r", "port", "0", r)
+    ckt.add_capacitor("c", "port", "0", c)
+    return ckt
+
+
+class TestDrivingPointImpedance:
+    def test_resistor_flat(self):
+        ckt = Circuit("r")
+        ckt.add_resistor("r", "port", "0", 7.0)
+        ac = ACAnalysis(ckt)
+        for f in [1e6, 1e7, 1e8]:
+            z = ac.transfer_impedance(f, {"port": 1.0}, "port")
+            assert abs(z) == pytest.approx(7.0, rel=1e-9)
+
+    def test_parallel_rc_rolloff(self):
+        r, c = 10.0, 1e-9
+        ac = ACAnalysis(parallel_rc(r, c))
+        f = 1e8
+        expected = abs(1 / (1 / r + 1j * 2 * math.pi * f * c))
+        z = abs(ac.transfer_impedance(f, {"port": 1.0}, "port"))
+        assert z == pytest.approx(expected, rel=1e-9)
+
+    def test_series_rlc_resonance_peak(self):
+        # Supply -> L -> port with decap C: parallel resonance at
+        # f0 = 1/(2*pi*sqrt(LC)) where impedance peaks.
+        l, c, r = 1e-9, 100e-9, 0.01
+        f0 = 1 / (2 * math.pi * math.sqrt(l * c))
+        ckt = Circuit("pdn")
+        ckt.add_voltage_source("vdd", "board", "0", 1.0)
+        ckt.add_resistor("rpkg", "board", "bump", r)
+        ckt.add_inductor("lpkg", "bump", "port", l)
+        ckt.add_capacitor("cdecap", "port", "0", c)
+        ac = ACAnalysis(ckt)
+        freqs = log_frequency_grid(f0 / 30, f0 * 30, points_per_decade=60)
+        mags = ac.impedance_sweep(freqs, {"port": -1.0}, "port")
+        peak_freq = freqs[int(np.argmax(np.abs(mags)))]
+        assert peak_freq == pytest.approx(f0, rel=0.05)
+
+    def test_voltage_source_is_ac_ground(self):
+        # Injecting current into a node held by an ideal source yields ~0 V.
+        ckt = Circuit("vsrc")
+        ckt.add_voltage_source("vdd", "rail", "0", 1.0)
+        ckt.add_resistor("r", "rail", "port", 1.0)
+        ac = ACAnalysis(ckt)
+        phasors = ac.solve(1e6, {"rail": 1.0})
+        assert abs(phasors["rail"]) < 1e-12
+
+
+class TestInterface:
+    def test_rejects_nonpositive_frequency(self):
+        ac = ACAnalysis(parallel_rc())
+        with pytest.raises(ValueError, match="frequency"):
+            ac.solve(0.0, {"port": 1.0})
+
+    def test_rejects_injection_into_ground(self):
+        ac = ACAnalysis(parallel_rc())
+        with pytest.raises(ValueError, match="ground"):
+            ac.solve(1e6, {"0": 1.0})
+
+    def test_sweep_shape(self):
+        ac = ACAnalysis(parallel_rc())
+        freqs = [1e6, 1e7, 1e8]
+        mags = ac.impedance_sweep(freqs, {"port": 1.0}, "port")
+        assert mags.shape == (3,)
+        # RC rolls off monotonically.
+        assert mags[0] > mags[1] > mags[2]
+
+
+class TestFrequencyGrid:
+    def test_endpoints_included(self):
+        grid = log_frequency_grid(1e6, 1e9, points_per_decade=10)
+        assert grid[0] == pytest.approx(1e6)
+        assert grid[-1] == pytest.approx(1e9)
+
+    def test_monotone_increasing(self):
+        grid = log_frequency_grid(1e6, 5e8)
+        assert np.all(np.diff(grid) > 0)
+
+    @pytest.mark.parametrize("start,stop", [(0.0, 1e6), (1e7, 1e6), (1e6, 1e6)])
+    def test_rejects_bad_ranges(self, start, stop):
+        with pytest.raises(ValueError):
+            log_frequency_grid(start, stop)

@@ -1,0 +1,80 @@
+"""Unit tests for circuit element definitions."""
+
+import pytest
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+    evaluate_waveform,
+)
+
+
+class TestWaveform:
+    def test_constant(self):
+        assert evaluate_waveform(3.5, t=0.0) == 3.5
+        assert evaluate_waveform(3.5, t=1e-6) == 3.5
+
+    def test_callable(self):
+        assert evaluate_waveform(lambda t: 2.0 * t, t=0.5) == 1.0
+
+    def test_callable_result_coerced_to_float(self):
+        result = evaluate_waveform(lambda t: 3, t=0.0)
+        assert isinstance(result, float)
+
+
+class TestResistor:
+    def test_conductance(self):
+        r = Resistor("r1", "a", "b", 4.0)
+        assert r.conductance == 0.25
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_nonpositive_resistance(self, bad):
+        with pytest.raises(ValueError, match="positive resistance"):
+            Resistor("r1", "a", "b", bad)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="itself"):
+            Resistor("r1", "a", "a", 1.0)
+
+
+class TestCapacitor:
+    def test_initial_voltage_default_zero(self):
+        c = Capacitor("c1", "a", "0", 1e-9)
+        assert c.v0 == 0.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1e-9])
+    def test_rejects_nonpositive_capacitance(self, bad):
+        with pytest.raises(ValueError, match="positive capacitance"):
+            Capacitor("c1", "a", "0", bad)
+
+
+class TestInductor:
+    def test_initial_current_default_zero(self):
+        l = Inductor("l1", "a", "b", 1e-9)
+        assert l.i0 == 0.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1e-9])
+    def test_rejects_nonpositive_inductance(self, bad):
+        with pytest.raises(ValueError, match="positive inductance"):
+            Inductor("l1", "a", "b", bad)
+
+
+class TestSources:
+    def test_voltage_source_constant(self):
+        v = VoltageSource("v1", "a", "0", 4.1)
+        assert v.voltage_at(0.0) == 4.1
+
+    def test_voltage_source_time_varying(self):
+        v = VoltageSource("v1", "a", "0", lambda t: 1.0 + t)
+        assert v.voltage_at(0.5) == 1.5
+
+    def test_current_source_override_takes_precedence(self):
+        i = CurrentSource("i1", "a", "0", lambda t: 99.0)
+        assert i.current_at(0.0) == 99.0
+        i.override = 2.5
+        assert i.current_at(0.0) == 2.5
+        i.override = None
+        assert i.current_at(0.0) == 99.0

@@ -1,0 +1,69 @@
+"""Unit tests for the Circuit netlist container."""
+
+import pytest
+
+from repro.circuits import Circuit, Resistor
+from repro.circuits.netlist import GROUND
+
+
+def simple_divider() -> Circuit:
+    ckt = Circuit("divider")
+    ckt.add_voltage_source("vin", "in", GROUND, 4.0)
+    ckt.add_resistor("r1", "in", "mid", 1.0)
+    ckt.add_resistor("r2", "mid", GROUND, 3.0)
+    return ckt
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self):
+        ckt = Circuit()
+        ckt.add_resistor("r1", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ckt.add_resistor("r1", "b", "0", 1.0)
+
+    def test_node_indices_assigned_in_insertion_order(self):
+        ckt = simple_divider()
+        assert ckt.nodes == ["in", "mid"]
+        assert ckt.node_index("in") == 0
+        assert ckt.node_index("mid") == 1
+
+    def test_ground_has_no_index(self):
+        ckt = simple_divider()
+        assert ckt.node_index(GROUND) is None
+
+    def test_unknown_node_raises(self):
+        ckt = simple_divider()
+        with pytest.raises(KeyError, match="unknown node"):
+            ckt.node_index("nope")
+
+    def test_len_and_iteration(self):
+        ckt = simple_divider()
+        assert len(ckt) == 3
+        assert [e.name for e in ckt] == ["vin", "r1", "r2"]
+
+    def test_contains_and_lookup(self):
+        ckt = simple_divider()
+        assert "r1" in ckt
+        assert ckt.element("r1").node_pos == "in"
+        with pytest.raises(KeyError):
+            ckt.element("zz")
+
+    def test_elements_of_type(self):
+        ckt = simple_divider()
+        resistors = ckt.elements_of_type(Resistor)
+        assert {r.name for r in resistors} == {"r1", "r2"}
+
+
+class TestValidation:
+    def test_empty_circuit_invalid(self):
+        with pytest.raises(ValueError, match="empty"):
+            Circuit().validate()
+
+    def test_floating_circuit_invalid(self):
+        ckt = Circuit()
+        ckt.add_resistor("r1", "a", "b", 1.0)
+        with pytest.raises(ValueError, match="ground"):
+            ckt.validate()
+
+    def test_grounded_circuit_valid(self):
+        simple_divider().validate()

@@ -1,0 +1,132 @@
+"""Deeper physics invariants of the circuit engine.
+
+Classical theorems any correct linear circuit simulator must satisfy:
+
+* **reciprocity** — in a passive RLC network, the transfer impedance
+  from port A to port B equals the one from B to A;
+* **transient superposition** — the deviation response to a sum of load
+  steps is the sum of the individual deviation responses;
+* **energy dissipation** — an undriven network's stored energy never
+  increases;
+* **charge conservation** — the supply delivers exactly what loads and
+  losses absorb in steady state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import ACAnalysis, Circuit, TransientSolver
+
+
+def pdn_like_network():
+    """A small PDN-flavoured network with R, L and C all present."""
+    ckt = Circuit("pdnlike")
+    ckt.add_voltage_source("vdd", "in", "0", 1.0)
+    ckt.add_resistor("r1", "in", "a", 0.01)
+    ckt.add_inductor("l1", "a", "b", 5e-10)
+    ckt.add_resistor("r2", "b", "c", 0.05)
+    ckt.add_capacitor("c1", "b", "0", 3e-9)
+    ckt.add_capacitor("c2", "c", "0", 8e-9)
+    ckt.add_resistor("r3", "c", "0", 2.0)
+    return ckt
+
+
+class TestReciprocity:
+    @pytest.mark.parametrize("freq", [1e6, 2e7, 3e8])
+    def test_transfer_impedance_symmetric(self, freq):
+        ckt = pdn_like_network()
+        ac = ACAnalysis(ckt)
+        z_ab = ac.transfer_impedance(freq, {"a": 1.0}, "c")
+        z_ba = ac.transfer_impedance(freq, {"c": 1.0}, "a")
+        assert z_ab == pytest.approx(z_ba, rel=1e-9)
+
+    def test_reciprocity_on_the_stacked_pdn(self):
+        """The full VS netlist is reciprocal too (it is passive RLC)."""
+        from repro.pdn.builder import build_stacked_pdn, tap_node
+
+        pdn = build_stacked_pdn()
+        ac = ACAnalysis(pdn.circuit)
+        a, b = tap_node(1, 0), tap_node(3, 2)
+        for freq in (2e6, 6e7):
+            z_ab = ac.transfer_impedance(freq, {a: 1.0}, b)
+            z_ba = ac.transfer_impedance(freq, {b: 1.0}, a)
+            assert z_ab == pytest.approx(z_ba, rel=1e-9)
+
+
+class TestTransientSuperposition:
+    def _response(self, i1, i2, steps=400):
+        ckt = pdn_like_network()
+        load1 = ckt.add_current_source("load1", "b", "0", 0.0)
+        load2 = ckt.add_current_source("load2", "c", "0", 0.0)
+        solver = TransientSolver(ckt, dt=2e-10)
+        solver.initialize_dc()
+        load1.override = i1
+        load2.override = i2
+        out = np.empty(steps)
+        c_index = solver.structure.node("c")
+        for k in range(steps):
+            out[k] = solver.step()[c_index]
+        return out
+
+    @given(
+        i1=st.floats(min_value=0.1, max_value=3.0),
+        i2=st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_deviations_add(self, i1, i2):
+        zero = self._response(0.0, 0.0)
+        only1 = self._response(i1, 0.0) - zero
+        only2 = self._response(0.0, i2) - zero
+        both = self._response(i1, i2) - zero
+        assert np.max(np.abs(both - (only1 + only2))) < 1e-9
+
+
+class TestEnergyBehaviour:
+    def test_undriven_energy_never_increases(self):
+        # No sources: an initially charged cap rings into the network
+        # and its total stored energy must decay monotonically (within
+        # trapezoidal round-off).
+        ckt = Circuit("ring")
+        ckt.add_resistor("rref", "a", "0", 1e6)  # ground reference
+        ckt.add_inductor("l", "a", "b", 1e-9)
+        ckt.add_resistor("r", "b", "c", 0.05)
+        ckt.add_capacitor("cs", "c", "0", 1e-8, v0=1.0)
+        ckt.add_capacitor("ca", "a", "0", 1e-8, v0=0.0)
+        solver = TransientSolver(ckt, dt=1e-10)
+        # Start from the stated ICs, not DC.
+        energies = []
+        for _ in range(3000):
+            solver.step()
+            e = 0.0
+            for cap, v in zip(solver.capacitors, solver._cap_v):
+                e += 0.5 * cap.capacitance * v**2
+            for ind, i in zip(solver.inductors, solver._ind_i):
+                e += 0.5 * ind.inductance * i**2
+            energies.append(e)
+        energies = np.array(energies)
+        # Monotone non-increasing within numerical tolerance.
+        assert np.all(np.diff(energies) <= 1e-12)
+        # Charge sharing between the two equal caps dissipates exactly
+        # half the initial energy (the classic two-capacitor result).
+        assert energies[-1] == pytest.approx(0.5 * energies[0], rel=1e-3)
+
+    def test_steady_state_power_balance(self):
+        """Supply power equals load power plus resistive losses."""
+        ckt = Circuit("balance")
+        ckt.add_voltage_source("vdd", "in", "0", 1.0)
+        ckt.add_resistor("rpdn", "in", "chip", 0.05)
+        ckt.add_capacitor("cd", "chip", "0", 1e-9)
+        load = ckt.add_current_source("load", "chip", "0", 2.0)
+        solver = TransientSolver(ckt, dt=1e-10)
+        solver.initialize_dc()
+        for _ in range(2000):
+            solver.step()
+        v_chip = solver.node_voltage("chip")
+        i_in = solver.vsource_current("vdd")
+        p_supply = 1.0 * i_in
+        p_load = v_chip * 2.0
+        p_loss = (1.0 - v_chip) * i_in
+        assert p_supply == pytest.approx(p_load + p_loss, rel=1e-9)
+        # And the IR drop is exactly I*R.
+        assert 1.0 - v_chip == pytest.approx(2.0 * 0.05, rel=1e-6)

@@ -1,0 +1,101 @@
+"""Property-based tests of the circuit engine (hypothesis).
+
+Invariants checked on randomly generated passive ladder networks:
+
+* the transient solution from a DC initialization is stationary;
+* after a load step, the waveform settles to the new DC solution;
+* AC impedance magnitude of a passive network is finite and positive;
+* superposition holds (the engine is linear).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import ACAnalysis, Circuit, TransientSolver
+
+resistances = st.floats(min_value=0.01, max_value=10.0)
+capacitances = st.floats(min_value=1e-12, max_value=1e-8)
+load_currents = st.floats(min_value=0.0, max_value=5.0)
+
+
+def build_ladder(rungs, v_supply=1.0):
+    """Build an R-C ladder: supply -> R -> node (C to ground) -> R -> ..."""
+    ckt = Circuit("ladder")
+    ckt.add_voltage_source("vdd", "n0", "0", v_supply)
+    prev = "n0"
+    for k, (r, c) in enumerate(rungs, start=1):
+        node = f"n{k}"
+        ckt.add_resistor(f"r{k}", prev, node, r)
+        ckt.add_capacitor(f"c{k}", node, "0", c)
+        prev = node
+    return ckt, prev
+
+
+@given(
+    rungs=st.lists(st.tuples(resistances, capacitances), min_size=1, max_size=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_dc_initialization_is_stationary(rungs):
+    ckt, last = build_ladder(rungs)
+    solver = TransientSolver(ckt, dt=1e-10)
+    solver.initialize_dc()
+    for _ in range(20):
+        solver.step()
+    # No load: every node should still sit at the supply voltage.
+    assert abs(solver.node_voltage(last) - 1.0) < 1e-8
+
+
+@given(
+    rungs=st.lists(st.tuples(resistances, capacitances), min_size=1, max_size=4),
+    load=load_currents,
+)
+@settings(max_examples=25, deadline=None)
+def test_settles_to_dc_after_load_step(rungs, load):
+    ckt, last = build_ladder(rungs)
+    sink = ckt.add_current_source("load", last, "0", 0.0)
+    total_r = sum(r for r, _ in rungs)
+    solver = TransientSolver(ckt, dt=1e-10)
+    solver.initialize_dc()
+    sink.override = load
+    # Run long enough to settle: several times the slowest time constant.
+    tau = sum(r for r, _ in rungs) * max(c for _, c in rungs) * len(rungs)
+    steps = min(200_000, max(2000, int(10 * tau / 1e-10)))
+    for _ in range(steps):
+        solver.step()
+    expected = 1.0 - load * total_r
+    assert abs(solver.node_voltage(last) - expected) < 5e-3 * max(1.0, abs(expected))
+
+
+@given(
+    rungs=st.lists(st.tuples(resistances, capacitances), min_size=1, max_size=5),
+    freq=st.floats(min_value=1e5, max_value=1e9),
+)
+@settings(max_examples=25, deadline=None)
+def test_passive_impedance_finite_positive(rungs, freq):
+    ckt, last = build_ladder(rungs)
+    ac = ACAnalysis(ckt)
+    z = ac.transfer_impedance(freq, {last: 1.0}, last)
+    assert math.isfinite(abs(z))
+    assert abs(z) >= 0.0
+    # Passive network: magnitude bounded by total series resistance at DC
+    # plus margin (resonance cannot occur without inductors).
+    assert abs(z) <= sum(r for r, _ in rungs) * 1.01
+
+
+@given(
+    rungs=st.lists(st.tuples(resistances, capacitances), min_size=2, max_size=4),
+    i1=st.floats(min_value=0.1, max_value=2.0),
+    i2=st.floats(min_value=0.1, max_value=2.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_ac_superposition(rungs, i1, i2):
+    ckt, last = build_ladder(rungs)
+    ac = ACAnalysis(ckt)
+    first = "n1"
+    f = 1e7
+    va = ac.solve(f, {first: i1})[last]
+    vb = ac.solve(f, {last: i2})[last]
+    vab = ac.solve(f, {first: i1, last: i2})[last]
+    assert abs(vab - (va + vb)) < 1e-9 * max(1.0, abs(vab))

@@ -1,0 +1,149 @@
+"""Transient solver tests against closed-form circuit theory results."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, TransientSolver
+
+
+def rc_circuit(r=100.0, c=1e-9, v=1.0):
+    ckt = Circuit("rc")
+    ckt.add_voltage_source("vin", "in", "0", v)
+    ckt.add_resistor("r", "in", "out", r)
+    ckt.add_capacitor("c", "out", "0", c, v0=0.0)
+    return ckt
+
+
+class TestRCStep:
+    def test_charging_curve_matches_analytic(self):
+        r, c, v = 100.0, 1e-9, 1.0
+        tau = r * c
+        ckt = rc_circuit(r, c, v)
+        solver = TransientSolver(ckt, dt=tau / 100)
+        # Start from the capacitor's stated initial condition, not DC.
+        result = solver.run(5 * tau, record=["out"], initialize=False)
+        analytic = v * (1 - np.exp(-result.times / tau))
+        # Trapezoidal startup carries a half-step error (~h/2tau) at t=0+;
+        # beyond that the curve tracks the analytic solution tightly.
+        assert np.max(np.abs(result.voltage("out") - analytic)) < 6e-3
+        late = result.times > tau
+        assert np.max(np.abs(result.voltage("out")[late] - analytic[late])) < 2.5e-3
+
+    def test_dc_initialization_starts_settled(self):
+        ckt = rc_circuit()
+        solver = TransientSolver(ckt, dt=1e-9)
+        result = solver.run(1e-6, record=["out"])
+        # Initialized at DC: output stays at the source voltage throughout.
+        assert np.allclose(result.voltage("out"), 1.0, atol=1e-9)
+
+
+class TestRLCResonance:
+    def test_underdamped_ringing_frequency(self):
+        # Series RLC driven by a current step into the tank: ring at
+        # f = 1/(2*pi*sqrt(LC)) (approximately, for low damping).
+        l, c, r = 10e-9, 100e-9, 0.05
+        f0 = 1 / (2 * math.pi * math.sqrt(l * c))
+        ckt = Circuit("rlc")
+        ckt.add_voltage_source("vin", "in", "0", 1.0)
+        ckt.add_resistor("r", "in", "mid", r)
+        ckt.add_inductor("l", "mid", "out", l)
+        ckt.add_capacitor("c", "out", "0", c, v0=0.0)
+        # Load step at t=0 excites the tank (start from unsettled IC).
+        solver = TransientSolver(ckt, dt=1.0 / (f0 * 200))
+        result = solver.run(6 / f0, record=["out"], initialize=False)
+        waveform = result.voltage("out") - 1.0
+        # Count zero crossings to estimate the ringing frequency.
+        signs = np.sign(waveform[np.abs(waveform) > 1e-6])
+        crossings = np.sum(signs[1:] != signs[:-1])
+        measured_f0 = crossings / 2 / (result.times[-1] - result.times[0])
+        assert measured_f0 == pytest.approx(f0, rel=0.1)
+
+    def test_energy_decays_with_resistance(self):
+        l, c, r = 10e-9, 100e-9, 0.5
+        f0 = 1 / (2 * math.pi * math.sqrt(l * c))
+        ckt = Circuit("rlc")
+        ckt.add_voltage_source("vin", "in", "0", 1.0)
+        ckt.add_resistor("r", "in", "mid", r)
+        ckt.add_inductor("l", "mid", "out", l)
+        ckt.add_capacitor("c", "out", "0", c, v0=0.0)
+        solver = TransientSolver(ckt, dt=1.0 / (f0 * 100))
+        result = solver.run(20 / f0, record=["out"], initialize=False)
+        waveform = result.voltage("out")
+        # Final value settles to the source voltage.
+        assert waveform[-1] == pytest.approx(1.0, abs=1e-3)
+
+
+class TestCurrentSourceLoad:
+    def test_ir_drop_at_dc(self):
+        # 1 A load through 0.1 ohm: the rail sags by exactly 100 mV.
+        ckt = Circuit("irdrop")
+        ckt.add_voltage_source("vin", "in", "0", 1.0)
+        ckt.add_resistor("rpdn", "in", "chip", 0.1)
+        ckt.add_capacitor("cdecap", "chip", "0", 1e-9)
+        ckt.add_current_source("load", "chip", "0", 1.0)
+        solver = TransientSolver(ckt, dt=1e-10)
+        result = solver.run(50e-9, record=["chip"])
+        assert result.voltage("chip")[-1] == pytest.approx(0.9, abs=1e-6)
+
+    def test_override_changes_load(self):
+        ckt = Circuit("override")
+        ckt.add_voltage_source("vin", "in", "0", 1.0)
+        ckt.add_resistor("rpdn", "in", "chip", 0.1)
+        ckt.add_capacitor("cdecap", "chip", "0", 1e-12)
+        load = ckt.add_current_source("load", "chip", "0", 0.0)
+        solver = TransientSolver(ckt, dt=1e-10)
+        solver.initialize_dc()
+        load.override = 2.0
+        for _ in range(500):
+            solver.step()
+        assert solver.node_voltage("chip") == pytest.approx(0.8, abs=1e-4)
+
+    def test_time_varying_source(self):
+        ckt = Circuit("tv")
+        ckt.add_voltage_source("vin", "in", "0", 1.0)
+        ckt.add_resistor("rpdn", "in", "chip", 0.1)
+        ckt.add_capacitor("cdecap", "chip", "0", 1e-12)
+        ckt.add_current_source("load", "chip", "0", lambda t: 1.0 if t > 5e-9 else 0.0)
+        solver = TransientSolver(ckt, dt=1e-10)
+        result = solver.run(20e-9, record=["chip"])
+        v = result.voltage("chip")
+        assert v[0] == pytest.approx(1.0, abs=1e-6)
+        # Trapezoidal ringing (tau << dt) leaves a small residual.
+        assert v[-1] == pytest.approx(0.9, abs=1e-3)
+
+
+class TestSolverInterface:
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError, match="dt"):
+            TransientSolver(rc_circuit(), dt=0.0)
+
+    def test_rejects_nonpositive_duration(self):
+        solver = TransientSolver(rc_circuit(), dt=1e-9)
+        with pytest.raises(ValueError, match="duration"):
+            solver.run(0.0)
+
+    def test_inductor_current_query(self):
+        ckt = Circuit("l")
+        ckt.add_voltage_source("vin", "in", "0", 1.0)
+        ckt.add_resistor("r", "in", "mid", 1.0)
+        ckt.add_inductor("l", "mid", "0", 1e-9)
+        solver = TransientSolver(ckt, dt=1e-11)
+        solver.initialize_dc()
+        # DC: inductor is a short, so 1 V across 1 ohm = 1 A through L.
+        assert solver.inductor_current("l") == pytest.approx(1.0, rel=1e-3)
+        with pytest.raises(KeyError):
+            solver.inductor_current("nope")
+
+    def test_ground_voltage_is_zero(self):
+        solver = TransientSolver(rc_circuit(), dt=1e-9)
+        solver.initialize_dc()
+        assert solver.node_voltage("0") == 0.0
+
+    def test_differential_recording(self):
+        ckt = rc_circuit()
+        solver = TransientSolver(ckt, dt=1e-9)
+        result = solver.run(100e-9, record=["in", "out"])
+        diff = result.differential("in", "out")
+        assert np.allclose(diff, result.voltage("in") - result.voltage("out"))

@@ -1,0 +1,157 @@
+"""Tests for the Algorithm 1 voltage smoothing controller."""
+
+import numpy as np
+import pytest
+
+from repro.config import StackConfig
+from repro.core.actuators import WeightedActuation
+from repro.core.controller import ControllerConfig, VoltageSmoothingController
+
+
+def make_controller(**config_kwargs):
+    defaults = dict(latency_cycles=10, control_period_cycles=1)
+    defaults.update(config_kwargs)
+    return VoltageSmoothingController(
+        config=ControllerConfig(**defaults),
+        actuation=WeightedActuation(w1=1.0, w2=1.0, w3=1.0),
+    )
+
+
+def healthy_voltages():
+    return np.full(16, 1.0)
+
+
+def drooping_voltages(sm, v=0.8):
+    voltages = healthy_voltages()
+    voltages[sm] = v
+    return voltages
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ControllerConfig()
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(v_threshold=1.5)
+
+    def test_default_latency_from_overheads(self):
+        assert ControllerConfig().total_latency_cycles == 60
+
+    def test_explicit_latency_wins(self):
+        assert ControllerConfig(latency_cycles=42).total_latency_cycles == 42
+
+
+class TestTriggering:
+    def test_no_action_above_threshold(self):
+        ctl = make_controller()
+        for cycle in range(20):
+            ctl.observe(cycle, healthy_voltages())
+        decision = ctl.commands_for(30)
+        assert np.all(decision.issue_widths == 2.0)
+        assert np.all(decision.fake_rates == 0.0)
+        assert ctl.triggers == 0
+
+    def test_droop_below_threshold_triggers(self):
+        ctl = make_controller()
+        # Hold the droop so the RC filter settles through it.
+        for cycle in range(300):
+            ctl.observe(cycle, drooping_voltages(5, v=0.8))
+        decision = ctl.commands_for(400)
+        assert 5 in decision.triggered_sms
+        assert decision.issue_widths[5] < 2.0
+
+    def test_fii_targets_overvolted_sm(self):
+        """The symmetric trigger: an underdrawing (overvolted) SM gets
+        fake instructions injected directly — in a series stack this is
+        precisely the SM(i+1, j) neighbour of a drooping SM."""
+        ctl = make_controller()
+        voltages = healthy_voltages()
+        voltages[6] = 1.3  # underdrawing SM
+        for cycle in range(800):
+            ctl.observe(cycle, voltages)
+        decision = ctl.commands_for(900)
+        assert decision.fake_rates[6] > 0.0
+        assert decision.issue_widths[6] == 2.0  # not throttled
+
+    def test_no_fii_when_nothing_overvolted(self):
+        ctl = make_controller()
+        for cycle in range(300):
+            ctl.observe(cycle, drooping_voltages(5, v=0.8))
+        decision = ctl.commands_for(400)
+        assert np.all(decision.fake_rates == 0.0)
+
+    def test_boost_proportional_to_overvoltage(self):
+        mild = make_controller()
+        severe = make_controller()
+        v_mild, v_severe = healthy_voltages(), healthy_voltages()
+        v_mild[2], v_severe[2] = 1.15, 1.5
+        for cycle in range(1500):
+            mild.observe(cycle, v_mild)
+            severe.observe(cycle, v_severe)
+        assert (
+            severe.commands_for(1600).fake_rates[2]
+            > mild.commands_for(1600).fake_rates[2]
+        )
+
+    def test_recovery_relaxes_commands(self):
+        ctl = make_controller()
+        for cycle in range(300):
+            ctl.observe(cycle, drooping_voltages(5, v=0.8))
+        assert ctl.commands_for(350).issue_widths[5] < 2.0
+        for cycle in range(300, 900):
+            ctl.observe(cycle, healthy_voltages())
+        assert ctl.commands_for(950).issue_widths[5] == 2.0
+
+
+class TestLatencyPipeline:
+    def test_commands_delayed_by_latency(self):
+        ctl = make_controller(latency_cycles=50)
+        for cycle in range(200):
+            ctl.observe(cycle, drooping_voltages(3, v=0.7))
+        # A decision made near cycle 199 applies only after +50.
+        fresh = VoltageSmoothingController(
+            config=ControllerConfig(latency_cycles=50, control_period_cycles=1)
+        )
+        fresh.observe(0, drooping_voltages(3, v=0.0))  # huge instant droop
+        early = fresh.commands_for(10)
+        assert np.all(early.issue_widths == 2.0)  # not yet in force
+
+    def test_proportional_to_error(self):
+        shallow = make_controller()
+        deep = make_controller()
+        for cycle in range(300):
+            shallow.observe(cycle, drooping_voltages(2, v=0.88))
+            deep.observe(cycle, drooping_voltages(2, v=0.75))
+        w_shallow = shallow.commands_for(400).issue_widths[2]
+        w_deep = deep.commands_for(400).issue_widths[2]
+        assert w_deep < w_shallow
+
+    def test_control_period_batches_decisions(self):
+        sparse = make_controller(control_period_cycles=16)
+        for cycle in range(160):
+            sparse.observe(cycle, drooping_voltages(1, v=0.8))
+        assert sparse.decisions_made == 10
+
+    def test_observe_validates_shape(self):
+        ctl = make_controller()
+        with pytest.raises(ValueError):
+            ctl.observe(0, np.ones(4))
+
+
+class TestStatistics:
+    def test_throttle_fraction(self):
+        ctl = make_controller()
+        for cycle in range(100):
+            ctl.observe(cycle, drooping_voltages(0, v=0.8))
+        assert 0.0 < ctl.throttle_fraction <= 1.0
+
+    def test_throttled_cycles_counted(self):
+        ctl = make_controller()
+        for cycle in range(300):
+            ctl.observe(cycle, drooping_voltages(0, v=0.8))
+            ctl.commands_for(cycle)
+        assert ctl.throttled_cycles > 0
+
+    def test_zero_decisions_zero_fraction(self):
+        assert make_controller().throttle_fraction == 0.0

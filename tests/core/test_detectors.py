@@ -1,0 +1,97 @@
+"""Tests for Table II detector models and the RC low-pass filter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.detectors import (
+    DETECTOR_OPTIONS,
+    DetectorSpec,
+    RCLowPassFilter,
+    VoltageDetector,
+)
+
+
+class TestTableII:
+    def test_three_options(self):
+        assert set(DETECTOR_OPTIONS) == {"oddd", "cpm", "adc"}
+
+    def test_oddd_is_fastest(self):
+        latencies = {k: v.latency_cycles for k, v in DETECTOR_OPTIONS.items()}
+        assert latencies["oddd"] == min(latencies.values())
+
+    def test_adc_has_finest_resolution(self):
+        resolutions = {k: v.resolution_v for k, v in DETECTOR_OPTIONS.items()}
+        assert resolutions["adc"] == min(resolutions.values())
+
+    def test_powers_within_table_ranges(self):
+        for spec in DETECTOR_OPTIONS.values():
+            lo, hi = spec.power_range_mw
+            assert lo <= spec.power_mw <= hi
+
+    def test_spec_validates_latency_range(self):
+        with pytest.raises(ValueError, match="range"):
+            DetectorSpec("bad", 100, (1, 10), 5.0, (0, 10), 0.01, "x")
+
+    def test_spec_validates_resolution(self):
+        with pytest.raises(ValueError, match="resolution"):
+            DetectorSpec("bad", 5, (1, 10), 5.0, (0, 10), 0.0, "x")
+
+
+class TestRCFilter:
+    def test_paper_cutoff(self):
+        f = RCLowPassFilter()
+        # 10 kOhm * 2 pF -> 1/(RC) = 5e7 rad/s (the paper's 50M cutoff).
+        assert f.cutoff_rad_s == pytest.approx(5e7)
+
+    def test_dc_passes_through(self):
+        f = RCLowPassFilter(initial_v=0.0)
+        for _ in range(10_000):
+            out = f.step(1.0, dt_s=1e-9)
+        assert out == pytest.approx(1.0, abs=1e-3)
+
+    def test_high_frequency_attenuated(self):
+        f = RCLowPassFilter(initial_v=1.0)
+        dt = 1.0 / 700e6
+        # 350 MHz square wave around 1.0 V (amplitude 0.2).
+        outputs = []
+        for n in range(4000):
+            x = 1.0 + (0.2 if n % 2 == 0 else -0.2)
+            outputs.append(f.step(x, dt))
+        swing = max(outputs[2000:]) - min(outputs[2000:])
+        assert swing < 0.04  # >10x attenuation
+
+    def test_low_frequency_tracked(self):
+        f = RCLowPassFilter(initial_v=1.0)
+        dt = 1.0 / 700e6
+        # 1 MHz square wave: well below cutoff, mostly tracked.
+        outputs = []
+        period = 700  # cycles
+        for n in range(20 * period):
+            x = 1.0 + (0.2 if (n // (period // 2)) % 2 == 0 else -0.2)
+            outputs.append(f.step(x, dt))
+        swing = max(outputs[-2 * period:]) - min(outputs[-2 * period:])
+        assert swing > 0.3
+
+    def test_rejects_bad_rc(self):
+        with pytest.raises(ValueError):
+            RCLowPassFilter(r_ohm=0.0)
+
+    def test_reset(self):
+        f = RCLowPassFilter(initial_v=1.0)
+        f.reset(0.5)
+        assert f.state_v == 0.5
+
+
+class TestVoltageDetector:
+    def test_quantizes_to_resolution(self):
+        d = VoltageDetector(DETECTOR_OPTIONS["oddd"], filter_initial_v=0.937)
+        out = d.sample(0.937, dt_s=1e-9)
+        step = DETECTOR_OPTIONS["oddd"].resolution_v
+        assert out == pytest.approx(round(0.937 / step) * step, abs=1e-12)
+
+    def test_adc_tracks_finely(self):
+        d = VoltageDetector(DETECTOR_OPTIONS["adc"], filter_initial_v=0.9)
+        out = d.sample(0.9, dt_s=1e-9)
+        assert abs(out - 0.9) < DETECTOR_OPTIONS["adc"].resolution_v

@@ -1,0 +1,135 @@
+"""Tests for the Algorithm 2 VS-aware power management hypervisor."""
+
+import numpy as np
+import pytest
+
+from repro.config import StackConfig
+from repro.core.hypervisor import HypervisorConfig, VSAwareHypervisor
+from repro.gpu.isa import ExecUnit
+
+STACK = StackConfig()
+
+
+def fresh():
+    return VSAwareHypervisor()
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        HypervisorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_frequency_threshold_hz": 0.0},
+            {"base_leakage_threshold_w": -1.0},
+            {"adaptation_strength": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HypervisorConfig(**kwargs)
+
+
+class TestFrequencyMapping:
+    def test_uniform_request_untouched(self):
+        hv = fresh()
+        request = np.full(16, 700e6)
+        assert np.allclose(hv.map_frequencies(request), request)
+        assert hv.frequency_overrides == 0
+
+    def test_small_spread_untouched(self):
+        hv = fresh()
+        request = np.full(16, 700e6)
+        request[0] = 650e6  # within the 100 MHz budget
+        assert np.allclose(hv.map_frequencies(request), request)
+
+    def test_large_spread_clamped_within_column(self):
+        hv = fresh()
+        request = np.full(16, 700e6)
+        slow = STACK.sm_index(0, 2)
+        request[slow] = 300e6  # 400 MHz below its column peers
+        mapped = hv.map_frequencies(request)
+        assert mapped[slow] == pytest.approx(700e6 - hv.frequency_threshold_hz)
+        assert hv.frequency_overrides == 1
+
+    def test_clamping_is_per_column(self):
+        hv = fresh()
+        request = np.full(16, 700e6)
+        # Whole column 1 slow: internally balanced, no clamping needed.
+        for sm in STACK.sms_in_column(1):
+            request[sm] = 300e6
+        mapped = hv.map_frequencies(request)
+        assert np.allclose(mapped, request)
+
+    def test_slow_sms_raised_not_fast_lowered(self):
+        hv = fresh()
+        request = np.full(16, 500e6)
+        fast = STACK.sm_index(2, 0)
+        request[fast] = 700e6
+        mapped = hv.map_frequencies(request)
+        assert mapped[fast] == 700e6  # performance request preserved
+
+    def test_validates_shape_and_values(self):
+        hv = fresh()
+        with pytest.raises(ValueError):
+            hv.map_frequencies(np.ones(4))
+        with pytest.raises(ValueError):
+            hv.map_frequencies(np.zeros(16))
+
+
+class TestGatingMapping:
+    def test_balanced_gating_granted(self):
+        hv = fresh()
+        request = [{ExecUnit.SFU} for _ in range(16)]
+        granted = hv.map_gating(request)
+        assert all(g == {ExecUnit.SFU} for g in granted)
+        assert hv.gating_vetoes == 0
+
+    def test_lopsided_gating_vetoed(self):
+        hv = VSAwareHypervisor(
+            config=HypervisorConfig(base_leakage_threshold_w=0.3)
+        )
+        request = [set() for _ in range(16)]
+        # Gate everything in a single SM of column 0.
+        lone = STACK.sm_index(0, 0)
+        request[lone] = {ExecUnit.ALU, ExecUnit.SFU, ExecUnit.LSU}
+        granted = hv.map_gating(request)
+        assert len(granted[lone]) < 3
+        assert hv.gating_vetoes > 0
+
+    def test_grants_highest_saving_first(self):
+        hv = VSAwareHypervisor(
+            config=HypervisorConfig(base_leakage_threshold_w=0.4)
+        )
+        lone = STACK.sm_index(1, 1)
+        request = [set() for _ in range(16)]
+        request[lone] = {ExecUnit.ALU, ExecUnit.SFU}
+        granted = hv.map_gating(request)
+        # ALU saves the most leakage; it is kept, SFU vetoed.
+        assert ExecUnit.ALU in granted[lone]
+
+    def test_validates_length(self):
+        with pytest.raises(ValueError):
+            fresh().map_gating([set()] * 4)
+
+
+class TestAdaptation:
+    def test_throttling_tightens_budgets(self):
+        hv = fresh()
+        base_f = hv.frequency_threshold_hz
+        base_p = hv.leakage_threshold_w
+        hv.update_performance_feedback(1.0)
+        assert hv.frequency_threshold_hz < base_f
+        assert hv.leakage_threshold_w < base_p
+
+    def test_idle_smoothing_keeps_base_budgets(self):
+        hv = fresh()
+        hv.update_performance_feedback(0.0)
+        assert hv.frequency_threshold_hz == pytest.approx(
+            HypervisorConfig().base_frequency_threshold_hz
+        )
+
+    def test_feedback_validated(self):
+        with pytest.raises(ValueError):
+            fresh().update_performance_feedback(1.5)

@@ -1,0 +1,44 @@
+"""Tests for the synthesized controller overhead budget (Section IV-D)."""
+
+import pytest
+
+from repro.core.detectors import DETECTOR_OPTIONS, RCLowPassFilter
+from repro.core.overheads import ControllerOverheads, control_latency_cycles
+
+
+class TestPaperConstants:
+    def test_synthesized_power(self):
+        # Synopsys DC, TSMC 40 nm: 1.634 mW for controller + adjusters.
+        assert ControllerOverheads().power_w == pytest.approx(1.634e-3)
+
+    def test_synthesized_area(self):
+        assert ControllerOverheads().area_um2 == pytest.approx(3084.0)
+
+    def test_area_conversion(self):
+        assert ControllerOverheads().area_mm2 == pytest.approx(3084e-6)
+
+    def test_total_area_includes_filters(self):
+        o = ControllerOverheads()
+        assert o.total_area_um2(16) == pytest.approx(
+            3084.0 + 16 * RCLowPassFilter.AREA_UM2
+        )
+
+
+class TestLatencyBudget:
+    def test_default_is_paper_60_cycles(self):
+        """The paper's chosen design point: a 60-cycle loop latency."""
+        assert control_latency_cycles() == 60
+
+    def test_cpm_detector_is_slower(self):
+        slow = control_latency_cycles(DETECTOR_OPTIONS["cpm"])
+        assert slow > control_latency_cycles()
+
+    def test_budget_sums_components(self):
+        o = ControllerOverheads()
+        latency = control_latency_cycles(DETECTOR_OPTIONS["adc"], o)
+        assert latency == (
+            DETECTOR_OPTIONS["adc"].latency_cycles
+            + o.computation_cycles
+            + o.actuation_cycles
+            + o.communication_cycles
+        )

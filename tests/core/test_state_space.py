@@ -1,0 +1,98 @@
+"""Tests for the stacked-grid state-space model (eqs. 1-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.state_space import StackedGridModel
+
+
+@pytest.fixture
+def model():
+    return StackedGridModel()
+
+
+class TestConstruction:
+    def test_rejects_single_layer(self):
+        with pytest.raises(ValueError):
+            StackedGridModel(num_layers=1)
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ValueError):
+            StackedGridModel(layer_capacitance_f=0.0)
+
+
+class TestMatrices:
+    def test_a_matrix_is_zero(self, model):
+        """Eq. (4): the linearized grid is a pure integrator bank."""
+        assert np.allclose(model.a_matrix(), 0.0)
+
+    def test_b_matrix_banded_structure(self, model):
+        b = model.b_matrix()
+        c = model.layer_capacitance_f
+        # Node i integrates (I_{i+1} - I_i)/C.
+        assert b[0, 0] == pytest.approx(-1 / c)
+        assert b[0, 1] == pytest.approx(1 / c)
+        assert b[2, 3] == pytest.approx(1 / c)
+        # Supply-pinned node: zero row.
+        assert np.allclose(b[3], 0.0)
+
+    def test_b_rows_sum_to_zero_for_interior(self, model):
+        # A uniform power step on all layers leaves boundaries unmoved:
+        # the balanced-load property of the stack.
+        b = model.b_matrix()
+        assert np.allclose(b @ np.ones(4), 0.0)
+
+    def test_feedback_matrix_excludes_supply_state(self, model):
+        k = model.feedback_matrix(3.0)
+        assert k[0, 0] == 3.0
+        assert k[3, 3] == 0.0
+
+    def test_closed_loop_eigenvalues_negative_for_positive_gain(self, model):
+        """Eq. (7) stability: every k > 0 gives a decaying closed loop."""
+        eigenvalues = np.linalg.eigvals(model.closed_loop(2.0)[:3, :3])
+        assert np.all(eigenvalues.real < 0)
+
+
+class TestEquilibrium:
+    def test_evenly_divided_supply(self, model):
+        assert np.allclose(model.equilibrium(), [1.0, 2.0, 3.0, 4.0])
+
+    def test_layer_voltages_from_state(self, model):
+        layers = model.layer_voltages(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.allclose(layers, 1.0)
+
+    def test_layer_voltages_validates_shape(self, model):
+        with pytest.raises(ValueError):
+            model.layer_voltages(np.ones(3))
+
+
+class TestSimulation:
+    def test_decays_from_initial_deviation(self, model):
+        _, trajectory = model.simulate(
+            k=2.0, dt=1e-8, steps=4000, x0=np.array([0.2, 0.0, 0.0, 0.0])
+        )
+        assert abs(trajectory[-1, 0]) < 0.01
+
+    def test_no_gain_no_decay(self, model):
+        _, trajectory = model.simulate(
+            k=0.0, dt=1e-8, steps=100, x0=np.array([0.2, 0.0, 0.0, 0.0])
+        )
+        assert trajectory[-1, 0] == pytest.approx(0.2)
+
+    def test_disturbance_bounded_under_feedback(self, model):
+        disturbance = lambda t: np.array([5e5, 0.0, 0.0, 0.0])
+        _, trajectory = model.simulate(k=5.0, dt=1e-8, steps=5000,
+                                       disturbance=disturbance)
+        # Steady-state deviation = dF * C / k.
+        expected = 5e5 * model.layer_capacitance_f / 5.0
+        assert trajectory[-1, 0] == pytest.approx(expected, rel=0.05)
+
+    def test_supply_state_pinned(self, model):
+        _, trajectory = model.simulate(
+            k=1.0, dt=1e-8, steps=50, x0=np.array([0.1, 0.1, 0.1, 0.0])
+        )
+        assert np.allclose(trajectory[:, 3], 0.0)
+
+    def test_rejects_bad_steps(self, model):
+        with pytest.raises(ValueError):
+            model.simulate(k=1.0, dt=0.0, steps=10)

@@ -1,0 +1,89 @@
+"""Tests for the whole-GPU model."""
+
+import numpy as np
+import pytest
+
+from repro.config import StackConfig, SystemConfig
+from repro.gpu import GPU, KernelSpec
+from repro.pdn.efficiency import imbalance_fraction
+
+
+@pytest.fixture(scope="module")
+def short_trace():
+    gpu = GPU(KernelSpec("t", body_length=800), seed=1, jitter=0.05)
+    return gpu, gpu.run(1500)
+
+
+class TestStepping:
+    def test_trace_shape(self, short_trace):
+        _, trace = short_trace
+        assert trace.shape == (1500, 16)
+
+    def test_rejects_nonpositive_cycles(self):
+        gpu = GPU(KernelSpec("t"), seed=0)
+        with pytest.raises(ValueError):
+            gpu.run(0)
+
+    def test_deterministic(self):
+        a = GPU(KernelSpec("t", body_length=300), seed=3).run(400)
+        b = GPU(KernelSpec("t", body_length=300), seed=3).run(400)
+        assert np.array_equal(a, b)
+
+    def test_cycle_counter_advances(self):
+        gpu = GPU(KernelSpec("t"), seed=0)
+        gpu.run(10)
+        assert gpu.cycle == 10
+
+
+class TestSPMDBalance:
+    """The property that makes GPUs the right VS platform (Section III-A)."""
+
+    def test_per_sm_mean_powers_clustered(self, short_trace):
+        _, trace = short_trace
+        means = trace.mean(axis=0)
+        assert means.std() / means.mean() < 0.12
+
+    def test_imbalance_fraction_below_20_percent(self, short_trace):
+        """Paper: shuffled power 'usually less than 20% of layer power'."""
+        _, trace = short_trace
+        assert imbalance_fraction(trace) < 0.20
+
+    def test_issue_rates_in_survey_band(self, short_trace):
+        gpu, _ = short_trace
+        rates = gpu.issue_rates()
+        assert np.all(rates > 0.6)
+        assert np.all(rates < 2.0)
+
+
+class TestActuationFanOut:
+    def test_issue_width_fanout(self):
+        gpu = GPU(KernelSpec("t"), seed=4)
+        gpu.set_issue_widths([1.0] * 16)
+        assert all(sm.issue_width_setting == 1.0 for sm in gpu.sms)
+
+    def test_fake_rate_fanout(self):
+        gpu = GPU(KernelSpec("t"), seed=4)
+        gpu.set_fake_rates([0.5] * 16)
+        assert all(sm.fake_rate == 0.5 for sm in gpu.sms)
+
+    def test_frequency_fanout_per_sm(self):
+        gpu = GPU(KernelSpec("t"), seed=4)
+        scales = [1.0] * 15 + [0.5]
+        gpu.set_frequency_scales(scales)
+        assert gpu.sms[15].frequency_scale == 0.5
+        assert gpu.sms[0].frequency_scale == 1.0
+
+
+class TestAggregation:
+    def test_layer_powers_sum_columns(self):
+        gpu = GPU(KernelSpec("t"), seed=5)
+        per_sm = np.arange(16.0)
+        layers = gpu.layer_powers(per_sm)
+        assert layers.shape == (4,)
+        assert layers[0] == pytest.approx(0 + 1 + 2 + 3)
+        assert layers[3] == pytest.approx(12 + 13 + 14 + 15)
+
+    def test_total_instruction_count_positive(self, short_trace):
+        gpu, _ = short_trace
+        assert gpu.total_instructions() > 1000
+        assert gpu.total_fake_instructions() == 0

@@ -1,0 +1,62 @@
+"""Tests for the shared memory system model."""
+
+import pytest
+
+from repro.gpu.memory import MemorySystem, MemoryTimings
+
+
+class TestTimings:
+    def test_defaults_valid(self):
+        MemoryTimings()
+
+    def test_rejects_bad_latencies(self):
+        with pytest.raises(ValueError):
+            MemoryTimings(l2_hit_cycles=0)
+        with pytest.raises(ValueError):
+            MemoryTimings(dram_cycles=-1)
+        with pytest.raises(ValueError):
+            MemoryTimings(requests_per_cycle=0)
+
+
+class TestLatency:
+    def test_all_hits_return_l2_latency(self):
+        m = MemorySystem(miss_ratio=0.0, seed=1)
+        done = m.request(100)
+        assert done == 100 + m.timings.l2_hit_cycles
+
+    def test_all_misses_return_dram_latency(self):
+        m = MemorySystem(miss_ratio=1.0, seed=1)
+        done = m.request(100)
+        assert done == 100 + m.timings.dram_cycles
+
+    def test_miss_ratio_statistics(self):
+        m = MemorySystem(miss_ratio=0.25, seed=2)
+        for _ in range(4000):
+            m.request(0)
+        assert m.observed_miss_ratio == pytest.approx(0.25, abs=0.03)
+
+    def test_invalid_miss_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySystem(miss_ratio=1.5)
+
+
+class TestBandwidth:
+    def test_burst_queues_beyond_bandwidth(self):
+        m = MemorySystem(miss_ratio=0.0, seed=3)
+        per_cycle = m.timings.requests_per_cycle
+        completions = [m.request(0) for _ in range(per_cycle * 10)]
+        # The last request of the burst waits ~9 extra cycles for service.
+        assert max(completions) >= min(completions) + 9
+
+    def test_spread_requests_not_delayed(self):
+        m = MemorySystem(miss_ratio=0.0, seed=4)
+        l2 = m.timings.l2_hit_cycles
+        for cycle in range(0, 100, 10):
+            assert m.request(cycle) == cycle + l2
+
+    def test_reset_statistics(self):
+        m = MemorySystem(miss_ratio=0.5, seed=5)
+        m.request(0)
+        m.reset_statistics()
+        assert m.requests_served == 0
+        assert m.observed_miss_ratio == 0.0

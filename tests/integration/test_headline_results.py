@@ -1,0 +1,87 @@
+"""End-to-end checks of the paper's headline claims (abstract numbers).
+
+Each test exercises the full pipeline — GPU timing -> PDN transient ->
+detectors -> controller — and asserts the corresponding headline within
+a tolerance band appropriate to a reproduction on a synthetic substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pdn.area import required_cr_ivr_area
+from repro.pdn.efficiency import pde_conventional
+from repro.sim.cosim import CosimConfig, run_cosim
+
+GPU_DIE_MM2 = 529.0
+
+
+@pytest.fixture(scope="module")
+def crosslayer_runs():
+    """Short cross-layer co-simulations of three diverse benchmarks."""
+    return {
+        name: run_cosim(
+            name, CosimConfig(cycles=2000, warmup_cycles=300, seed=21)
+        )
+        for name in ("hotspot", "heartwall", "bfs")
+    }
+
+
+class TestHeadlinePDE:
+    def test_pde_above_90_percent(self, crosslayer_runs):
+        """Headline: 92.3 % system-level power delivery efficiency."""
+        pdes = [r.efficiency().pde for r in crosslayer_runs.values()]
+        assert all(p > 0.90 for p in pdes)
+        assert np.mean(pdes) == pytest.approx(0.923, abs=0.03)
+
+    def test_12_point_improvement_over_conventional(self, crosslayer_runs):
+        """Headline: +12.3 % PDE over the conventional single-layer PDS."""
+        for result in crosslayer_runs.values():
+            conventional = pde_conventional(result.power_trace.mean_power_w)
+            gain = result.efficiency().pde - conventional.pde
+            assert 0.08 < gain < 0.18
+
+    def test_loss_elimination_over_half(self, crosslayer_runs):
+        """Headline: 61.5 % of total PDS energy loss eliminated."""
+        for result in crosslayer_runs.values():
+            stacked = result.efficiency()
+            conventional = pde_conventional(result.power_trace.mean_power_w)
+            cut = 1 - (stacked.total_loss / stacked.useful_power) / (
+                conventional.total_loss / conventional.useful_power
+            )
+            assert cut > 0.5
+
+
+class TestHeadlineArea:
+    def test_88_percent_area_reduction(self):
+        """Headline: 88 % lower CR-IVR area than circuit-only VS."""
+        circuit = required_cr_ivr_area(cross_layer=False)
+        cross = required_cr_ivr_area(cross_layer=True, control_latency_cycles=60)
+        assert 1 - cross / circuit == pytest.approx(0.88, abs=0.05)
+
+    def test_circuit_only_exceeds_gpu_die(self):
+        """Circuit-only CR-IVR dwarfs the GPU itself (1.72x in the paper)."""
+        assert required_cr_ivr_area(cross_layer=False) > GPU_DIE_MM2
+
+    def test_cross_layer_near_fifth_of_die(self):
+        cross = required_cr_ivr_area(cross_layer=True, control_latency_cycles=60)
+        assert cross / GPU_DIE_MM2 == pytest.approx(0.20, abs=0.05)
+
+
+class TestHeadlineReliability:
+    def test_supply_stays_in_guardband_statistically(self, crosslayer_runs):
+        """Benchmarks run with layer voltages overwhelmingly inside the
+        0.2 V guardband (Fig. 11's boxes)."""
+        for name, result in crosslayer_runs.items():
+            fraction_safe = float(np.mean(result.sm_voltages >= 0.8))
+            assert fraction_safe > 0.98, name
+
+    def test_median_voltage_near_nominal(self, crosslayer_runs):
+        for result in crosslayer_runs.values():
+            assert float(np.median(result.sm_voltages)) == pytest.approx(
+                1.0, abs=0.05
+            )
+
+    def test_imbalance_under_20_percent(self, crosslayer_runs):
+        """Section VI-A: shuffled power usually below 20 % of the load."""
+        for result in crosslayer_runs.values():
+            assert result.power_trace.imbalance_fraction() < 0.20

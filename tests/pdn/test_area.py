@@ -1,0 +1,112 @@
+"""Tests for CR-IVR area sizing (Table III / Fig. 10 anchors)."""
+
+import pytest
+
+from repro.config import StackConfig
+from repro.pdn.area import AreaModel, required_cr_ivr_area
+
+GPU_DIE_MM2 = 529.0
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+class TestWorstImbalance:
+    def test_sustained_worst_is_one_layer_of_dynamic_current(self, model):
+        # 4 SMs x (8 W peak - 15 % leakage) / 1 V = 27.2 A.
+        assert model.worst_sustained_imbalance_a == pytest.approx(27.2)
+
+    def test_control_shrinks_effective_imbalance(self, model):
+        assert model.effective_imbalance_a(60) < 0.2 * model.effective_imbalance_a(None)
+
+    def test_effective_imbalance_grows_with_latency(self, model):
+        assert model.effective_imbalance_a(60) < model.effective_imbalance_a(120)
+
+    def test_effective_imbalance_saturates_at_sustained(self, model):
+        assert model.effective_imbalance_a(10_000) == pytest.approx(
+            model.worst_sustained_imbalance_a
+        )
+
+    def test_residual_floor_at_tiny_latency(self, model):
+        # Even a zero-latency controller leaves the residual fraction.
+        assert model.effective_imbalance_a(0) > 0
+
+    def test_negative_latency_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.effective_imbalance_a(-1)
+
+
+class TestDroopModel:
+    def test_droop_decreases_with_area(self, model):
+        droops = [model.worst_droop_v(a, 60) for a in (50, 200, 800)]
+        assert droops[0] > droops[1] > droops[2]
+
+    def test_droop_decreases_with_faster_control(self, model):
+        assert model.worst_droop_v(105.8, 40) < model.worst_droop_v(105.8, 140)
+
+    def test_droop_saturates_at_rail(self, model):
+        assert model.worst_droop_v(0.0, None) == model.stack.sm_voltage
+
+    def test_paper_default_meets_guardband(self, model):
+        """0.2x GPU area + 60-cycle latency: droop within 0.2 V."""
+        droop = model.worst_droop_v(0.2 * GPU_DIE_MM2, 60)
+        assert droop <= model.stack.voltage_guardband + 1e-9
+
+    def test_circuit_only_at_02x_fails_badly(self, model):
+        """Fig. 9: circuit-only at 0.2x area cannot hold the rail."""
+        assert model.worst_voltage_v(0.2 * GPU_DIE_MM2, None) < 0.5
+
+    def test_circuit_only_at_2x_meets_guardband(self, model):
+        """Fig. 9: ~2x GPU area stabilizes the voltage above 0.8 V."""
+        assert model.worst_voltage_v(2.0 * GPU_DIE_MM2, None) >= 0.8
+
+    def test_fig10_latency_knee_near_80_cycles(self, model):
+        """Beyond ~80 cycles, 0.2x area no longer meets the guardband."""
+        area = 0.2 * GPU_DIE_MM2
+        assert model.worst_droop_v(area, 60) <= 0.2 + 1e-9
+        assert model.worst_droop_v(area, 100) > 0.2
+
+    def test_fig10_large_area_insensitive_to_latency(self, model):
+        """At 0.8x+ area, droop stays safe across the latency sweep."""
+        area = 0.8 * GPU_DIE_MM2
+        for latency in (40, 80, 120, 160):
+            assert model.worst_droop_v(area, latency) <= 0.2
+
+
+class TestSizing:
+    def test_circuit_only_area_matches_paper_anchor(self):
+        """Paper: 912 mm^2 (1.72x the 529 mm^2 die).  Accept 1.5-1.9x."""
+        area = required_cr_ivr_area(cross_layer=False)
+        assert 1.5 < area / GPU_DIE_MM2 < 1.9
+
+    def test_cross_layer_area_matches_paper_anchor(self):
+        """Paper: 105.8 mm^2 (0.2x die).  Accept 0.15-0.25x."""
+        area = required_cr_ivr_area(cross_layer=True, control_latency_cycles=60)
+        assert 0.15 < area / GPU_DIE_MM2 < 0.25
+
+    def test_area_reduction_near_88_percent(self):
+        """Headline: 88 % area reduction from the cross-layer approach."""
+        circuit = required_cr_ivr_area(cross_layer=False)
+        cross = required_cr_ivr_area(cross_layer=True, control_latency_cycles=60)
+        assert 1 - cross / circuit > 0.80
+
+    def test_sizing_is_inverse_of_droop(self, model):
+        area = model.required_area_mm2(control_latency_cycles=60)
+        droop = model.worst_droop_v(area, 60)
+        assert droop == pytest.approx(model.stack.voltage_guardband, rel=1e-6)
+
+    def test_slower_control_needs_more_area(self):
+        fast = required_cr_ivr_area(cross_layer=True, control_latency_cycles=40)
+        slow = required_cr_ivr_area(cross_layer=True, control_latency_cycles=140)
+        assert slow > fast
+
+    def test_tighter_guardband_needs_more_area(self, model):
+        loose = model.required_area_mm2(60, droop_target_v=0.3)
+        tight = model.required_area_mm2(60, droop_target_v=0.1)
+        assert tight > loose
+
+    def test_rejects_nonpositive_target(self, model):
+        with pytest.raises(ValueError):
+            model.required_area_mm2(60, droop_target_v=0.0)

@@ -1,0 +1,91 @@
+"""Tests for the CR-IVR design object and its averaged-model physics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, TransientSolver
+from repro.config import StackConfig
+from repro.pdn.builder import build_stacked_pdn
+from repro.pdn.cr_ivr import CRIVRDesign, switch_level_equalization_rate
+from repro.pdn.parameters import DEFAULT_PDN
+
+
+class TestDesign:
+    def test_distributed_one_sub_ivr_per_column(self):
+        d = CRIVRDesign(100.0, DEFAULT_PDN, StackConfig())
+        assert d.num_sub_ivrs == 4
+        assert d.num_boundaries == 3
+
+    def test_conductance_split_across_stamps(self):
+        d = CRIVRDesign(100.0, DEFAULT_PDN, StackConfig())
+        assert d.conductance_per_stamp * 12 == pytest.approx(d.total_conductance)
+
+    def test_zero_area_attaches_nothing(self):
+        d = CRIVRDesign(0.0, DEFAULT_PDN, StackConfig())
+        ckt = Circuit()
+        ckt.add_voltage_source("v", "a", "0", 1.0)
+        assert d.attach(ckt, [["0", "a", "b", "c", "d"]] * 4) == []
+
+    def test_attach_validates_tap_count(self):
+        d = CRIVRDesign(100.0, DEFAULT_PDN, StackConfig())
+        ckt = Circuit()
+        ckt.add_voltage_source("v", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="taps"):
+            d.attach(ckt, [["a", "b"]])
+
+
+class TestEqualizationPhysics:
+    def test_balanced_stack_draws_no_cr_current(self):
+        """CR-IVR must be invisible when layers are balanced.
+
+        Board input current with and without a huge CR-IVR must match
+        under perfectly balanced loads — the defining property of charge
+        recycling (a resistor bleeder would fail this).
+        """
+        currents = np.full(16, 5.0)
+        inputs = {}
+        for area in (0.0, 900.0):
+            pdn = build_stacked_pdn(cr_ivr_area_mm2=area)
+            solver = TransientSolver(pdn.circuit, dt=1e-10)
+            pdn.set_sm_currents(currents)
+            solver.initialize_dc()
+            inputs[area] = solver.vsource_current("vdd")
+        assert inputs[900.0] == pytest.approx(inputs[0.0], rel=1e-6)
+
+    def test_equalizes_all_interior_boundaries(self):
+        # Worst imbalance: top layer idles (a sustained 20 A mismatch).
+        # Growing the CR-IVR must monotonically shrink the layer-voltage
+        # spread, and at the circuit-only sizing (~900 mm^2) the starved
+        # layers must stay above the 0.8 V guardband floor.
+        currents = np.full(16, 6.0)
+        currents[12:] = 1.0  # top layer near-idle
+        spreads = {}
+        minima = {}
+        for area in (0.0, 300.0, 900.0):
+            pdn = build_stacked_pdn(cr_ivr_area_mm2=area)
+            solver = TransientSolver(pdn.circuit, dt=1e-10)
+            pdn.set_sm_currents(currents)
+            solver.initialize_dc()
+            voltages = [pdn.sm_voltage(solver, sm) for sm in range(16)]
+            spreads[area] = max(voltages) - min(voltages)
+            minima[area] = min(voltages)
+        assert spreads[0.0] > spreads[300.0] > spreads[900.0]
+        assert minima[900.0] >= 0.75
+
+
+class TestSwitchLevelRate:
+    def test_rate_formula(self):
+        rate = switch_level_equalization_rate(1e-9, 100e6, 100e-9)
+        assert rate == pytest.approx(1e6)
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError):
+            switch_level_equalization_rate(0.0, 1e6, 1e-9)
+
+    def test_rate_matches_averaged_conductance_model(self):
+        """f_sw * C_fly acting on a layer decap C gives rate g/C."""
+        f_sw, c_fly, c_layer = 50e6, 2e-9, 256e-9
+        g = f_sw * c_fly  # averaged conductance
+        assert switch_level_equalization_rate(c_fly, f_sw, c_layer) == pytest.approx(
+            g / c_layer
+        )

@@ -1,0 +1,144 @@
+"""Tests for the effective impedance analysis (Fig. 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.ac import log_frequency_grid
+from repro.pdn.builder import build_stacked_pdn
+from repro.pdn.impedance import (
+    ImpedanceAnalyzer,
+    StimulusKind,
+    decompose_currents,
+)
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return ImpedanceAnalyzer(build_stacked_pdn())
+
+
+@pytest.fixture(scope="module")
+def freqs():
+    return log_frequency_grid(1e6, 5e8, points_per_decade=8)
+
+
+class TestDecomposition:
+    def test_components_sum_to_input(self):
+        rng = np.random.default_rng(7)
+        s = rng.normal(5.0, 2.0, 16)
+        g, st, r = decompose_currents(s, 4, 4)
+        assert np.allclose(g + st + r, s)
+
+    def test_global_is_overall_mean(self):
+        s = np.arange(16.0)
+        g, _, _ = decompose_currents(s, 4, 4)
+        assert np.allclose(g, s.mean())
+
+    def test_stack_component_sums_to_zero(self):
+        rng = np.random.default_rng(8)
+        s = rng.normal(5.0, 2.0, 16)
+        _, st, _ = decompose_currents(s, 4, 4)
+        assert st.sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_residual_zero_for_column_uniform_load(self):
+        # Same current in every SM of each column: no residual.
+        s = np.tile(np.array([1.0, 2.0, 3.0, 4.0]), 4)  # layer-major
+        _, _, r = decompose_currents(s, 4, 4)
+        assert np.allclose(r, 0.0, atol=1e-12)
+
+    def test_orthogonality(self):
+        rng = np.random.default_rng(9)
+        s = rng.normal(0.0, 1.0, 16)
+        g, st, r = decompose_currents(s, 4, 4)
+        assert np.dot(g, st) == pytest.approx(0.0, abs=1e-9)
+        assert np.dot(g, r) == pytest.approx(0.0, abs=1e-9)
+        assert np.dot(st, r) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="per-SM"):
+            decompose_currents(np.ones(8), 4, 4)
+
+
+class TestPatterns:
+    def test_global_pattern_uniform(self, analyzer):
+        p = analyzer.pattern(StimulusKind.GLOBAL)
+        assert np.allclose(p, 1.0)
+
+    def test_stack_pattern_zero_sum(self, analyzer):
+        p = analyzer.pattern(StimulusKind.STACK, column=1)
+        assert p.sum() == pytest.approx(0.0, abs=1e-12)
+        assert p.max() == pytest.approx(1.0)
+
+    def test_residual_pattern_normalized_at_stimulated_sm(self, analyzer):
+        p = analyzer.pattern(StimulusKind.RESIDUAL, sm=5)
+        assert p[5] == pytest.approx(1.0)
+        # Residual currents circulate within the stimulated column.
+        layer, column = analyzer.stack.layer_column(5)
+        outside = [
+            k for k in range(16) if analyzer.stack.layer_column(k)[1] != column
+        ]
+        assert np.allclose(p[outside], 0.0, atol=1e-12)
+
+
+class TestFigure3Shapes:
+    """The impedance signatures that drive the whole paper."""
+
+    def test_global_resonance_peak_location(self, analyzer, freqs):
+        z = analyzer.sweep(freqs, StimulusKind.GLOBAL)
+        peak_f = freqs[int(np.argmax(z))]
+        # Paper: ~70 MHz.  Accept the 40-120 MHz band.
+        assert 40e6 < peak_f < 120e6
+
+    def test_global_peak_magnitude_tens_of_milliohms(self, analyzer, freqs):
+        z = analyzer.sweep(freqs, StimulusKind.GLOBAL)
+        assert 0.02 < z.max() < 0.15
+
+    def test_residual_plateau_at_low_frequency(self, analyzer, freqs):
+        z = analyzer.sweep(freqs, StimulusKind.RESIDUAL, observe_sm=0, sm=0)
+        # Plateau: low-frequency value within 20% of the 1 MHz value
+        # through ~3 MHz.
+        low = z[freqs <= 3e6]
+        assert np.all(np.abs(low - z[0]) < 0.2 * z[0])
+        # Magnitude: the paper's ~0.25 ohm plateau; accept 0.1-0.4.
+        assert 0.1 < z[0] < 0.4
+
+    def test_residual_dominates_global(self, analyzer, freqs):
+        """The key finding: current imbalance is the worst noise source."""
+        zg = analyzer.sweep(freqs, StimulusKind.GLOBAL)
+        zr = analyzer.sweep(freqs, StimulusKind.RESIDUAL, observe_sm=0, sm=0)
+        assert zr.max() > 2.0 * zg.max()
+
+    def test_residual_rolls_off_at_high_frequency(self, analyzer, freqs):
+        z = analyzer.sweep(freqs, StimulusKind.RESIDUAL, observe_sm=0, sm=0)
+        assert z[-1] < 0.5 * z[0]
+
+    def test_same_layer_coupling_exceeds_cross_layer(self, analyzer):
+        curves = analyzer.figure3_curves(np.array([1e6, 3e6]))
+        assert np.all(
+            curves["z_residual_same_layer"] > curves["z_residual_diff_layer"]
+        )
+
+
+class TestCRIVRSuppression:
+    """Fig. 3(b): on-chip regulation flattens the impedance peaks."""
+
+    def test_cr_ivr_cuts_residual_plateau(self, freqs):
+        bare = ImpedanceAnalyzer(build_stacked_pdn())
+        regulated = ImpedanceAnalyzer(build_stacked_pdn(cr_ivr_area_mm2=900.0))
+        z_bare = bare.sweep(freqs, StimulusKind.RESIDUAL, observe_sm=0, sm=0)
+        z_reg = regulated.sweep(freqs, StimulusKind.RESIDUAL, observe_sm=0, sm=0)
+        assert z_reg[0] < 0.35 * z_bare[0]
+
+    def test_bigger_cr_ivr_lower_impedance(self, freqs):
+        plateaus = []
+        for area in (100.0, 400.0, 900.0):
+            an = ImpedanceAnalyzer(build_stacked_pdn(cr_ivr_area_mm2=area))
+            plateaus.append(
+                an.sweep(np.array([1e6]), StimulusKind.RESIDUAL, observe_sm=0, sm=0)[0]
+            )
+        assert plateaus[0] > plateaus[1] > plateaus[2]
+
+    def test_worst_case_impedance_covers_all_kinds(self, analyzer, freqs):
+        worst = analyzer.worst_case_impedance(freqs)
+        zr = analyzer.sweep(freqs, StimulusKind.RESIDUAL, observe_sm=0, sm=0)
+        assert worst >= zr.max() - 1e-12

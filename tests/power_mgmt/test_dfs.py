@@ -1,0 +1,102 @@
+"""Tests for the GRAPE-style DFS controller."""
+
+import numpy as np
+import pytest
+
+from repro.power_mgmt.dfs import DFSConfig, GrapeDFSController
+
+
+def calibrated(target=0.5):
+    ctl = GrapeDFSController(performance_target=target)
+    ctl.calibrate_baseline(np.full(16, 4000.0))
+    return ctl
+
+
+class TestConfig:
+    def test_paper_constants(self):
+        cfg = DFSConfig()
+        assert cfg.step_hz == 50e6  # the paper's scaling step
+        assert cfg.decision_period_cycles == 4096  # the paper's period
+
+    def test_quantize_snaps_to_grid(self):
+        cfg = DFSConfig()
+        assert cfg.quantize(673e6) == pytest.approx(650e6)
+        assert cfg.quantize(680e6) == pytest.approx(700e6)
+        assert cfg.quantize(424e6) == pytest.approx(400e6)
+
+    def test_quantize_clamps_to_range(self):
+        cfg = DFSConfig()
+        assert cfg.quantize(100e6) == pytest.approx(cfg.min_frequency_hz)
+        assert cfg.quantize(900e6) == pytest.approx(cfg.nominal_frequency_hz)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_frequency_hz": 0.0},
+            {"step_hz": -1.0},
+            {"decision_period_cycles": 0},
+            {"hysteresis": 0.9},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DFSConfig(**kwargs)
+
+
+class TestController:
+    def test_requires_calibration(self):
+        ctl = GrapeDFSController()
+        with pytest.raises(RuntimeError, match="calibrate"):
+            ctl.decide(np.full(16, 1000.0))
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            GrapeDFSController(performance_target=0.0)
+
+    def test_below_target_steps_up(self):
+        ctl = calibrated(target=0.5)
+        ctl.frequencies_hz[:] = 400e6
+        freqs = ctl.decide(np.full(16, 1000.0))  # 25% of baseline < 50%
+        assert np.all(freqs == 450e6)
+
+    def test_above_target_steps_down(self):
+        ctl = calibrated(target=0.5)
+        freqs = ctl.decide(np.full(16, 4000.0))  # 100% >> 50% * hysteresis
+        assert np.all(freqs == 650e6)
+
+    def test_within_band_holds(self):
+        ctl = calibrated(target=0.5)
+        ctl.frequencies_hz[:] = 400e6
+        freqs = ctl.decide(np.full(16, 2050.0))  # just above target
+        assert np.all(freqs == 400e6)
+
+    def test_converges_to_low_frequency_for_low_target(self):
+        ctl = calibrated(target=0.3)
+        measured = np.full(16, 4000.0)
+        for _ in range(20):
+            freqs = ctl.decide(measured)
+            # Proportional plant: throughput tracks frequency.
+            measured = 4000.0 * freqs / 700e6
+        assert freqs.mean() < 350e6
+
+    def test_per_sm_independence(self):
+        ctl = calibrated(target=0.5)
+        measured = np.full(16, 4000.0)
+        measured[3] = 100.0  # SM 3 is starved: must step up
+        freqs = ctl.decide(measured)
+        assert freqs[3] == 700e6  # already at max, clamped
+        assert np.all(freqs[:3] == 650e6)
+
+    def test_frequency_scales(self):
+        ctl = calibrated()
+        ctl.frequencies_hz[:] = 350e6
+        assert np.allclose(ctl.frequency_scales(), 0.5)
+
+    def test_shape_validation(self):
+        ctl = calibrated()
+        with pytest.raises(ValueError):
+            ctl.decide(np.ones(4))
+        with pytest.raises(ValueError):
+            ctl.calibrate_baseline(np.ones(4))
+        with pytest.raises(ValueError):
+            ctl.calibrate_baseline(np.zeros(16))

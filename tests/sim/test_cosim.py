@@ -1,0 +1,165 @@
+"""Tests for the coupled GPU/PDN/controller simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.actuators import WeightedActuation
+from repro.core.controller import ControllerConfig
+from repro.sim.cosim import (
+    CosimConfig,
+    LayerShutoffEvent,
+    run_cosim,
+)
+from repro.sim.pds_configs import PDS_CONFIGS, PDSKind
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    return run_cosim(
+        "hotspot", CosimConfig(cycles=1200, warmup_cycles=150, seed=3)
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cycles": 0},
+            {"warmup_cycles": -1},
+            {"circuit_substeps": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            CosimConfig(**kwargs)
+
+
+class TestCoupledRun:
+    def test_shapes(self, short_run):
+        assert short_run.sm_voltages.shape == (1200, 16)
+        assert short_run.power_trace.data.shape == (1200, 16)
+        assert short_run.supply_current.shape == (1200,)
+
+    def test_voltages_near_nominal(self, short_run):
+        median = float(np.median(short_run.sm_voltages))
+        assert 0.9 < median < 1.1
+
+    def test_noise_bounded_with_cross_layer(self, short_run):
+        """The cross-layer default keeps the supply well-behaved."""
+        assert short_run.voltage_percentiles(1) > 0.75
+        assert short_run.min_voltage > 0.5
+
+    def test_supply_current_is_layer_scale(self, short_run):
+        # Series stack: board current ~ total power / board voltage.
+        expected = short_run.power_trace.mean_power_w / 4.1
+        assert short_run.supply_current.mean() == pytest.approx(
+            expected, rel=0.25
+        )
+
+    def test_efficiency_in_vs_band(self, short_run):
+        eff = short_run.efficiency()
+        assert 0.88 < eff.pde < 0.97
+
+    def test_summary_mentions_benchmark(self, short_run):
+        assert "hotspot" in short_run.summary()
+
+    def test_throughput_positive(self, short_run):
+        assert short_run.throughput() > 4.0
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            run_cosim("nope", CosimConfig(cycles=10))
+
+
+class TestControllerCoupling:
+    def test_controller_reduces_noise_vs_circuit_only(self):
+        """Fig. 11's core claim at the 0.2x CR-IVR sizing."""
+        base = CosimConfig(cycles=1500, warmup_cycles=150, seed=5)
+        with_ctl = run_cosim("fastwalsh", base)
+        without_ctl = run_cosim(
+            "fastwalsh",
+            CosimConfig(
+                cycles=1500, warmup_cycles=150, seed=5, use_controller=False
+            ),
+        )
+        assert (
+            with_ctl.voltage_percentiles(1)
+            >= without_ctl.voltage_percentiles(1) - 1e-3
+        )
+        assert with_ctl.min_voltage >= without_ctl.min_voltage - 1e-3
+
+    def test_diws_only_actuation(self):
+        result = run_cosim(
+            "hotspot",
+            CosimConfig(
+                cycles=800,
+                warmup_cycles=100,
+                actuation=WeightedActuation(w1=1.0, w2=0.0, w3=0.0),
+            ),
+        )
+        assert result.fake_instructions == 0
+
+    def test_fii_engages_on_sustained_overvoltage(self):
+        """Brief spikes are filtered out; a sustained underdrawing layer
+        (the shutoff event) engages FII through the boost trigger."""
+        result = run_cosim(
+            "heartwall",
+            CosimConfig(
+                cycles=1500, warmup_cycles=200, seed=7,
+                shutoff=LayerShutoffEvent(layer=3, start_cycle=300),
+            ),
+        )
+        assert result.fake_instructions > 0
+
+    def test_controller_power_counted(self, short_run):
+        assert short_run.controller_power_w == pytest.approx(1.634e-3)
+
+
+class TestLayerShutoff:
+    def test_shutoff_idles_layer(self):
+        event = LayerShutoffEvent(layer=3, start_cycle=400)
+        result = run_cosim(
+            "heartwall",
+            CosimConfig(
+                cycles=1000, warmup_cycles=0, shutoff=event,
+                use_controller=False,
+            ),
+        )
+        # After shutoff the top layer's SMs draw only idle power.
+        late = result.power_trace.data[800:]
+        top = late[:, 12:].mean()
+        bottom = late[:, :4].mean()
+        assert top < 0.6 * bottom
+
+    def test_shutoff_droops_other_layers_without_controller(self):
+        event = LayerShutoffEvent(layer=3, start_cycle=300)
+        result = run_cosim(
+            "heartwall",
+            CosimConfig(
+                cycles=900, warmup_cycles=0, shutoff=event,
+                use_controller=False, cr_ivr_area_mm2=105.8,
+            ),
+        )
+        assert result.min_voltage < 0.7
+
+    def test_event_window(self):
+        event = LayerShutoffEvent(layer=2, start_cycle=10, end_cycle=20)
+        assert not event.active(9)
+        assert event.active(10)
+        assert not event.active(20)
+
+
+class TestPDSConfigs:
+    def test_four_rows(self):
+        assert len(PDS_CONFIGS) == 4
+
+    def test_cross_layer_smaller_than_circuit_only(self):
+        circuit = PDS_CONFIGS[PDSKind.VS_CIRCUIT_ONLY]
+        cross = PDS_CONFIGS[PDSKind.VS_CROSS_LAYER]
+        assert cross.cr_ivr_area_mm2 < 0.2 * circuit.cr_ivr_area_mm2
+        assert cross.has_controller
+        assert not circuit.has_controller
+
+    def test_paper_anchor_metadata(self):
+        assert PDS_CONFIGS[PDSKind.CONVENTIONAL_VRM].paper_pde == 0.80
+        assert PDS_CONFIGS[PDSKind.VS_CROSS_LAYER].paper_pde == 0.923

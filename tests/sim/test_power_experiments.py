@@ -1,0 +1,108 @@
+"""Tests for the DFS / PG collaborative power-management drivers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.power_experiments import (
+    PowerManagementResult,
+    run_baseline,
+    run_dfs_experiment,
+    run_pg_experiment,
+)
+
+CYCLES_DFS = 2 * 4096
+CYCLES_PG = 3000
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_baseline("hotspot", stacked=False, cycles=3000)
+
+
+class TestResultContainer:
+    def test_energy_accounting(self, baseline):
+        assert baseline.chip_energy_j > 0
+        assert baseline.input_energy_j() > baseline.chip_energy_j
+        assert baseline.energy_per_instruction_j() > 0
+
+    def test_stacked_pde_above_conventional(self):
+        conventional = run_baseline("hotspot", stacked=False, cycles=2000)
+        stacked = run_baseline("hotspot", stacked=True, cycles=2000)
+        assert stacked.pde() > conventional.pde()
+
+    def test_no_work_rejected(self):
+        r = PowerManagementResult(
+            "x", False, np.ones((10, 16)), instructions=0, cycles=10
+        )
+        with pytest.raises(ValueError):
+            r.energy_per_instruction_j()
+
+
+class TestDFS:
+    def test_lower_target_lower_power(self):
+        high = run_dfs_experiment(
+            "hotspot", performance_target=0.9, stacked=False,
+            cycles=CYCLES_DFS,
+        )
+        low = run_dfs_experiment(
+            "hotspot", performance_target=0.2, stacked=False,
+            cycles=CYCLES_DFS,
+        )
+        assert low.mean_power_w < high.mean_power_w
+
+    def test_lower_target_fewer_instructions(self):
+        high = run_dfs_experiment(
+            "hotspot", performance_target=0.9, stacked=False,
+            cycles=CYCLES_DFS,
+        )
+        low = run_dfs_experiment(
+            "hotspot", performance_target=0.2, stacked=False,
+            cycles=CYCLES_DFS,
+        )
+        assert low.instructions < high.instructions
+
+    def test_stacked_variant_runs_hypervisor(self):
+        run = run_dfs_experiment(
+            "hotspot", performance_target=0.5, stacked=True,
+            cycles=CYCLES_DFS,
+        )
+        assert run.stacked
+        assert run.frequency_overrides >= 0
+
+    def test_stacked_beats_conventional_energy(self):
+        conventional = run_dfs_experiment(
+            "hotspot", performance_target=0.5, stacked=False,
+            cycles=CYCLES_DFS,
+        )
+        stacked = run_dfs_experiment(
+            "hotspot", performance_target=0.5, stacked=True,
+            cycles=CYCLES_DFS,
+        )
+        assert (
+            stacked.energy_per_instruction_j()
+            < conventional.energy_per_instruction_j()
+        )
+
+
+class TestPG:
+    def test_gating_reduces_power(self):
+        baseline = run_baseline("blackscholes", stacked=False, cycles=CYCLES_PG)
+        gated = run_pg_experiment("blackscholes", stacked=False, cycles=CYCLES_PG)
+        # Gating the idle LSU/SFU shaves leakage power.
+        assert gated.mean_power_w < baseline.mean_power_w
+
+    def test_hypervisor_only_on_stacked(self):
+        conventional = run_pg_experiment("hotspot", stacked=False, cycles=CYCLES_PG)
+        assert conventional.gating_vetoes == 0
+
+    def test_stacked_beats_conventional_energy(self):
+        conventional = run_pg_experiment(
+            "heartwall", stacked=False, cycles=CYCLES_PG
+        )
+        stacked = run_pg_experiment(
+            "heartwall", stacked=True, cycles=CYCLES_PG
+        )
+        assert (
+            stacked.energy_per_instruction_j()
+            < conventional.energy_per_instruction_j()
+        )

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("benchmarks", "cosim", "impedance", "size", "pde"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_cosim_options(self):
+        args = build_parser().parse_args(
+            ["cosim", "bfs", "--cycles", "100", "--no-controller"]
+        )
+        assert args.benchmark == "bfs"
+        assert args.cycles == 100
+        assert args.no_controller
+
+
+class TestCommands:
+    def test_benchmarks_lists_names(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "backprop" in out
+        assert "fastwalsh" in out
+
+    def test_benchmarks_suite_filter(self, capsys):
+        main(["benchmarks", "--suite", "cuda_sdk"])
+        out = capsys.readouterr().out
+        assert "blackscholes" in out
+        assert "hotspot" not in out
+
+    def test_size_reports_reduction(self, capsys):
+        assert main(["size"]) == 0
+        out = capsys.readouterr().out
+        assert "area reduction" in out
+        assert "x GPU die" in out
+
+    def test_impedance_prints_curves(self, capsys):
+        assert main(["impedance", "--points", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Z_G" in out
+        assert "Z_R_same" in out
+
+    def test_cosim_short_run(self, capsys):
+        assert main(["cosim", "heartwall", "--cycles", "400",
+                     "--warmup", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "heartwall" in out
+        assert "PDE" in out
+
+    def test_pde_breakdown(self, capsys):
+        assert main(["pde", "hotspot", "--cycles", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "VS cross-layer" in out
+        assert "single layer VRM" in out

@@ -1,0 +1,132 @@
+"""Table I system configuration, asserted row by row."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CONFIG,
+    GPUConfig,
+    PowerConfig,
+    StackConfig,
+    SystemConfig,
+)
+
+
+class TestTableIRows:
+    """Every row of Table I."""
+
+    def test_pcb_voltage(self):
+        assert DEFAULT_CONFIG.stack.board_voltage == 4.1
+
+    def test_sm_voltage(self):
+        assert DEFAULT_CONFIG.stack.sm_voltage == 1.0
+
+    def test_number_of_sms(self):
+        assert DEFAULT_CONFIG.gpu.num_sms == 16
+
+    def test_sm_clock(self):
+        assert DEFAULT_CONFIG.gpu.sm_clock_hz == 700e6
+
+    def test_threads_per_sm(self):
+        assert DEFAULT_CONFIG.gpu.threads_per_sm == 1536
+
+    def test_threads_per_warp(self):
+        assert DEFAULT_CONFIG.gpu.threads_per_warp == 32
+
+    def test_registers_per_sm(self):
+        assert DEFAULT_CONFIG.gpu.registers_per_sm_kb == 128
+
+    def test_memory_controller(self):
+        assert DEFAULT_CONFIG.gpu.memory_controller == "FR-FCFS"
+
+    def test_shared_memory(self):
+        assert DEFAULT_CONFIG.gpu.shared_memory_kb == 48
+
+    def test_memory_bandwidth(self):
+        assert DEFAULT_CONFIG.gpu.memory_bandwidth_gbs == 179.2
+
+    def test_memory_channels(self):
+        assert DEFAULT_CONFIG.gpu.memory_channels == 6
+
+    def test_warp_scheduler(self):
+        assert DEFAULT_CONFIG.gpu.warp_scheduler == "GTO"
+
+    def test_stack_partition(self):
+        # VDD..3/4VDD: SM1-4; ...; 1/4VDD..GND: SM13-16.
+        assert DEFAULT_CONFIG.stack.num_layers == 4
+        assert DEFAULT_CONFIG.stack.num_columns == 4
+
+    def test_process_technology(self):
+        assert DEFAULT_CONFIG.gpu.process_technology_nm == 40
+
+
+class TestDerivedQuantities:
+    def test_max_warps_per_sm(self):
+        assert DEFAULT_CONFIG.gpu.warps_per_sm_max == 48
+
+    def test_cycle_time(self):
+        assert DEFAULT_CONFIG.gpu.cycle_time_s == pytest.approx(1 / 700e6)
+
+    def test_nominal_layer_voltage(self):
+        assert DEFAULT_CONFIG.stack.nominal_layer_voltage == pytest.approx(
+            1.025
+        )
+
+    def test_min_safe_voltage_from_guardband(self):
+        # 0.2 V guardband (the commercial GPU margin the paper cites).
+        assert DEFAULT_CONFIG.stack.min_safe_voltage == pytest.approx(0.8)
+
+    def test_sm_leakage(self):
+        power = PowerConfig()
+        assert power.sm_leakage_power_w == pytest.approx(1.2)
+        assert power.sm_dynamic_peak_w == pytest.approx(6.8)
+        assert power.grid_peak_power_w(16) == pytest.approx(128.0)
+
+
+class TestStackIndexing:
+    def test_flat_index_roundtrip(self):
+        stack = StackConfig()
+        for layer in range(4):
+            for column in range(4):
+                sm = stack.sm_index(layer, column)
+                assert stack.layer_column(sm) == (layer, column)
+
+    def test_paper_sm_numbering(self):
+        stack = StackConfig()
+        # Paper: SM1 is in the top layer (layer 3 here), first column.
+        assert stack.paper_sm_number(3, 0) == 1
+        assert stack.paper_sm_number(3, 3) == 4
+        # SM13-16 in the bottom layer.
+        assert stack.paper_sm_number(0, 0) == 13
+        assert stack.paper_sm_number(0, 3) == 16
+
+    def test_layer_and_column_listings(self):
+        stack = StackConfig()
+        assert stack.sms_in_layer(0) == [0, 1, 2, 3]
+        assert stack.sms_in_column(0) == [0, 4, 8, 12]
+
+    @pytest.mark.parametrize(
+        "method,args",
+        [
+            ("sm_index", (4, 0)),
+            ("sm_index", (0, 4)),
+            ("layer_column", (16,)),
+            ("sms_in_layer", (4,)),
+            ("sms_in_column", (-1,)),
+            ("paper_sm_number", (4, 0)),
+        ],
+    )
+    def test_bounds_checked(self, method, args):
+        with pytest.raises(ValueError):
+            getattr(StackConfig(), method)(*args)
+
+
+class TestSystemConsistency:
+    def test_stack_must_match_gpu(self):
+        with pytest.raises(ValueError, match="SMs"):
+            SystemConfig(
+                gpu=GPUConfig(num_sms=8),
+                stack=StackConfig(num_layers=4, num_columns=4),
+            )
+
+    def test_default_consistent(self):
+        SystemConfig()  # does not raise

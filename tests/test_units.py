@@ -1,0 +1,43 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_milliohm(self):
+        assert units.m_ohm(250) == pytest.approx(0.25)
+
+    def test_inductances(self):
+        assert units.n_henry(60) == pytest.approx(60e-9)
+        assert units.p_henry(60) == pytest.approx(60e-12)
+
+    def test_capacitances(self):
+        assert units.u_farad(1) == pytest.approx(1e-6)
+        assert units.n_farad(64) == pytest.approx(64e-9)
+        assert units.p_farad(2) == pytest.approx(2e-12)
+
+    def test_frequency_and_time(self):
+        assert units.mega_hertz(700) == pytest.approx(700e6)
+        assert units.nano_second(3) == pytest.approx(3e-9)
+        assert units.micro_second(3) == pytest.approx(3e-6)
+
+    def test_mm2_identity(self):
+        assert units.mm2(105.8) == 105.8
+
+
+class TestCycleConversions:
+    def test_roundtrip(self):
+        f = 700e6
+        assert units.seconds_to_cycles(
+            units.cycles_to_seconds(60, f), f
+        ) == pytest.approx(60)
+
+    def test_sixty_cycles_at_700mhz(self):
+        assert units.cycles_to_seconds(60, 700e6) == pytest.approx(85.7e-9, rel=1e-3)
+
+    @pytest.mark.parametrize("func", ["cycles_to_seconds", "seconds_to_cycles"])
+    def test_rejects_nonpositive_frequency(self, func):
+        with pytest.raises(ValueError):
+            getattr(units, func)(1.0, 0.0)

@@ -1,0 +1,76 @@
+"""Tests for the benchmark registry and its paper-calibrated behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GPU
+from repro.workloads.benchmarks import (
+    BENCHMARK_NAMES,
+    get_benchmark,
+    list_benchmarks,
+)
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 12
+
+    def test_six_per_suite(self):
+        assert len(list_benchmarks("rodinia")) == 6
+        assert len(list_benchmarks("cuda_sdk")) == 6
+
+    def test_paper_names_present(self):
+        expected = {
+            "backprop", "bfs", "heartwall", "hotspot", "pathfinder", "srad",
+            "blackscholes", "scalarprod", "sortingnet", "simpleface",
+            "fastwalsh", "simpleatomic",
+        }
+        assert set(BENCHMARK_NAMES) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("BACKPROP").name == "backprop"
+
+    def test_paper_aliases(self):
+        # The paper's figures label srad as "sard" and backprop as "BACKP".
+        assert get_benchmark("sard").name == "srad"
+        assert get_benchmark("BACKP").name == "backprop"
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError, match="available"):
+            get_benchmark("doom")
+
+    def test_kernel_names_match(self):
+        for spec in list_benchmarks():
+            assert spec.kernel.name == spec.name
+
+
+class TestCalibration:
+    """Cross-benchmark behaviour targets from the paper."""
+
+    def test_backprop_more_jittery_than_heartwall(self):
+        # Fig. 17: backprop worst imbalance, heartwall best uniformity.
+        assert get_benchmark("backprop").jitter > 3 * get_benchmark("heartwall").jitter
+
+    def test_outliers_have_phase_structure(self):
+        # Fig. 11 outliers show strong phase transitions.
+        for name in ("pathfinder", "fastwalsh", "simpleatomic"):
+            assert get_benchmark(name).kernel.phase_period > 0
+
+    def test_bfs_is_memory_bound(self):
+        assert get_benchmark("bfs").miss_ratio > 0.5
+
+    def test_blackscholes_uses_sfu(self):
+        from repro.gpu.isa import InstructionClass
+
+        mix = get_benchmark("blackscholes").kernel.mix
+        assert mix.get(InstructionClass.SFU, 0) >= 0.25
+
+    @pytest.mark.parametrize("name", ["heartwall", "bfs", "backprop"])
+    def test_issue_rates_in_band(self, name):
+        spec = get_benchmark(name)
+        gpu = GPU(spec.kernel, seed=1, miss_ratio=spec.miss_ratio,
+                  jitter=spec.jitter)
+        gpu.run(1200)
+        rates = gpu.issue_rates()
+        assert rates.mean() > 0.5
+        assert rates.mean() < 2.0

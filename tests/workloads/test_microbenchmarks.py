@@ -1,0 +1,88 @@
+"""Tests for the power-virus microbenchmark schedules."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.microbenchmarks import (
+    VirusSchedule,
+    didt_virus,
+    imbalance_virus,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period_cycles": 1, "high_width": 2.0, "low_width": 0.0,
+             "pattern": "global"},
+            {"period_cycles": 10, "high_width": 1.0, "low_width": 1.5,
+             "pattern": "global"},
+            {"period_cycles": 10, "high_width": 2.0, "low_width": 0.0,
+             "pattern": "weird"},
+        ],
+    )
+    def test_rejects_bad_schedules(self, kwargs):
+        with pytest.raises(ValueError):
+            VirusSchedule(**kwargs)
+
+    def test_frequency(self):
+        assert didt_virus(period_cycles=70).frequency_hz == pytest.approx(10e6)
+
+
+class TestGlobalVirus:
+    def test_all_sms_swing_together(self):
+        virus = didt_virus(period_cycles=10)
+        high = virus.widths(0)
+        low = virus.widths(5)
+        assert np.allclose(high, 2.0)
+        assert np.allclose(low, 0.0)
+
+    def test_periodicity(self):
+        virus = didt_virus(period_cycles=10)
+        assert np.allclose(virus.widths(3), virus.widths(13))
+
+    def test_default_period_pumps_resonance(self):
+        # ~63 MHz, matching the PDN's measured resonance.
+        assert didt_virus().frequency_hz == pytest.approx(63.6e6, rel=0.01)
+
+
+class TestImbalanceVirus:
+    def test_layers_swing_in_antiphase(self):
+        virus = imbalance_virus(period_cycles=100)
+        widths = virus.widths(0)
+        top = widths[12:]  # layers 2-3 active in the high phase
+        bottom = widths[:4]
+        assert np.allclose(top, 2.0)
+        assert np.allclose(bottom, 0.2)
+        # Half a period later the roles flip.
+        flipped = virus.widths(50)
+        assert np.allclose(flipped[12:], 0.2)
+        assert np.allclose(flipped[:4], 2.0)
+
+    def test_total_activity_roughly_constant(self):
+        virus = imbalance_virus(period_cycles=100)
+        assert virus.widths(0).sum() == pytest.approx(virus.widths(50).sum())
+
+    def test_default_period_in_residual_plateau(self):
+        assert imbalance_virus().frequency_hz == pytest.approx(1e6, rel=0.01)
+
+
+class TestVirusOnGPU:
+    def test_imbalance_virus_creates_layer_imbalance(self):
+        """End to end: the imbalance virus driven through real SMs
+        produces strong sustained layer imbalance."""
+        from repro.gpu import GPU, KernelSpec
+        from repro.pdn.efficiency import imbalance_fraction
+
+        gpu = GPU(KernelSpec("virus_host", body_length=400,
+                             dependence=0.0), seed=3)
+        virus = imbalance_virus(period_cycles=400)
+        trace = np.empty((1200, 16))
+        for cycle in range(1200):
+            gpu.set_issue_widths(virus.widths(cycle))
+            trace[cycle] = gpu.step()
+        plain = GPU(KernelSpec("virus_host", body_length=400,
+                               dependence=0.0), seed=3)
+        baseline = plain.run(1200)
+        assert imbalance_fraction(trace) > 2 * imbalance_fraction(baseline)

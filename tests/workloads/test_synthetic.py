@@ -1,0 +1,87 @@
+"""Tests for synthetic worst-case current generators."""
+
+import numpy as np
+import pytest
+
+from repro.config import PowerConfig, StackConfig
+from repro.workloads.synthetic import (
+    layer_shutoff_currents,
+    resonance_currents,
+    step_currents,
+    worst_case_residual_currents,
+)
+
+STACK = StackConfig()
+POWER = PowerConfig()
+
+
+class TestLayerShutoff:
+    def test_before_event_all_balanced(self):
+        f = layer_shutoff_currents(shutoff_time_s=3e-6, activity=0.8)
+        currents = f(1e-6)
+        assert currents.shape == (16,)
+        assert np.allclose(currents, currents[0])
+
+    def test_after_event_layer_drops_to_leakage(self):
+        f = layer_shutoff_currents(shutoff_time_s=3e-6, layer=3, activity=0.8)
+        currents = f(4e-6)
+        leak = POWER.sm_leakage_power_w / STACK.sm_voltage
+        for sm in STACK.sms_in_layer(3):
+            assert currents[sm] == pytest.approx(leak)
+        for sm in STACK.sms_in_layer(0):
+            assert currents[sm] > leak
+
+    def test_recovery(self):
+        f = layer_shutoff_currents(3e-6, recovery_time_s=5e-6)
+        assert np.allclose(f(6e-6), f(1e-6))
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            layer_shutoff_currents(-1.0)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            layer_shutoff_currents(1e-6, activity=1.5)
+
+
+class TestStep:
+    def test_levels(self):
+        f = step_currents(1e-6, before_activity=0.2, after_activity=1.0)
+        assert f(0.0).mean() < f(2e-6).mean()
+
+    def test_step_is_global(self):
+        f = step_currents(1e-6)
+        after = f(2e-6)
+        assert np.allclose(after, after[0])
+
+
+class TestResonance:
+    def test_square_wave_period(self):
+        f = resonance_currents(50e6)  # 20 ns period
+        high = f(1e-9)
+        low = f(11e-9)
+        assert high.mean() > low.mean()
+        assert np.allclose(f(21e-9), high)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            resonance_currents(0.0)
+
+
+class TestWorstResidual:
+    def test_pattern_zero_sum_within_column(self):
+        f = worst_case_residual_currents(10e6, sm=0, amplitude_a=2.0)
+        base = worst_case_residual_currents(10e6, sm=0, amplitude_a=0.0)
+        delta = f(1e-9) - base(1e-9)
+        # The residual adds zero net current to the column.
+        assert delta.sum() == pytest.approx(0.0, abs=1e-9)
+        assert delta[0] == pytest.approx(2.0)
+
+    def test_off_phase_is_balanced_baseline(self):
+        f = worst_case_residual_currents(10e6, sm=0, amplitude_a=2.0)
+        off = f(60e-9)  # second half of the 100 ns period
+        assert np.allclose(off, off[0])
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ValueError):
+            worst_case_residual_currents(1e6, amplitude_a=-1.0)
