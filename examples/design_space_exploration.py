@@ -28,8 +28,7 @@ from repro.core.state_space import StackedGridModel
 from repro.pdn.area import AreaModel
 from repro.pdn.builder import build_stacked_pdn
 from repro.pdn.impedance import ImpedanceAnalyzer, StimulusKind
-
-GPU_DIE_MM2 = 529.0
+from repro.pdn.parameters import GPU_DIE_AREA_MM2 as GPU_DIE_MM2
 
 
 def explore_impedance() -> None:

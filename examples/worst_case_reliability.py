@@ -22,9 +22,8 @@ import numpy as np
 
 from repro.gpu.isa import InstructionClass
 from repro.gpu.kernels import KernelSpec
+from repro.pdn.parameters import GPU_DIE_AREA_MM2 as GPU_DIE_MM2
 from repro.sim.cosim import CosimConfig, LayerShutoffEvent, run_cosim
-
-GPU_DIE_MM2 = 529.0
 EVENT_CYCLE = 700
 
 STEADY_KERNEL = KernelSpec(

@@ -162,13 +162,38 @@ class CurrentSource(Element):
     With ``node_pos`` on a supply rail and ``node_neg`` on ground this is a
     load: it pulls current off the rail, which is how SMs are modeled
     (time-varying ideal current sources, per the paper's convention).
+
+    Two mutation hooks exist for drivers that change the draw every cycle:
+
+    * ``override`` — a scalar that, when set, supersedes ``value``;
+    * :meth:`bind_batch` — attaches the source to one slot of a shared
+      NumPy buffer.  A bound source reads the buffer unconditionally
+      (batch binding supersedes both ``override`` and ``value``), which
+      lets a driver update a whole bank of sources with one vectorized
+      write and lets the transient solver gather their values with one
+      fancy-indexed read instead of a per-source Python loop.
     """
 
     value: Waveform = 0.0
     # Mutable hook used by the co-simulator: when set, overrides ``value``.
     override: Optional[float] = field(default=None, compare=False)
+    # Batch binding (buffer, slot); set via bind_batch().
+    batch: Optional[object] = field(default=None, compare=False, repr=False)
+    batch_index: int = field(default=0, compare=False, repr=False)
+
+    def bind_batch(self, buffer, index: int) -> None:
+        """Bind this source to ``buffer[index]`` (a shared NumPy array)."""
+        if index < 0 or index >= len(buffer):
+            raise IndexError(
+                f"source {self.name!r}: batch index {index} out of range "
+                f"for buffer of length {len(buffer)}"
+            )
+        self.batch = buffer
+        self.batch_index = int(index)
 
     def current_at(self, t: float) -> float:
+        if self.batch is not None:
+            return float(self.batch[self.batch_index])
         if self.override is not None:
             return float(self.override)
         return evaluate_waveform(self.value, t)

@@ -3,6 +3,7 @@
 Subcommands mirror the library's main workflows:
 
 * ``cosim``     — run the cross-layer co-simulation of one benchmark;
+* ``sweep``     — parallel co-simulation grid (area x benchmark x ...);
 * ``impedance`` — print the Fig. 3 effective-impedance curves;
 * ``size``      — CR-IVR die-area sizing for both VS configurations;
 * ``pde``       — PDE breakdown of a benchmark under each PDS;
@@ -62,6 +63,73 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.sim.cosim import CosimConfig
+    from repro.sim.sweep import run_sweep
+    from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+    if args.benchmarks.strip().lower() == "all":
+        benchmarks = list(BENCHMARK_NAMES)
+    else:
+        benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    areas = [float(a) for a in args.areas.split(",") if a.strip()]
+    base = CosimConfig(
+        cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        use_controller=not args.no_controller,
+    )
+
+    def progress(result) -> None:
+        status = "ok" if result.ok else "FAILED"
+        print(f"  {result.point.describe():<48s} {status} "
+              f"({result.elapsed_s:.1f}s)", flush=True)
+
+    sweep = run_sweep(
+        benchmarks,
+        axes={"cr_ivr_area_mm2": areas},
+        base_config=base,
+        base_seed=args.seed,
+        max_workers=args.workers,
+        chunksize=args.chunksize,
+        progress=progress,
+    )
+
+    rows = []
+    for r in sweep.successes():
+        m = r.metrics
+        cpk = m["cycles_per_kernel"]
+        rows.append([
+            r.point.benchmark,
+            f"{dict(r.point.overrides)['cr_ivr_area_mm2']:.1f}",
+            f"{m['min_voltage_v']:.3f}",
+            f"{m['pde']:.1%}",
+            f"{m['throughput_ipc']:.1f}",
+            f"{cpk:.0f}" if cpk is not None else "n/a",
+            str(m["fake_instructions"]),
+        ])
+    print(
+        format_table(
+            ["benchmark", "area_mm2", "V(min)", "PDE", "IPC",
+             "cyc/kernel", "fakes"],
+            rows,
+            title=(
+                f"Sweep: {len(sweep.points)} points, "
+                f"{sweep.num_failed} failed, {sweep.elapsed_s:.1f}s"
+            ),
+        )
+    )
+    for r in sweep.failures():
+        first_line = (r.error or "").splitlines()[0]
+        print(f"FAILED {r.point.describe()}: {first_line}")
+    if args.output:
+        path = sweep.write_json(args.output)
+        print(f"results written to {path}")
+    # Failed points are reported, not fatal; only a fully-failed sweep
+    # (or a crash before this line) is an error exit.
+    return 0 if sweep.successes() else 1
+
+
 def _cmd_impedance(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_series
     from repro.circuits.ac import log_frequency_grid
@@ -98,7 +166,7 @@ def _cmd_size(args: argparse.Namespace) -> int:
     from repro.pdn.area import AreaModel
 
     model = AreaModel()
-    gpu_die = 529.0
+    gpu_die = model.gpu_die_area_mm2
     circuit = model.required_area_mm2(None, droop_target_v=args.guardband)
     cross = model.required_area_mm2(
         args.latency, droop_target_v=args.guardband
@@ -179,6 +247,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="circuit-only voltage stacking")
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=_cmd_cosim)
+
+    p = sub.add_parser(
+        "sweep", help="parallel co-simulation sweep over a parameter grid"
+    )
+    p.add_argument("--benchmarks", default="hotspot,heartwall,fastwalsh,bfs",
+                   help="comma-separated benchmark names, or 'all'")
+    p.add_argument("--areas", default="52.9,105.8,211.6",
+                   help="comma-separated CR-IVR areas in mm^2")
+    p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--warmup", type=int, default=200)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: one per CPU; 1 = inline)")
+    p.add_argument("--chunksize", type=int, default=1)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--no-controller", action="store_true")
+    p.add_argument("--output", default="sweep_results.json",
+                   help="JSON results path ('' to skip writing)")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("impedance", help="effective impedance curves (Fig 3)")
     p.add_argument("--area", type=float, default=0.0)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import PowerConfig, StackConfig
-from repro.pdn.parameters import DEFAULT_PDN, PDNParameters
+from repro.pdn.parameters import DEFAULT_PDN, GPU_DIE_AREA_MM2, PDNParameters
 
 # Fraction of the worst-case sustained imbalance the architectural
 # controller cannot cancel (actuation granularity, FII availability).
@@ -49,6 +49,8 @@ class AreaModel:
     # PDN residual path at DC: 1 / Z_R(DC) of the unregulated network
     # (the ~0.23 ohm plateau measured by the impedance analyzer).
     background_conductance: float = 4.35  # S
+    # Yardstick for area ratios ("0.2x the GPU die").
+    gpu_die_area_mm2: float = GPU_DIE_AREA_MM2
 
     # ------------------------------------------------------------------
     # Worst-case imbalance
@@ -129,6 +131,17 @@ class AreaModel:
         needed_g = self.effective_imbalance_a(control_latency_cycles) / target
         extra_g = max(0.0, needed_g - self.background_conductance)
         return self.params.cr_area_for_conductance(extra_g)
+
+    def required_area_ratio(
+        self,
+        control_latency_cycles: Optional[float] = None,
+        droop_target_v: Optional[float] = None,
+    ) -> float:
+        """:meth:`required_area_mm2` as a fraction of the GPU die."""
+        return (
+            self.required_area_mm2(control_latency_cycles, droop_target_v)
+            / self.gpu_die_area_mm2
+        )
 
 
 def required_cr_ivr_area(

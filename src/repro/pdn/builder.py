@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 from repro.circuits import Circuit, CurrentSource
 from repro.circuits.transient import TransientResult, TransientSolver
 from repro.config import StackConfig
@@ -49,6 +51,9 @@ class StackedPDN:
     params: PDNParameters
     cr_ivr: Optional[CRIVRDesign]
     sm_sources: List[CurrentSource] = field(default_factory=list)
+    # Shared batch buffer the SM sources read from (bound by the
+    # builder); set_sm_currents() is one vectorized write into it.
+    sm_current_values: Optional[np.ndarray] = None
 
     def sm_terminals(self, sm: int) -> tuple:
         """(top node, bottom node) of SM ``sm`` (flat index, layer 0 bottom)."""
@@ -70,8 +75,24 @@ class StackedPDN:
             for c in range(self.stack.num_columns)
         ]
 
+    def bind_current_buffer(self) -> np.ndarray:
+        """Allocate the shared amps buffer and batch-bind every SM source.
+
+        After binding, :meth:`set_sm_currents` is a single NumPy copy and
+        the transient solver gathers all SM draws with one fancy-indexed
+        read per step.  Called by the builder; safe to call again after
+        appending sources.
+        """
+        self.sm_current_values = np.zeros(len(self.sm_sources), dtype=float)
+        for k, source in enumerate(self.sm_sources):
+            source.bind_batch(self.sm_current_values, k)
+        return self.sm_current_values
+
     def set_sm_currents(self, currents) -> None:
-        """Override every SM current source (amps, flat SM order)."""
+        """Set every SM current source (amps, flat SM order)."""
+        if self.sm_current_values is not None:
+            self.sm_current_values[:] = currents
+            return
         for source, amps in zip(self.sm_sources, currents):
             source.override = float(amps)
 
@@ -92,6 +113,7 @@ class ConventionalPDN:
     num_sms: int
     params: PDNParameters
     sm_sources: List[CurrentSource] = field(default_factory=list)
+    sm_current_values: Optional[np.ndarray] = None
 
     def sm_voltage(self, solver: TransientSolver, sm: int) -> float:
         return solver.node_voltage(sm_node(sm))
@@ -99,7 +121,17 @@ class ConventionalPDN:
     def sm_waveform(self, result: TransientResult, sm: int):
         return result.voltage(sm_node(sm))
 
+    def bind_current_buffer(self) -> np.ndarray:
+        """Allocate the shared amps buffer and batch-bind every SM source."""
+        self.sm_current_values = np.zeros(len(self.sm_sources), dtype=float)
+        for k, source in enumerate(self.sm_sources):
+            source.bind_batch(self.sm_current_values, k)
+        return self.sm_current_values
+
     def set_sm_currents(self, currents) -> None:
+        if self.sm_current_values is not None:
+            self.sm_current_values[:] = currents
+            return
         for source, amps in zip(self.sm_sources, currents):
             source.override = float(amps)
 
@@ -188,6 +220,7 @@ def build_stacked_pdn(
         design.attach(ckt, pdn.tap_columns())
         pdn.cr_ivr = design
 
+    pdn.bind_current_buffer()
     return pdn
 
 
@@ -250,4 +283,5 @@ def build_conventional_pdn(
                     f"r_link_v{sm}", sm_node(sm), sm_node(below),
                     params.link_resistance,
                 )
+    pdn.bind_current_buffer()
     return pdn

@@ -20,6 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+# Die area of the modeled GPU (the paper's GTX 480-class part, mm^2).
+# Single source of truth for every "x GPU die" area ratio quoted by the
+# sizing model, the CLI and the figure drivers (Table III anchors the
+# circuit-only CR-IVR at 1.72x this die).
+GPU_DIE_AREA_MM2 = 529.0
+
 
 @dataclass(frozen=True)
 class PDNParameters:

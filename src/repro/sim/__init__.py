@@ -21,6 +21,14 @@ from repro.sim.power_experiments import (
     run_dfs_experiment,
     run_pg_experiment,
 )
+from repro.sim.sweep import (
+    SweepPoint,
+    SweepPointResult,
+    SweepResult,
+    SweepRunner,
+    expand_grid,
+    run_sweep,
+)
 from repro.sim.trace_cosim import (
     apply_actuation_replay,
     replay_trace,
@@ -33,7 +41,12 @@ __all__ = [
     "LayerShutoffEvent",
     "PDSKind",
     "PDS_CONFIGS",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepResult",
+    "SweepRunner",
     "apply_actuation_replay",
+    "expand_grid",
     "replay_trace",
     "run_baseline",
     "run_cosim",
@@ -41,4 +54,5 @@ __all__ = [
     "run_current_pattern",
     "run_dfs_experiment",
     "run_pg_experiment",
+    "run_sweep",
 ]

@@ -168,12 +168,20 @@ class CosimResult:
 
     def summary(self) -> str:
         eff = self.efficiency()
+        # Short runs may finish zero kernels; the human-facing summary
+        # degrades to "n/a" while cycles_per_kernel() keeps raising for
+        # library callers that need the real number.
+        try:
+            kernel_time = f"{self.cycles_per_kernel():.0f} cycles/kernel"
+        except ValueError:
+            kernel_time = "cycles/kernel n/a"
         return (
             f"{self.benchmark}: {self.num_cycles} cycles, "
             f"mean power {self.power_trace.mean_power_w:.1f} W, "
             f"PDE {eff.pde:.1%}, "
             f"V(min) {self.min_voltage:.3f} V, "
             f"throughput {self.throughput():.1f} instr/cycle, "
+            f"{kernel_time}, "
             f"fakes {self.fake_instructions}"
         )
 
@@ -256,13 +264,22 @@ def run_cosim(
     conductance_bias = params.sm_conductance * stack.sm_voltage
     total_cycles = config.warmup_cycles + config.cycles
     dcc_energy_accum = 0.0
+    # All work counters are measured over the recorded window only:
+    # each is snapshotted at the warmup boundary and subtracted at the
+    # end, so warmup cycles never inflate fake-instruction counts or
+    # throttle fractions (the Fig. 13/14 inputs).
     instructions_at_start = 0
+    fakes_at_start = 0
+    throttled_at_start = 0
     kernels_at_start = gpu.kernels_launched
     for cycle in range(total_cycles):
         recording = cycle >= config.warmup_cycles
         if cycle == config.warmup_cycles:
             instructions_at_start = gpu.total_instructions()
+            fakes_at_start = gpu.total_fake_instructions()
             kernels_at_start = gpu.kernels_launched
+            if controller is not None:
+                throttled_at_start = controller.throttled_cycles
 
         # 1. GPU cycle under the actuation currently in force.
         powers = gpu.step()
@@ -330,9 +347,11 @@ def run_cosim(
         supply_current=supply_current,
         stack=stack,
         instructions=gpu.total_instructions() - instructions_at_start,
-        fake_instructions=gpu.total_fake_instructions(),
+        fake_instructions=gpu.total_fake_instructions() - fakes_at_start,
         throttled_cycles=(
-            controller.throttled_cycles if controller is not None else 0
+            controller.throttled_cycles - throttled_at_start
+            if controller is not None
+            else 0
         ),
         controller_power_w=controller_power,
         kernels_completed=gpu.kernels_launched - kernels_at_start,

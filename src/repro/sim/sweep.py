@@ -1,0 +1,312 @@
+"""Parallel design-space sweeps over the co-simulator.
+
+The vertical-power-delivery literature leans on large parameter sweeps
+(CR-IVR area x control latency x guardband x workload) to map the
+design space; this module makes those tractable by fanning a grid of
+:class:`~repro.sim.cosim.CosimConfig` points across worker processes.
+
+Structure:
+
+* :func:`expand_grid` — cartesian product of benchmarks and per-field
+  axes into a flat list of :class:`SweepPoint`, each with a
+  deterministic per-point seed (reproducible regardless of worker
+  scheduling order).
+* :class:`SweepRunner` — chunked fan-out over a
+  ``concurrent.futures.ProcessPoolExecutor``; every point's failure is
+  captured as a structured :class:`SweepPointResult` (with traceback),
+  so one diverging point never kills the sweep.
+* :class:`SweepResult` — ordered per-point results plus a JSON writer.
+
+The CLI front end is ``repro sweep``; ``examples/parameter_sweep.py``
+shows library usage.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field, is_dataclass, replace
+from itertools import product
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.cosim import CosimConfig
+
+# Seed derivation: a fixed odd multiplier keeps per-point seeds distinct
+# for any base seed while staying deterministic across runs and worker
+# scheduling orders.
+_SEED_STRIDE = 100_003
+
+
+def point_seed(base_seed: int, index: int) -> int:
+    """Deterministic seed of grid point ``index`` under ``base_seed``."""
+    return (base_seed * _SEED_STRIDE + index) % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: a benchmark plus ``CosimConfig`` field overrides."""
+
+    index: int
+    benchmark: str
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    seed: int = 1
+
+    def config(self, base: CosimConfig) -> CosimConfig:
+        """The point's full config: ``base`` + overrides + per-point seed.
+
+        An explicit ``seed`` axis wins over the derived per-point seed.
+        """
+        fields = dict(self.overrides)
+        fields.setdefault("seed", self.seed)
+        return replace(base, **fields)
+
+    def describe(self) -> str:
+        knobs = ", ".join(f"{k}={v}" for k, v in self.overrides)
+        return f"#{self.index} {self.benchmark}" + (f" ({knobs})" if knobs else "")
+
+
+@dataclass
+class SweepPointResult:
+    """Outcome of one point: metrics on success, a traceback on failure."""
+
+    point: SweepPoint
+    ok: bool
+    metrics: Dict[str, object] = field(default_factory=dict)
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """All per-point results of one sweep, in grid order."""
+
+    points: List[SweepPointResult]
+    base_config: CosimConfig
+    elapsed_s: float = 0.0
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for p in self.points if not p.ok)
+
+    def successes(self) -> List[SweepPointResult]:
+        return [p for p in self.points if p.ok]
+
+    def failures(self) -> List[SweepPointResult]:
+        return [p for p in self.points if not p.ok]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_points": len(self.points),
+            "num_failed": self.num_failed,
+            "elapsed_s": self.elapsed_s,
+            "base_config": _jsonable(asdict(self.base_config)),
+            "points": [
+                {
+                    "index": r.point.index,
+                    "benchmark": r.point.benchmark,
+                    "overrides": dict(r.point.overrides),
+                    "seed": r.point.seed,
+                    "ok": r.ok,
+                    "metrics": _jsonable(r.metrics),
+                    "error": r.error,
+                    "elapsed_s": r.elapsed_s,
+                }
+                for r in self.points
+            ],
+        }
+
+    def write_json(self, path) -> Path:
+        """Write the structured results to ``path`` (JSON)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+        return path
+
+
+def _jsonable(value):
+    """Recursively coerce NumPy scalars/dataclasses for ``json.dump``."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Grid expansion
+# ---------------------------------------------------------------------------
+def expand_grid(
+    benchmarks: Sequence[str],
+    axes: Optional[Mapping[str, Sequence]] = None,
+    base_seed: int = 1,
+) -> List[SweepPoint]:
+    """Cartesian product of ``benchmarks`` x every axis of ``axes``.
+
+    ``axes`` maps :class:`CosimConfig` field names to value lists, e.g.
+    ``{"cr_ivr_area_mm2": [52.9, 105.8, 211.6]}``.  Unknown field names
+    fail fast here rather than inside a worker process.
+    """
+    if not benchmarks:
+        raise ValueError("need at least one benchmark")
+    axes = dict(axes or {})
+    config_fields = set(CosimConfig.__dataclass_fields__)
+    for name in axes:
+        if name not in config_fields:
+            raise ValueError(
+                f"unknown CosimConfig field {name!r}; "
+                f"valid axes: {sorted(config_fields)}"
+            )
+        if len(axes[name]) == 0:
+            raise ValueError(f"axis {name!r} has no values")
+    keys = list(axes)
+    points: List[SweepPoint] = []
+    for benchmark in benchmarks:
+        for combo in product(*(axes[k] for k in keys)):
+            index = len(points)
+            points.append(
+                SweepPoint(
+                    index=index,
+                    benchmark=benchmark,
+                    overrides=tuple(zip(keys, combo)),
+                    seed=point_seed(base_seed, index),
+                )
+            )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+def _point_metrics(result) -> Dict[str, object]:
+    """Flatten a CosimResult into the JSON-friendly sweep record."""
+    eff = result.efficiency()
+    try:
+        cycles_per_kernel = result.cycles_per_kernel()
+    except ValueError:
+        cycles_per_kernel = None
+    return {
+        "min_voltage_v": result.min_voltage,
+        "max_voltage_v": result.max_voltage,
+        "p1_voltage_v": float(result.voltage_percentiles(1)),
+        "mean_power_w": result.power_trace.mean_power_w,
+        "pde": eff.pde,
+        "throughput_ipc": result.throughput(),
+        "instructions": result.instructions,
+        "fake_instructions": result.fake_instructions,
+        "throttled_cycles": result.throttled_cycles,
+        "kernels_completed": result.kernels_completed,
+        "cycles_per_kernel": cycles_per_kernel,
+        "mean_dcc_power_w": result.mean_dcc_power_w,
+    }
+
+
+def _run_point(payload: Tuple[SweepPoint, CosimConfig]) -> SweepPointResult:
+    """Run one grid point; never raises — failures are captured."""
+    point, base = payload
+    start = time.perf_counter()
+    try:
+        from repro.sim.cosim import run_cosim
+
+        result = run_cosim(point.benchmark, point.config(base))
+        return SweepPointResult(
+            point=point,
+            ok=True,
+            metrics=_point_metrics(result),
+            elapsed_s=time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 — structured failure capture
+        return SweepPointResult(
+            point=point,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            elapsed_s=time.perf_counter() - start,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+class SweepRunner:
+    """Fan a list of :class:`SweepPoint` across worker processes.
+
+    ``max_workers=0/1`` runs in-process (useful for tests and debugging);
+    otherwise a :class:`~concurrent.futures.ProcessPoolExecutor` maps
+    points in ``chunksize`` batches.  Results always come back in grid
+    order, independent of worker scheduling.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[SweepPoint],
+        base_config: CosimConfig = CosimConfig(),
+        max_workers: Optional[int] = None,
+        chunksize: int = 1,
+    ) -> None:
+        if not points:
+            raise ValueError("sweep needs at least one point")
+        if chunksize <= 0:
+            raise ValueError(f"chunksize must be positive, got {chunksize}")
+        if base_config.controller_object is not None:
+            raise ValueError(
+                "sweeps cannot ship a live controller_object to worker "
+                "processes; parameterize via ControllerConfig instead"
+            )
+        self.points = list(points)
+        self.base_config = base_config
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    def run(self, progress=None) -> SweepResult:
+        """Execute every point; ``progress`` (if given) is called with
+        each :class:`SweepPointResult` as it completes."""
+        payloads = [(p, self.base_config) for p in self.points]
+        start = time.perf_counter()
+        results: List[SweepPointResult]
+        if self.max_workers is not None and self.max_workers <= 1:
+            results = [self._notify(_run_point(p), progress) for p in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                results = [
+                    self._notify(r, progress)
+                    for r in pool.map(
+                        _run_point, payloads, chunksize=self.chunksize
+                    )
+                ]
+        return SweepResult(
+            points=results,
+            base_config=self.base_config,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    @staticmethod
+    def _notify(result: SweepPointResult, progress) -> SweepPointResult:
+        if progress is not None:
+            progress(result)
+        return result
+
+
+def run_sweep(
+    benchmarks: Sequence[str],
+    axes: Optional[Mapping[str, Sequence]] = None,
+    base_config: CosimConfig = CosimConfig(),
+    base_seed: int = 1,
+    max_workers: Optional[int] = None,
+    chunksize: int = 1,
+    progress=None,
+) -> SweepResult:
+    """Convenience wrapper: expand the grid and run it."""
+    points = expand_grid(benchmarks, axes, base_seed=base_seed)
+    runner = SweepRunner(
+        points, base_config, max_workers=max_workers, chunksize=chunksize
+    )
+    return runner.run(progress=progress)

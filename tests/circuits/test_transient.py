@@ -114,6 +114,119 @@ class TestCurrentSourceLoad:
         assert v[-1] == pytest.approx(0.9, abs=1e-3)
 
 
+class TestVectorizedEquivalence:
+    """The scatter/gather fast path must track the naive loop bit-for-bit.
+
+    The vectorized path emits its RHS accumulation triples in the naive
+    path's execution order, so per-node floating-point summation order
+    is identical and the waveforms match exactly — not just to rounding.
+    """
+
+    def _two_solvers(self, build):
+        fast = TransientSolver(build(), dt=1e-10, vectorized=True)
+        slow = TransientSolver(build(), dt=1e-10, vectorized=False)
+        return fast, slow
+
+    def test_rc_bitwise_identical(self):
+        fast, slow = self._two_solvers(rc_circuit)
+        a = fast.run(50e-9, record=["out"], initialize=False)
+        b = slow.run(50e-9, record=["out"], initialize=False)
+        assert np.array_equal(a.voltage("out"), b.voltage("out"))
+
+    def test_rlc_with_load_bitwise_identical(self):
+        def build():
+            ckt = Circuit("rlc_load")
+            ckt.add_voltage_source("vin", "in", "0", 1.0)
+            ckt.add_resistor("r", "in", "mid", 0.05)
+            ckt.add_inductor("l", "mid", "chip", 10e-9)
+            ckt.add_capacitor("c", "chip", "0", 100e-9, v0=0.0)
+            ckt.add_current_source(
+                "load", "chip", "0", lambda t: 0.5 if t > 2e-9 else 0.0
+            )
+            return ckt
+
+        fast, slow = self._two_solvers(build)
+        a = fast.run(30e-9, record=["chip", "mid"], initialize=False)
+        b = slow.run(30e-9, record=["chip", "mid"], initialize=False)
+        assert np.array_equal(a.voltage("chip"), b.voltage("chip"))
+        assert np.array_equal(a.voltage("mid"), b.voltage("mid"))
+
+    def test_stacked_pdn_bitwise_identical(self):
+        """The production netlist: a full 4x4 stacked PDN."""
+        from repro.pdn.builder import build_stacked_pdn
+
+        results = []
+        for vectorized in (True, False):
+            pdn = build_stacked_pdn()
+            solver = TransientSolver(
+                pdn.circuit, dt=1e-10, vectorized=vectorized
+            )
+            solver.initialize_dc()
+            rng = np.random.default_rng(11)
+            trace = []
+            for k in range(200):
+                pdn.set_sm_currents(1.0 + 0.5 * rng.random(16))
+                solver.step()
+                trace.append(
+                    [pdn.sm_voltage(solver, sm) for sm in range(4)]
+                )
+            results.append(np.asarray(trace))
+        assert np.array_equal(results[0], results[1])
+
+    def test_dc_operating_points_match(self):
+        fast, slow = self._two_solvers(rc_circuit)
+        assert np.array_equal(fast.initialize_dc(), slow.initialize_dc())
+
+    def test_inductor_state_matches(self):
+        def build():
+            ckt = Circuit("l")
+            ckt.add_voltage_source("vin", "in", "0", 1.0)
+            ckt.add_resistor("r", "in", "mid", 1.0)
+            ckt.add_inductor("l", "mid", "0", 1e-9)
+            return ckt
+
+        fast, slow = self._two_solvers(build)
+        fast.initialize_dc()
+        slow.initialize_dc()
+        for _ in range(100):
+            fast.step()
+            slow.step()
+        assert fast.inductor_current("l") == slow.inductor_current("l")
+
+
+class TestBatchCurrentBinding:
+    def test_batch_buffer_drives_source(self):
+        ckt = Circuit("batch")
+        ckt.add_voltage_source("vin", "in", "0", 1.0)
+        ckt.add_resistor("rpdn", "in", "chip", 0.1)
+        ckt.add_capacitor("cdecap", "chip", "0", 1e-12)
+        load = ckt.add_current_source("load", "chip", "0", 0.0)
+        buffer = np.zeros(1)
+        load.bind_batch(buffer, 0)
+        solver = TransientSolver(ckt, dt=1e-10)
+        solver.initialize_dc()
+        buffer[0] = 2.0
+        for _ in range(500):
+            solver.step()
+        assert solver.node_voltage("chip") == pytest.approx(0.8, abs=1e-4)
+
+    def test_batch_supersedes_override_and_value(self):
+        ckt = Circuit("precedence")
+        ckt.add_voltage_source("vin", "in", "0", 1.0)
+        ckt.add_resistor("r", "in", "chip", 0.1)
+        load = ckt.add_current_source("load", "chip", "0", 5.0)
+        load.override = 3.0
+        buffer = np.array([1.0])
+        load.bind_batch(buffer, 0)
+        assert load.current_at(0.0) == 1.0
+
+    def test_bind_batch_rejects_bad_index(self):
+        ckt = Circuit("badidx")
+        load = ckt.add_current_source("load", "a", "0", 0.0)
+        with pytest.raises(IndexError):
+            load.bind_batch(np.zeros(2), 2)
+
+
 class TestSolverInterface:
     def test_rejects_nonpositive_dt(self):
         with pytest.raises(ValueError, match="dt"):

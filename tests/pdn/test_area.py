@@ -4,8 +4,7 @@ import pytest
 
 from repro.config import StackConfig
 from repro.pdn.area import AreaModel, required_cr_ivr_area
-
-GPU_DIE_MM2 = 529.0
+from repro.pdn.parameters import GPU_DIE_AREA_MM2 as GPU_DIE_MM2
 
 
 @pytest.fixture(scope="module")
@@ -110,3 +109,21 @@ class TestSizing:
     def test_rejects_nonpositive_target(self, model):
         with pytest.raises(ValueError):
             model.required_area_mm2(60, droop_target_v=0.0)
+
+
+class TestDieAreaRatio:
+    def test_default_die_area_is_shared_constant(self, model):
+        assert model.gpu_die_area_mm2 == GPU_DIE_MM2 == 529.0
+
+    def test_required_area_ratio_consistent(self, model):
+        ratio = model.required_area_ratio(control_latency_cycles=60)
+        area = model.required_area_mm2(control_latency_cycles=60)
+        assert ratio == pytest.approx(area / model.gpu_die_area_mm2)
+
+    def test_ratio_scales_with_die_area(self):
+        small_die = AreaModel(gpu_die_area_mm2=100.0)
+        big_die = AreaModel(gpu_die_area_mm2=1000.0)
+        assert (
+            small_die.required_area_ratio(60)
+            > big_die.required_area_ratio(60)
+        )

@@ -50,6 +50,38 @@ class TestStackedTopology:
         assert pdn.sm_terminals(3) == (tap_node(2, 1), tap_node(1, 1))
 
 
+class TestCurrentBuffer:
+    def test_builder_binds_shared_buffer(self):
+        pdn = build_stacked_pdn()
+        assert pdn.sm_current_values is not None
+        assert pdn.sm_current_values.shape == (16,)
+        for k, source in enumerate(pdn.sm_sources):
+            assert source.batch is pdn.sm_current_values
+            assert source.batch_index == k
+
+    def test_set_sm_currents_is_one_write(self):
+        pdn = build_stacked_pdn()
+        amps = np.linspace(0.5, 2.0, 16)
+        pdn.set_sm_currents(amps)
+        assert np.array_equal(pdn.sm_current_values, amps)
+        for k, source in enumerate(pdn.sm_sources):
+            assert source.current_at(0.0) == amps[k]
+
+    def test_conventional_pdn_also_bound(self):
+        pdn = build_conventional_pdn()
+        assert pdn.sm_current_values is not None
+        pdn.set_sm_currents(np.full(16, 1.5))
+        assert all(s.current_at(0.0) == 1.5 for s in pdn.sm_sources)
+
+    def test_unbound_fallback_uses_override(self):
+        pdn = build_stacked_pdn()
+        pdn.sm_current_values = None
+        for source in pdn.sm_sources:
+            source.batch = None
+        pdn.set_sm_currents(np.full(16, 2.5))
+        assert all(s.override == 2.5 for s in pdn.sm_sources)
+
+
 class TestStackedDCBehaviour:
     def test_balanced_load_divides_supply_evenly(self):
         pdn = build_stacked_pdn()

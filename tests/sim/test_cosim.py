@@ -115,6 +115,101 @@ class TestControllerCoupling:
         assert short_run.controller_power_w == pytest.approx(1.634e-3)
 
 
+class TestWarmupWindowAccounting:
+    """fake_instructions / throttled_cycles must count only the recorded
+    window, exactly like the instruction counter.
+
+    Warmup changes *recording*, never dynamics (absent a shutoff event),
+    so a run with warmup W and N recorded cycles must report the same
+    work counters as the difference between warmup-0 runs of W+N and W
+    total cycles.  Before the fix, the windowed run reported the whole
+    W+N total for fakes and throttles.
+    """
+
+    # Aggressive triggers so both FII and DIWS engage during the
+    # warmup prefix — otherwise the regression has nothing to catch.
+    KW = dict(
+        cr_ivr_area_mm2=52.9,
+        seed=7,
+        controller=ControllerConfig(
+            v_threshold=0.98, v_high_threshold=1.0, k1=15.0
+        ),
+    )
+    WARMUP = 300
+    RECORDED = 300
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        full = run_cosim(
+            "heartwall",
+            CosimConfig(
+                cycles=self.WARMUP + self.RECORDED, warmup_cycles=0, **self.KW
+            ),
+        )
+        prefix = run_cosim(
+            "heartwall",
+            CosimConfig(cycles=self.WARMUP, warmup_cycles=0, **self.KW),
+        )
+        windowed = run_cosim(
+            "heartwall",
+            CosimConfig(
+                cycles=self.RECORDED, warmup_cycles=self.WARMUP, **self.KW
+            ),
+        )
+        return full, prefix, windowed
+
+    def test_warmup_prefix_exercises_both_counters(self, runs):
+        _, prefix, _ = runs
+        assert prefix.fake_instructions > 0
+        assert prefix.throttled_cycles > 0
+
+    def test_fake_instructions_count_recorded_window_only(self, runs):
+        full, prefix, windowed = runs
+        assert (
+            windowed.fake_instructions
+            == full.fake_instructions - prefix.fake_instructions
+        )
+
+    def test_throttled_cycles_count_recorded_window_only(self, runs):
+        full, prefix, windowed = runs
+        assert (
+            windowed.throttled_cycles
+            == full.throttled_cycles - prefix.throttled_cycles
+        )
+
+    def test_instructions_accounting_still_consistent(self, runs):
+        full, prefix, windowed = runs
+        assert windowed.instructions == full.instructions - prefix.instructions
+
+    def test_zero_warmup_unchanged(self):
+        """warmup=0 must report the same totals as before the fix."""
+        result = run_cosim(
+            "heartwall",
+            CosimConfig(cycles=self.WARMUP, warmup_cycles=0, **self.KW),
+        )
+        assert result.fake_instructions >= 0
+        assert result.throttled_cycles >= 0
+        assert result.num_cycles == self.WARMUP
+
+
+class TestKernelTimeReporting:
+    def test_cycles_per_kernel_raises_without_completions(self):
+        """Library callers keep the hard error."""
+        result = run_cosim(
+            "hotspot", CosimConfig(cycles=60, warmup_cycles=10)
+        )
+        assert result.kernels_completed == 0
+        with pytest.raises(ValueError, match="no kernel completed"):
+            result.cycles_per_kernel()
+
+    def test_summary_degrades_to_na(self):
+        """The human-facing summary reports n/a instead of crashing."""
+        result = run_cosim(
+            "hotspot", CosimConfig(cycles=60, warmup_cycles=10)
+        )
+        assert "cycles/kernel n/a" in result.summary()
+
+
 class TestLayerShutoff:
     def test_shutoff_idles_layer(self):
         event = LayerShutoffEvent(layer=3, start_cycle=400)

@@ -1,0 +1,160 @@
+"""Tests for the parallel sweep runner."""
+
+import json
+
+import pytest
+
+from repro.sim.cosim import CosimConfig
+from repro.sim.sweep import (
+    SweepPoint,
+    SweepRunner,
+    expand_grid,
+    point_seed,
+    run_sweep,
+)
+
+# Tiny runs: the sweep machinery is under test, not the physics.
+FAST = CosimConfig(cycles=40, warmup_cycles=10)
+
+
+class TestGridExpansion:
+    def test_cartesian_product_size(self):
+        points = expand_grid(
+            ["hotspot", "bfs"],
+            {"cr_ivr_area_mm2": [52.9, 105.8, 211.6], "circuit_substeps": [1, 2]},
+        )
+        assert len(points) == 2 * 3 * 2
+
+    def test_indices_are_grid_order(self):
+        points = expand_grid(["hotspot"], {"cr_ivr_area_mm2": [1.0, 2.0]})
+        assert [p.index for p in points] == [0, 1]
+        assert [dict(p.overrides)["cr_ivr_area_mm2"] for p in points] == [1.0, 2.0]
+
+    def test_no_axes_is_one_point_per_benchmark(self):
+        points = expand_grid(["hotspot", "bfs", "srad"])
+        assert len(points) == 3
+        assert all(p.overrides == () for p in points)
+
+    def test_unknown_field_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown CosimConfig field"):
+            expand_grid(["hotspot"], {"not_a_field": [1]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            expand_grid(["hotspot"], {"cr_ivr_area_mm2": []})
+
+    def test_empty_benchmarks_rejected(self):
+        with pytest.raises(ValueError, match="benchmark"):
+            expand_grid([])
+
+    def test_overrides_applied_to_config(self):
+        point = expand_grid(["hotspot"], {"cr_ivr_area_mm2": [211.6]})[0]
+        config = point.config(FAST)
+        assert config.cr_ivr_area_mm2 == 211.6
+        assert config.cycles == FAST.cycles
+
+
+class TestSeeding:
+    def test_deterministic_across_expansions(self):
+        a = expand_grid(["hotspot", "bfs"], {"circuit_substeps": [1, 2]}, base_seed=9)
+        b = expand_grid(["hotspot", "bfs"], {"circuit_substeps": [1, 2]}, base_seed=9)
+        assert [p.seed for p in a] == [p.seed for p in b]
+
+    def test_distinct_per_point(self):
+        points = expand_grid(["hotspot"] * 3, {"circuit_substeps": [1, 2]})
+        seeds = [p.seed for p in points]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_base_seed_changes_seeds(self):
+        assert point_seed(1, 0) != point_seed(2, 0)
+
+    def test_seed_reaches_config(self):
+        point = expand_grid(["hotspot"], base_seed=5)[0]
+        assert point.config(FAST).seed == point.seed
+        assert point.seed == point_seed(5, 0)
+
+    def test_explicit_seed_axis_wins(self):
+        point = SweepPoint(index=0, benchmark="hotspot",
+                           overrides=(("seed", 42),), seed=7)
+        assert point.config(FAST).seed == 42
+
+
+class TestRunnerInline:
+    """max_workers=1 runs in-process — the fast path for unit tests."""
+
+    def test_failure_captured_not_fatal(self):
+        result = run_sweep(
+            ["hotspot", "__does_not_exist__"],
+            base_config=FAST,
+            max_workers=1,
+        )
+        assert len(result.points) == 2
+        ok, bad = result.points
+        assert ok.ok and ok.metrics["min_voltage_v"] > 0.5
+        assert not bad.ok
+        assert "unknown benchmark" in bad.error
+        assert result.num_failed == 1
+
+    def test_metrics_cover_warmup_fixed_counters(self):
+        result = run_sweep(["hotspot"], base_config=FAST, max_workers=1)
+        metrics = result.points[0].metrics
+        for key in ("fake_instructions", "throttled_cycles",
+                    "cycles_per_kernel", "pde", "throughput_ipc"):
+            assert key in metrics
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        run_sweep(
+            ["hotspot", "bfs"], base_config=FAST, max_workers=1,
+            progress=seen.append,
+        )
+        assert [r.point.index for r in seen] == [0, 1]
+
+    def test_rejects_live_controller_object(self):
+        config = CosimConfig(cycles=10, controller_object=object())
+        with pytest.raises(ValueError, match="controller_object"):
+            SweepRunner(expand_grid(["hotspot"]), config)
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            SweepRunner([], FAST)
+
+    def test_rejects_bad_chunksize(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            SweepRunner(expand_grid(["hotspot"]), FAST, chunksize=0)
+
+
+class TestRunnerProcesses:
+    def test_multiprocess_sweep_with_injected_failure(self):
+        """One diverging point is reported, not fatal, across processes."""
+        result = run_sweep(
+            ["hotspot", "__boom__", "bfs"],
+            axes={"circuit_substeps": [1]},
+            base_config=FAST,
+            max_workers=2,
+        )
+        assert [r.ok for r in result.points] == [True, False, True]
+        assert "KeyError" in result.points[1].error
+
+    def test_results_in_grid_order(self):
+        result = run_sweep(
+            ["hotspot", "bfs"], base_config=FAST, max_workers=2, chunksize=1
+        )
+        assert [r.point.benchmark for r in result.points] == ["hotspot", "bfs"]
+
+
+class TestJsonWriter:
+    def test_round_trip(self, tmp_path):
+        result = run_sweep(
+            ["hotspot", "__bad__"], base_config=FAST, max_workers=1
+        )
+        path = result.write_json(tmp_path / "out" / "sweep.json")
+        data = json.loads(path.read_text())
+        assert data["num_points"] == 2
+        assert data["num_failed"] == 1
+        assert data["base_config"]["cycles"] == FAST.cycles
+        good = data["points"][0]
+        assert good["ok"] is True
+        assert isinstance(good["metrics"]["min_voltage_v"], float)
+        bad = data["points"][1]
+        assert bad["ok"] is False and "unknown benchmark" in bad["error"]

@@ -12,9 +12,20 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("benchmarks", "cosim", "impedance", "size", "pde"):
+        for command in ("benchmarks", "cosim", "sweep", "impedance", "size",
+                        "pde"):
             args = parser.parse_args([command])
             assert callable(args.func)
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--benchmarks", "bfs,srad", "--areas", "52.9",
+             "--workers", "1", "--output", ""]
+        )
+        assert args.benchmarks == "bfs,srad"
+        assert args.areas == "52.9"
+        assert args.workers == 1
+        assert args.output == ""
 
     def test_cosim_options(self):
         args = build_parser().parse_args(
@@ -56,6 +67,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "heartwall" in out
         assert "PDE" in out
+
+    def test_cosim_short_run_reports_na_kernel_time(self, capsys):
+        """Runs too short to finish a kernel degrade to n/a, not a crash."""
+        assert main(["cosim", "hotspot", "--cycles", "60",
+                     "--warmup", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles/kernel n/a" in out
+
+    def test_sweep_inline(self, capsys, tmp_path):
+        output = tmp_path / "sweep.json"
+        assert main(["sweep", "--benchmarks", "hotspot,bfs",
+                     "--areas", "105.8", "--cycles", "60", "--warmup", "10",
+                     "--workers", "1", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep: 2 points, 0 failed" in out
+        assert output.exists()
+
+    def test_sweep_reports_failed_points(self, capsys):
+        assert main(["sweep", "--benchmarks", "hotspot,__nope__",
+                     "--areas", "105.8", "--cycles", "60", "--warmup", "10",
+                     "--workers", "1", "--output", ""]) == 0
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+        assert "FAILED" in out and "__nope__" in out
+
+    def test_size_uses_shared_die_area(self, capsys):
+        from repro.pdn.parameters import GPU_DIE_AREA_MM2
+
+        assert GPU_DIE_AREA_MM2 == 529.0
+        assert main(["size"]) == 0
 
     def test_pde_breakdown(self, capsys):
         assert main(["pde", "hotspot", "--cycles", "600"]) == 0
