@@ -75,3 +75,14 @@ def format_series(
 def format_percent(value: float) -> str:
     """Uniform percentage rendering for report rows."""
     return f"{100 * value:.1f}%"
+
+
+def format_seconds(value: float) -> str:
+    """Duration rendering that stays readable from µs to minutes."""
+    if value < 1e-3:
+        return f"{value * 1e6:.1f} us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f} ms"
+    if value < 120.0:
+        return f"{value:.2f} s"
+    return f"{value / 60.0:.1f} min"

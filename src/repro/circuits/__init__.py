@@ -22,7 +22,7 @@ from repro.circuits.elements import (
     VoltageSource,
 )
 from repro.circuits.netlist import Circuit, GROUND
-from repro.circuits.transient import TransientResult, TransientSolver
+from repro.circuits.transient import SolverStats, TransientResult, TransientSolver
 from repro.circuits.ac import ACAnalysis
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "GROUND",
     "Inductor",
     "Resistor",
+    "SolverStats",
     "TransientResult",
     "TransientSolver",
     "VoltageSource",

@@ -24,6 +24,7 @@ The solver exposes two usage styles:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +33,20 @@ from scipy.linalg import get_lapack_funcs, lu_factor, lu_solve
 from repro.circuits.elements import Capacitor, Inductor
 from repro.circuits.mna import MNAStructure
 from repro.circuits.netlist import Circuit
+
+
+@dataclass
+class SolverStats:
+    """Cheap always-on work counters for telemetry.
+
+    Plain integer increments on the hot path (negligible next to a
+    back-substitution); wall-clock attribution of solve time is done by
+    the caller's phase timers (see ``repro.telemetry``).
+    """
+
+    steps: int = 0  # trapezoidal steps taken
+    factorizations: int = 0  # LU factorizations of the MNA matrix
+    dc_solves: int = 0  # operating-point solves
 
 
 class TransientResult:
@@ -128,7 +143,9 @@ class TransientSolver:
             self.structure.stamp_conductance(matrix, p, n, g)
         for (p, n), g in zip(self._ind_nodes, self._g_ind):
             self.structure.stamp_conductance(matrix, p, n, g)
+        self.stats = SolverStats()
         self._lu = lu_factor(matrix)
+        self.stats.factorizations += 1
         # The vectorized step calls LAPACK ``getrs`` directly — the same
         # routine ``scipy.linalg.lu_solve`` wraps (bit-identical result),
         # minus per-call validation that would dominate small systems.
@@ -270,6 +287,7 @@ class TransientSolver:
             self.structure.stamp_conductance(matrix, p, n, self._DC_SHORT_SIEMENS)
         rhs = self.structure.rhs_sources(t)
         solution = np.linalg.solve(matrix, rhs)
+        self.stats.dc_solves += 1
 
         self.solution = np.zeros(size)
         self.solution[:] = solution
@@ -323,6 +341,7 @@ class TransientSolver:
 
     def step(self) -> np.ndarray:
         """Advance one trapezoidal step; return node voltages at the new time."""
+        self.stats.steps += 1
         if self.vectorized:
             return self._step_vectorized()
         return self._step_naive()

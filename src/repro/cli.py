@@ -2,8 +2,10 @@
 
 Subcommands mirror the library's main workflows:
 
-* ``cosim``     — run the cross-layer co-simulation of one benchmark;
+* ``cosim``     — run the cross-layer co-simulation of one benchmark
+  (alias: ``run``; ``--telemetry DIR`` writes a run manifest);
 * ``sweep``     — parallel co-simulation grid (area x benchmark x ...);
+* ``trace``     — summarize a telemetry manifest written by the above;
 * ``impedance`` — print the Fig. 3 effective-impedance curves;
 * ``size``      — CR-IVR die-area sizing for both VS configurations;
 * ``pde``       — PDE breakdown of a benchmark under each PDS;
@@ -41,16 +43,27 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
     from repro.analysis.metrics import noise_box_stats
     from repro.sim.cosim import CosimConfig, run_cosim
 
-    result = run_cosim(
-        args.benchmark,
-        CosimConfig(
-            cycles=args.cycles,
-            warmup_cycles=args.warmup,
-            cr_ivr_area_mm2=args.area,
-            use_controller=not args.no_controller,
-            seed=args.seed,
-        ),
+    config = CosimConfig(
+        cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        cr_ivr_area_mm2=args.area,
+        use_controller=not args.no_controller,
+        seed=args.seed,
     )
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(run_id=f"cosim-{args.benchmark}")
+    result = run_cosim(args.benchmark, config, telemetry=telemetry)
+    if telemetry is not None:
+        from repro.telemetry import write_run
+
+        manifest = write_run(
+            telemetry, args.telemetry, config=config,
+            extra={"command": "cosim", "benchmark": args.benchmark},
+        )
+        print(f"telemetry written to {manifest}")
     print(result.summary())
     box = noise_box_stats(result.sm_voltages)
     print(
@@ -85,6 +98,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"  {result.point.describe():<48s} {status} "
               f"({result.elapsed_s:.1f}s)", flush=True)
 
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(run_id="sweep")
     sweep = run_sweep(
         benchmarks,
         axes={"cr_ivr_area_mm2": areas},
@@ -93,7 +111,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         chunksize=args.chunksize,
         progress=progress,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        from repro.telemetry import write_run
+
+        manifest = write_run(
+            telemetry, args.telemetry, config=base,
+            extra={
+                "command": "sweep",
+                "benchmarks": benchmarks,
+                "areas_mm2": areas,
+            },
+        )
+        print(f"telemetry written to {manifest}")
 
     rows = []
     for r in sweep.successes():
@@ -226,6 +257,18 @@ def _cmd_pde(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_manifest, render_manifest
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(render_manifest(manifest))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -237,7 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suite", default="", choices=["", "rodinia", "cuda_sdk"])
     p.set_defaults(func=_cmd_benchmarks)
 
-    p = sub.add_parser("cosim", help="run the cross-layer co-simulation")
+    p = sub.add_parser(
+        "cosim", aliases=["run"], help="run the cross-layer co-simulation"
+    )
     p.add_argument("benchmark", nargs="?", default="hotspot")
     p.add_argument("--cycles", type=int, default=3000)
     p.add_argument("--warmup", type=int, default=300)
@@ -246,6 +291,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-controller", action="store_true",
                    help="circuit-only voltage stacking")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--telemetry", default="", metavar="DIR",
+                   help="write a run manifest + JSONL event log here")
     p.set_defaults(func=_cmd_cosim)
 
     p = sub.add_parser(
@@ -264,7 +311,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-controller", action="store_true")
     p.add_argument("--output", default="sweep_results.json",
                    help="JSON results path ('' to skip writing)")
+    p.add_argument("--telemetry", default="", metavar="DIR",
+                   help="write a run manifest + JSONL event log here")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "trace", help="summarize a telemetry manifest (dir or file)"
+    )
+    p.add_argument("manifest", help="telemetry directory or manifest.json")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("impedance", help="effective impedance curves (Fig 3)")
     p.add_argument("--area", type=float, default=0.0)

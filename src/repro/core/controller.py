@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,13 +49,23 @@ class ControllerConfig:
     k2: float = 8.0  # FII proportional factor (fakes/cycle per volt)
     k3: float = 20.0  # DCC proportional factor (watts per volt)
     control_period_cycles: int = 4  # decision rate of the controller
-    # Maximum per-decision change of issue width / fake rate (slew
-    # limiting): abrupt full-swing actuation steps would ring the PDN's
-    # package resonance harder than the noise being fixed, and the slew
-    # bound also caps the overshoot accumulated during the loop latency
+    # Maximum per-decision command change (slew limiting): abrupt
+    # full-swing actuation steps would ring the PDN's package resonance
+    # harder than the noise being fixed, and the slew bound also caps
+    # the overshoot accumulated during the loop latency
     # (ramp <= slew * latency / period), which is what keeps the high
-    # FII gain stable.
+    # FII gain stable.  Each actuator slews in its *own* natural units —
+    # issue slots, fakes/cycle, and watts respectively; a single shared
+    # number cannot serve all three (0.02 slots is a meaningful DIWS
+    # step, but 0.02 W per decision pins the k3 = 20 W/V DCC DAC to a
+    # ramp hundreds of decisions long, disabling it in practice).
+    # ``slew_per_decision`` is the legacy shared knob: it still seeds
+    # ``slew_issue`` and ``slew_fake`` when they are not given, so
+    # existing DIWS/FII configurations behave identically.
     slew_per_decision: float = 0.02
+    slew_issue: Optional[float] = None  # issue slots per decision
+    slew_fake: Optional[float] = None  # fakes/cycle per decision
+    slew_dcc_w: float = 0.25  # watts per decision (5 DAC LSBs)
     latency_cycles: Optional[int] = None  # None -> budget from overheads
     detector: DetectorSpec = field(
         default_factory=lambda: DETECTOR_OPTIONS["oddd"]
@@ -72,6 +82,13 @@ class ControllerConfig:
             raise ValueError("proportional factors must be non-negative")
         if self.slew_per_decision <= 0:
             raise ValueError("slew limit must be positive")
+        # Seed the per-actuator limits from the legacy shared knob.
+        if self.slew_issue is None:
+            object.__setattr__(self, "slew_issue", self.slew_per_decision)
+        if self.slew_fake is None:
+            object.__setattr__(self, "slew_fake", self.slew_per_decision)
+        if min(self.slew_issue, self.slew_fake, self.slew_dcc_w) <= 0:
+            raise ValueError("per-actuator slew limits must be positive")
 
     @property
     def total_latency_cycles(self) -> int:
@@ -111,18 +128,33 @@ class VoltageSmoothingController:
         # (apply_at_cycle, decision) queue modelling the loop latency.
         self._pipeline: Deque[Tuple[int, ControlDecision]] = deque()
         self._last_decision_cycle = -config.control_period_cycles
+        self._default_issue_width = float(self.actuation.issue_width_max)
         self.active_decision = self._default_decision()
         self._last_enqueued = self._default_decision()
-        # Statistics for performance-penalty accounting.
+        # Statistics for performance-penalty accounting.  throttled_cycles
+        # counts *simulated* cycles (commands_for may be called more than
+        # once for the same cycle without double counting).
         self.throttled_cycles = 0
+        self._counted_through_cycle = -1
         self.decisions_made = 0
         self.triggers = 0
+        # Per-actuator telemetry: decisions in which each actuator was
+        # engaged, and decisions in which its slew clamp saturated (the
+        # commanded change exceeded the per-decision limit).
+        self.actuator_decisions: Dict[str, int] = {
+            "diws": 0, "fii": 0, "dcc": 0
+        }
+        self.slew_saturations: Dict[str, int] = {
+            "issue": 0, "fake": 0, "dcc": 0
+        }
+        self.throttle_decisions = 0
+        self.boost_decisions = 0
 
     # ------------------------------------------------------------------
     def _default_decision(self) -> ControlDecision:
         n = self.stack.num_sms
         return ControlDecision(
-            issue_widths=np.full(n, 2.0),
+            issue_widths=np.full(n, self._default_issue_width),
             fake_rates=np.zeros(n),
             dcc_powers_w=np.zeros(n),
         )
@@ -155,6 +187,25 @@ class VoltageSmoothingController:
         self.decisions_made += 1
         if decision.triggered_sms:
             self.triggers += 1
+        # Per-actuator engagement accounting, on the post-slew decision
+        # actually enqueued.  A throttle decision is one that cuts issue
+        # width below the default — overvoltage boosts (which *inject*
+        # work) are counted separately, so the Fig. 12 throttling proxy
+        # is not inflated by power-adding actuation.
+        throttling = bool(
+            np.any(decision.issue_widths < self._default_issue_width)
+        )
+        fii_active = bool(np.any(decision.fake_rates > 0.0))
+        dcc_active = bool(np.any(decision.dcc_powers_w > 0.0))
+        if throttling:
+            self.throttle_decisions += 1
+            self.actuator_decisions["diws"] += 1
+        if fii_active:
+            self.actuator_decisions["fii"] += 1
+        if dcc_active:
+            self.actuator_decisions["dcc"] += 1
+        if fii_active or dcc_active:
+            self.boost_decisions += 1
         self._pipeline.append(
             (cycle + self.config.total_latency_cycles, decision)
         )
@@ -202,41 +253,71 @@ class VoltageSmoothingController:
         return decision
 
     def _apply_slew_limit(self, decision: ControlDecision) -> None:
-        """Clamp each command within +-slew of the last enqueued value."""
-        slew = self.config.slew_per_decision
+        """Clamp each command within its actuator's per-decision slew.
+
+        Each actuator is limited in its own natural units (issue slots,
+        fakes/cycle, watts); saturation of a clamp — the proportional
+        law asking for a bigger step than the slew allows — is counted
+        per actuator for telemetry.
+        """
+        cfg = self.config
         previous = self._last_enqueued
-        np.clip(
-            decision.issue_widths,
-            previous.issue_widths - slew,
-            previous.issue_widths + slew,
-            out=decision.issue_widths,
-        )
-        np.clip(
-            decision.fake_rates,
-            previous.fake_rates - slew,
-            previous.fake_rates + slew,
-            out=decision.fake_rates,
-        )
-        np.clip(
-            decision.dcc_powers_w,
-            previous.dcc_powers_w - slew,
-            previous.dcc_powers_w + slew,
-            out=decision.dcc_powers_w,
-        )
+        for key, values, prev, slew in (
+            ("issue", decision.issue_widths, previous.issue_widths,
+             cfg.slew_issue),
+            ("fake", decision.fake_rates, previous.fake_rates,
+             cfg.slew_fake),
+            ("dcc", decision.dcc_powers_w, previous.dcc_powers_w,
+             cfg.slew_dcc_w),
+        ):
+            clamped = np.clip(values, prev - slew, prev + slew)
+            if np.any(clamped != values):
+                self.slew_saturations[key] += 1
+            values[:] = clamped
 
     def commands_for(self, cycle: int) -> ControlDecision:
         """The actuation in force at ``cycle`` (after loop latency)."""
         while self._pipeline and self._pipeline[0][0] <= cycle:
             _, decision = self._pipeline.popleft()
             self.active_decision = decision
-        if np.any(self.active_decision.issue_widths < 2.0):
-            self.throttled_cycles += 1
+        # Count each simulated cycle at most once, so callers that read
+        # the same cycle's commands twice do not double-count.
+        if cycle > self._counted_through_cycle:
+            self._counted_through_cycle = cycle
+            if np.any(
+                self.active_decision.issue_widths < self._default_issue_width
+            ):
+                self.throttled_cycles += 1
         return self.active_decision
 
     # ------------------------------------------------------------------
     @property
     def throttle_fraction(self) -> float:
-        """Fraction of decisions windows spent throttling (for Fig. 12)."""
+        """Fraction of decisions that cut issue width (for Fig. 12).
+
+        Only work-removing decisions count; overvoltage boosts (FII/DCC
+        injections, which *add* work) are reported separately as
+        :attr:`boost_fraction`.
+        """
         if self.decisions_made == 0:
             return 0.0
-        return self.triggers / self.decisions_made
+        return self.throttle_decisions / self.decisions_made
+
+    @property
+    def boost_fraction(self) -> float:
+        """Fraction of decisions engaging power-adding actuation."""
+        if self.decisions_made == 0:
+            return 0.0
+        return self.boost_decisions / self.decisions_made
+
+    def stats(self) -> Dict[str, object]:
+        """Controller statistics snapshot for telemetry manifests."""
+        return {
+            "decisions_made": self.decisions_made,
+            "triggers": self.triggers,
+            "throttle_decisions": self.throttle_decisions,
+            "boost_decisions": self.boost_decisions,
+            "throttled_cycles": self.throttled_cycles,
+            "actuator_decisions": dict(self.actuator_decisions),
+            "slew_saturations": dict(self.slew_saturations),
+        }

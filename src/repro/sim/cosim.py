@@ -23,7 +23,8 @@ keeps running.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -42,6 +43,9 @@ from repro.pdn.efficiency import (
 from repro.pdn.parameters import DEFAULT_PDN, PDNParameters
 from repro.workloads.benchmarks import get_benchmark
 from repro.workloads.traces import PowerTrace
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids import cost
+    from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -83,6 +87,13 @@ class CosimConfig:
             raise ValueError("cycles must be positive")
         if self.warmup_cycles < 0:
             raise ValueError("warmup cannot be negative")
+        if self.warmup_cycles >= self.cycles:
+            raise ValueError(
+                f"warmup_cycles ({self.warmup_cycles}) must be smaller than "
+                f"the measured window ({self.cycles} cycles): a warmup that "
+                "long leaves (nearly) nothing to measure — every statistic "
+                "would be dominated by settling transients or empty windows"
+            )
         if self.circuit_substeps <= 0:
             raise ValueError("need at least one circuit substep")
 
@@ -192,12 +203,25 @@ def run_cosim(
     system: SystemConfig = SystemConfig(),
     params: PDNParameters = DEFAULT_PDN,
     kernel: Optional[KernelSpec] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> CosimResult:
     """Run one coupled GPU/PDN/controller simulation.
 
     ``benchmark`` picks a paper workload; pass ``kernel`` to run a
     custom :class:`KernelSpec` instead (with default memory behaviour).
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) records the
+    per-stage wall-clock split (GPU model / transient solve /
+    controller), solver and controller work counters, decimated
+    per-cycle voltage/power channels, and headline metrics.  ``None``
+    (the default) leaves the hot loop on its untimed fast path.
     """
+    tele = telemetry if telemetry is not None and telemetry.enabled else None
+    setup_start = perf_counter()
+    if tele is not None:
+        tele.event("cosim_start", benchmark=benchmark, cycles=config.cycles,
+                   warmup_cycles=config.warmup_cycles, seed=config.seed)
+
     stack = system.stack
     if kernel is None:
         spec = get_benchmark(benchmark)
@@ -272,6 +296,15 @@ def run_cosim(
     fakes_at_start = 0
     throttled_at_start = 0
     kernels_at_start = gpu.kernels_launched
+    # Telemetry: stage accumulators.  ``timing`` gates five perf_counter
+    # reads per cycle; with telemetry off the loop body is branch-only.
+    timing = tele is not None
+    t_gpu = t_circuit = t_controller = t_record = 0.0
+    if timing:
+        tele.add_time("setup", perf_counter() - setup_start)
+        v_chan = tele.channel("min_sm_voltage_v")
+        p_chan = tele.channel("total_power_w")
+    loop_start = perf_counter()
     for cycle in range(total_cycles):
         recording = cycle >= config.warmup_cycles
         if cycle == config.warmup_cycles:
@@ -282,7 +315,12 @@ def run_cosim(
                 throttled_at_start = controller.throttled_cycles
 
         # 1. GPU cycle under the actuation currently in force.
+        if timing:
+            t0 = perf_counter()
         powers = gpu.step()
+        if timing:
+            t1 = perf_counter()
+            t_gpu += t1 - t0
 
         # 2. Powers -> PDN currents.  Per the paper's convention each SM
         # is a time-varying *ideal* current source: I = P / V_nominal.
@@ -299,6 +337,9 @@ def run_cosim(
             node_v = solver.step()
         bottoms = np.where(bot_is_ground, 0.0, node_v[bot_idx])
         voltages_now = node_v[top_idx] - bottoms
+        if timing:
+            t2 = perf_counter()
+            t_circuit += t2 - t1
 
         # Halted SMs must not block the kernel-launch barrier.  Event
         # timing is relative to the *recorded* window (cycle 0 = end of
@@ -327,6 +368,9 @@ def run_cosim(
             if config.shutoff.active(recorded_cycle):
                 widths[shutoff_sms] = 0.0
             gpu.set_issue_widths(widths)
+        if timing:
+            t3 = perf_counter()
+            t_controller += t3 - t2
 
         if recording:
             k = cycle - config.warmup_cycles
@@ -334,6 +378,25 @@ def run_cosim(
             sm_voltages[k] = voltages_now
             supply_current[k] = solver.vsource_current("vdd")
             dcc_energy_accum += float(dcc_powers.sum())
+            if timing:
+                v_chan.record(k, voltages_now.min())
+                p_chan.record(k, powers.sum())
+        if timing:
+            t_record += perf_counter() - t3
+
+    if timing:
+        # Attribute the loop's residual (iteration overhead, warmup
+        # bookkeeping, the timing reads themselves) to its own stage so
+        # the stage sum reconciles with wall-clock time.
+        loop_wall = perf_counter() - loop_start
+        tele.add_time("gpu_model", t_gpu)
+        tele.add_time("transient_solve", t_circuit)
+        tele.add_time("controller", t_controller)
+        tele.add_time("record", t_record)
+        tele.add_time(
+            "loop_other",
+            max(0.0, loop_wall - t_gpu - t_circuit - t_controller - t_record),
+        )
 
     trace = PowerTrace(
         powers_rec, frequency_hz=system.gpu.sm_clock_hz, name=name
@@ -358,7 +421,51 @@ def run_cosim(
         mean_dcc_power_w=dcc_energy_accum / config.cycles,
     )
     result.kernel_durations = durations
+    if tele is not None:
+        with tele.timer("finalize"):
+            _record_cosim_telemetry(tele, config, result, solver, controller)
     return result
+
+
+def _record_cosim_telemetry(
+    tele, config: CosimConfig, result: CosimResult, solver, controller
+) -> None:
+    """Flush run counters and headline metrics into the recorder."""
+    tele.incr("cycles", config.cycles)
+    tele.incr("warmup_cycles", config.warmup_cycles)
+    tele.incr("solver_steps", solver.stats.steps)
+    tele.incr("solver_factorizations", solver.stats.factorizations)
+    tele.incr("solver_dc_solves", solver.stats.dc_solves)
+    if controller is not None:
+        # Duck-typed controllers (prior-art ablations) expose a subset.
+        stats = getattr(controller, "stats", None)
+        stats = stats() if callable(stats) else {}
+        for key in ("decisions_made", "triggers", "throttle_decisions",
+                    "boost_decisions"):
+            if key in stats:
+                tele.incr(f"controller_{key}", stats[key])
+        for actuator, count in (stats.get("actuator_decisions") or {}).items():
+            tele.incr(f"controller_{actuator}_decisions", count)
+        for actuator, count in (stats.get("slew_saturations") or {}).items():
+            tele.incr(f"controller_slew_saturated_{actuator}", count)
+    tele.incr("controller_throttled_cycles", result.throttled_cycles)
+    tele.incr("fake_instructions", result.fake_instructions)
+    tele.incr("instructions", result.instructions)
+    tele.incr("kernels_completed", result.kernels_completed)
+    tele.set_metrics({
+        "benchmark": result.benchmark,
+        "min_voltage_v": result.min_voltage,
+        "max_voltage_v": result.max_voltage,
+        "mean_power_w": result.power_trace.mean_power_w,
+        "pde": result.efficiency().pde,
+        "throughput_ipc": result.throughput(),
+        "mean_dcc_power_w": result.mean_dcc_power_w,
+    })
+    tele.event(
+        "cosim_done", benchmark=result.benchmark,
+        min_voltage_v=result.min_voltage,
+        throughput_ipc=result.throughput(),
+    )
 
 
 def run_crosslayer_cosim(

@@ -24,15 +24,17 @@ shows library usage.
 from __future__ import annotations
 
 import json
+import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field, is_dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 from itertools import product
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.cosim import CosimConfig
+from repro.telemetry import Telemetry, to_jsonable
 
 # Seed derivation: a fixed odd multiplier keeps per-point seeds distinct
 # for any base seed while staying deterministic across runs and worker
@@ -130,16 +132,14 @@ class SweepResult:
 
 
 def _jsonable(value):
-    """Recursively coerce NumPy scalars/dataclasses for ``json.dump``."""
-    if is_dataclass(value) and not isinstance(value, type):
-        return _jsonable(asdict(value))
-    if isinstance(value, Mapping):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
-        return value.item()
-    return value
+    """Coerce NumPy scalars/arrays/dataclasses for ``json.dump``.
+
+    Delegates to :func:`repro.telemetry.to_jsonable`, which — unlike the
+    earlier scalar-only ``.item()`` coercion — also round-trips NumPy
+    *arrays* (``tolist``), sets, enums and paths; telemetry adds such
+    values to point metrics.
+    """
+    return to_jsonable(value)
 
 
 # ---------------------------------------------------------------------------
@@ -266,30 +266,86 @@ class SweepRunner:
         self.max_workers = max_workers
         self.chunksize = chunksize
 
-    def run(self, progress=None) -> SweepResult:
+    def run(
+        self,
+        progress=None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> SweepResult:
         """Execute every point; ``progress`` (if given) is called with
-        each :class:`SweepPointResult` as it completes."""
+        each :class:`SweepPointResult` as it completes.
+
+        ``telemetry`` records per-point wall times and structured
+        success/failure events (uniformly — the same failure capture
+        that already lands in :class:`SweepPointResult`), plus worker
+        utilization of the whole fan-out.
+        """
+        tele = (
+            telemetry
+            if telemetry is not None and telemetry.enabled
+            else None
+        )
+        inline = self.max_workers is not None and self.max_workers <= 1
+        workers = 1 if inline else (self.max_workers or os.cpu_count() or 1)
+        if tele is not None:
+            tele.event(
+                "sweep_start", num_points=len(self.points), workers=workers,
+                chunksize=self.chunksize,
+            )
         payloads = [(p, self.base_config) for p in self.points]
         start = time.perf_counter()
         results: List[SweepPointResult]
-        if self.max_workers is not None and self.max_workers <= 1:
-            results = [self._notify(_run_point(p), progress) for p in payloads]
+        if inline:
+            results = [
+                self._notify(_run_point(p), progress, tele) for p in payloads
+            ]
         else:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 results = [
-                    self._notify(r, progress)
+                    self._notify(r, progress, tele)
                     for r in pool.map(
                         _run_point, payloads, chunksize=self.chunksize
                     )
                 ]
+        elapsed = time.perf_counter() - start
+        if tele is not None:
+            busy = sum(r.elapsed_s for r in results)
+            tele.add_time("sweep", elapsed)
+            tele.set_metrics({
+                "num_points": len(results),
+                "num_failed": sum(1 for r in results if not r.ok),
+                "workers": workers,
+                # Fraction of the worker pool's wall-clock capacity spent
+                # inside points; low values localize a slow sweep to
+                # scheduling/serialization rather than the points.
+                "worker_utilization": (
+                    busy / (elapsed * workers) if elapsed > 0 else 0.0
+                ),
+            })
+            tele.event(
+                "sweep_done", elapsed_s=round(elapsed, 3),
+                num_failed=sum(1 for r in results if not r.ok),
+            )
         return SweepResult(
             points=results,
             base_config=self.base_config,
-            elapsed_s=time.perf_counter() - start,
+            elapsed_s=elapsed,
         )
 
     @staticmethod
-    def _notify(result: SweepPointResult, progress) -> SweepPointResult:
+    def _notify(
+        result: SweepPointResult, progress, tele: Optional[Telemetry] = None
+    ) -> SweepPointResult:
+        if tele is not None:
+            tele.incr("points_ok" if result.ok else "points_failed")
+            event = {
+                "index": result.point.index,
+                "benchmark": result.point.benchmark,
+                "ok": result.ok,
+                "elapsed_s": round(result.elapsed_s, 4),
+            }
+            if not result.ok and result.error:
+                event["error"] = result.error.splitlines()[0]
+            tele.event("sweep_point", **event)
         if progress is not None:
             progress(result)
         return result
@@ -303,10 +359,11 @@ def run_sweep(
     max_workers: Optional[int] = None,
     chunksize: int = 1,
     progress=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SweepResult:
     """Convenience wrapper: expand the grid and run it."""
     points = expand_grid(benchmarks, axes, base_seed=base_seed)
     runner = SweepRunner(
         points, base_config, max_workers=max_workers, chunksize=chunksize
     )
-    return runner.run(progress=progress)
+    return runner.run(progress=progress, telemetry=telemetry)

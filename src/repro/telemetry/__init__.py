@@ -1,0 +1,44 @@
+"""repro.telemetry — run observability for co-simulations and sweeps.
+
+The long-sweep workflows this library exists for (PDE maps, penalty
+studies, design-space exploration) are only trustworthy when every run
+says where its time went, what the controller actually did, and why a
+point failed.  This package provides that layer:
+
+* :class:`~repro.telemetry.recorder.Telemetry` — phase timers,
+  monotonic counters, bounded/decimated per-cycle metric channels and a
+  structured event log;
+* :func:`~repro.telemetry.manifest.write_run` /
+  :func:`~repro.telemetry.manifest.load_manifest` — the per-run
+  ``manifest.json`` (config hash, seed, git revision, timings, headline
+  metrics) plus the ``events.jsonl`` log;
+* :func:`~repro.telemetry.manifest.render_manifest` — the human-facing
+  summary behind ``repro trace``.
+
+See ``docs/telemetry.md`` for the manifest schema and usage patterns.
+"""
+
+from repro.telemetry.manifest import (
+    EVENTS_NAME,
+    MANIFEST_NAME,
+    config_hash,
+    git_revision,
+    load_manifest,
+    render_manifest,
+    to_jsonable,
+    write_run,
+)
+from repro.telemetry.recorder import MetricChannel, Telemetry
+
+__all__ = [
+    "EVENTS_NAME",
+    "MANIFEST_NAME",
+    "MetricChannel",
+    "Telemetry",
+    "config_hash",
+    "git_revision",
+    "load_manifest",
+    "render_manifest",
+    "to_jsonable",
+    "write_run",
+]

@@ -1,0 +1,234 @@
+"""Per-run manifest + JSONL event log persistence.
+
+A telemetry directory holds exactly two files:
+
+* ``manifest.json`` — one JSON document identifying the run (run id,
+  creation time, git revision, the full run configuration and a stable
+  hash of it, the seed) plus everything the recorder accumulated:
+  per-stage wall-clock timings, counters, headline metrics, and the
+  decimated metric channels.
+* ``events.jsonl`` — the structured event log, one JSON object per
+  line, each stamped with seconds-since-recorder-start.
+
+``repro trace <dir-or-manifest>`` renders a manifest with
+:func:`render_manifest`; :func:`load_manifest` accepts either the
+directory or the ``manifest.json`` path directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from dataclasses import asdict, is_dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from repro.telemetry.recorder import Telemetry
+
+MANIFEST_NAME = "manifest.json"
+EVENTS_NAME = "events.jsonl"
+
+
+def to_jsonable(value):
+    """Recursively coerce a value tree into ``json.dump``-able types.
+
+    Handles dataclasses, mappings, sequences, sets, paths, enums, and —
+    critically for sweep/telemetry metrics — NumPy arrays (``tolist``)
+    and NumPy scalars (``item``), so any metric a run records survives a
+    JSON round trip.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(asdict(value))
+    if isinstance(value, Enum):
+        return to_jsonable(value.value)
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    # NumPy arrays expose .tolist(); scalars expose .item().  Checked
+    # structurally so this module never hard-imports numpy types.
+    if hasattr(value, "tolist") and not isinstance(value, (str, bytes)):
+        return value.tolist()
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()
+    return value
+
+
+def config_hash(config) -> str:
+    """Stable short hash of a run configuration (dataclass or mapping)."""
+    canonical = json.dumps(
+        to_jsonable(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def git_revision(cwd: Optional[Path] = None) -> Optional[str]:
+    """Current git commit hash, or ``None`` outside a repository."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def write_run(
+    telemetry: Telemetry,
+    out_dir,
+    config=None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write ``manifest.json`` + ``events.jsonl`` under ``out_dir``.
+
+    ``config`` (any dataclass or mapping) is embedded verbatim along
+    with its stable hash; ``extra`` merges additional top-level
+    manifest fields (command line, benchmark name, ...).  Returns the
+    manifest path.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    events_path = out_dir / EVENTS_NAME
+    with open(events_path, "w") as handle:
+        for event in telemetry.events:
+            handle.write(json.dumps(to_jsonable(event)))
+            handle.write("\n")
+
+    config_json = to_jsonable(config) if config is not None else None
+    manifest: Dict[str, object] = {
+        "run_id": telemetry.run_id,
+        "created_unix": telemetry.created_unix,
+        "wall_s": telemetry.elapsed_s,
+        "git_rev": git_revision(),
+        "config": config_json,
+        "config_hash": config_hash(config) if config is not None else None,
+        "seed": (config_json or {}).get("seed")
+        if isinstance(config_json, dict)
+        else None,
+        "timings_s": to_jsonable(telemetry.timings),
+        "counters": to_jsonable(telemetry.counters),
+        "metrics": to_jsonable(telemetry.metrics),
+        "channels": {
+            name: channel.to_dict()
+            for name, channel in telemetry.channels.items()
+        },
+        "events_file": EVENTS_NAME,
+        "num_events": len(telemetry.events),
+    }
+    if extra:
+        manifest.update(to_jsonable(extra))
+
+    manifest_path = out_dir / MANIFEST_NAME
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+    return manifest_path
+
+
+def load_manifest(path) -> Dict[str, object]:
+    """Load a manifest from a telemetry directory or the file itself."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / MANIFEST_NAME
+    if not path.exists():
+        raise FileNotFoundError(f"no telemetry manifest at {path}")
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def render_manifest(manifest: Mapping[str, object]) -> str:
+    """Human-readable summary of one run manifest (``repro trace``)."""
+    from repro.analysis.report import format_seconds, format_table
+
+    lines = []
+    header_bits = [f"run {manifest.get('run_id', '?')}"]
+    if manifest.get("config_hash"):
+        header_bits.append(f"config {manifest['config_hash']}")
+    if manifest.get("seed") is not None:
+        header_bits.append(f"seed {manifest['seed']}")
+    if manifest.get("git_rev"):
+        header_bits.append(f"git {str(manifest['git_rev'])[:12]}")
+    lines.append(" | ".join(header_bits))
+
+    wall = float(manifest.get("wall_s") or 0.0)
+    timings = dict(manifest.get("timings_s") or {})
+    if timings:
+        total = sum(timings.values())
+        rows = [
+            [stage, format_seconds(seconds),
+             f"{seconds / wall:.1%}" if wall > 0 else "n/a"]
+            for stage, seconds in sorted(
+                timings.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        rows.append([
+            "(stage sum)", format_seconds(total),
+            f"{total / wall:.1%}" if wall > 0 else "n/a",
+        ])
+        lines.append("")
+        lines.append(
+            format_table(
+                ["stage", "time", "of wall"], rows,
+                title=f"Stage timings (wall {format_seconds(wall)})",
+            )
+        )
+
+    counters = dict(manifest.get("counters") or {})
+    if counters:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["counter", "count"],
+                [[k, f"{v:,}"] for k, v in sorted(counters.items())],
+                title="Counters",
+            )
+        )
+
+    metrics = dict(manifest.get("metrics") or {})
+    if metrics:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["metric", "value"],
+                [[k, v] for k, v in sorted(metrics.items())],
+                title="Headline metrics",
+            )
+        )
+
+    channels = dict(manifest.get("channels") or {})
+    if channels:
+        rows = []
+        for name, chan in sorted(channels.items()):
+            values = chan.get("values") or []
+            span = (
+                f"{min(values):.4g} .. {max(values):.4g}" if values else "-"
+            )
+            rows.append([
+                name, chan.get("kept", 0), chan.get("offered", 0),
+                chan.get("stride", 1), span,
+            ])
+        lines.append("")
+        lines.append(
+            format_table(
+                ["channel", "kept", "offered", "stride", "range"], rows,
+                title="Metric channels (decimated)",
+            )
+        )
+
+    num_events = int(manifest.get("num_events") or 0)
+    lines.append("")
+    lines.append(
+        f"{num_events} events in {manifest.get('events_file', EVENTS_NAME)}"
+    )
+    return "\n".join(lines)

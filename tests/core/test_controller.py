@@ -155,3 +155,111 @@ class TestStatistics:
 
     def test_zero_decisions_zero_fraction(self):
         assert make_controller().throttle_fraction == 0.0
+
+    def test_throttle_fraction_excludes_boosts(self):
+        """A purely overvolted run injects work (FII/DCC) but never cuts
+        issue width; before the fix those boost decisions inflated
+        ``throttle_fraction``."""
+        ctl = make_controller()
+        voltages = healthy_voltages()
+        voltages[6] = 1.4  # sustained overvoltage, no droop anywhere
+        for cycle in range(600):
+            ctl.observe(cycle, voltages)
+        assert ctl.triggers > 0
+        assert ctl.throttle_fraction == 0.0
+        assert 0.0 < ctl.boost_fraction <= 1.0
+
+    def test_boost_fraction_zero_for_pure_droop(self):
+        ctl = make_controller()
+        for cycle in range(300):
+            ctl.observe(cycle, drooping_voltages(0, v=0.8))
+        assert ctl.boost_fraction == 0.0
+        assert ctl.throttle_fraction > 0.0
+
+    def test_commands_for_counts_each_cycle_once(self):
+        """Reading the same cycle's commands repeatedly (e.g. from a
+        nested substep loop) must not double-count throttled_cycles."""
+        once = make_controller()
+        thrice = make_controller()
+        for cycle in range(300):
+            once.observe(cycle, drooping_voltages(0, v=0.8))
+            thrice.observe(cycle, drooping_voltages(0, v=0.8))
+            once.commands_for(cycle)
+            for _ in range(3):
+                thrice.commands_for(cycle)
+        assert once.throttled_cycles > 0
+        assert thrice.throttled_cycles == once.throttled_cycles
+
+    def test_stats_snapshot_keys(self):
+        ctl = make_controller()
+        for cycle in range(100):
+            ctl.observe(cycle, drooping_voltages(0, v=0.8))
+            ctl.commands_for(cycle)
+        stats = ctl.stats()
+        assert stats["decisions_made"] == ctl.decisions_made
+        assert stats["throttled_cycles"] == ctl.throttled_cycles
+        assert stats["actuator_decisions"]["diws"] > 0
+        assert set(stats["slew_saturations"]) == {"issue", "fake", "dcc"}
+
+
+class TestPerActuatorSlew:
+    def test_legacy_knob_seeds_issue_and_fake(self):
+        cfg = ControllerConfig(slew_per_decision=0.05)
+        assert cfg.slew_issue == 0.05
+        assert cfg.slew_fake == 0.05
+        # DCC slews in watts, independent of the legacy shared knob.
+        assert cfg.slew_dcc_w == 0.25
+
+    def test_explicit_limits_win_over_legacy(self):
+        cfg = ControllerConfig(
+            slew_per_decision=0.05, slew_issue=0.5, slew_fake=0.3
+        )
+        assert cfg.slew_issue == 0.5
+        assert cfg.slew_fake == 0.3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"slew_issue": 0.0},
+            {"slew_fake": -1.0},
+            {"slew_dcc_w": 0.0},
+            {"slew_per_decision": -0.01},
+        ],
+    )
+    def test_nonpositive_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ControllerConfig(**kwargs)
+
+    def test_dcc_reaches_commanded_power(self):
+        """Regression for the shared-slew unit bug: 0.02 *watts* per
+        decision pinned the k3 = 20 W/V DCC DAC to a ~630-decision ramp,
+        disabling it in practice.  With the per-actuator limit the DAC
+        must reach its (clamped) commanded power within a sustained
+        overvoltage episode."""
+        ctl = make_controller()
+        voltages = healthy_voltages()
+        voltages[2] = 1.4  # k3 * 0.4 V = 8 W request, clamps to DAC max
+        for cycle in range(400):
+            ctl.observe(cycle, voltages)
+        commanded = ctl.actuation.dac.max_power_w  # 3.15 W full scale
+        applied = ctl.commands_for(500).dcc_powers_w[2]
+        assert applied >= 0.5 * commanded
+
+    def test_dcc_ramp_counts_slew_saturation(self):
+        """The 8 W step demand exceeds the per-decision watt budget, so
+        the dcc slew clamp must report saturation while ramping."""
+        ctl = make_controller()
+        voltages = healthy_voltages()
+        voltages[2] = 1.4
+        for cycle in range(200):
+            ctl.observe(cycle, voltages)
+        assert ctl.slew_saturations["dcc"] > 0
+
+    def test_issue_slew_unchanged_by_dcc_fix(self):
+        """DIWS ramps exactly as before: issue width falls by at most
+        ``slew_issue`` slots per decision."""
+        ctl = make_controller()
+        ctl.observe(0, healthy_voltages())
+        ctl.observe(1, drooping_voltages(3, v=0.0))  # instant deep droop
+        widths = [d.issue_widths[3] for _, d in ctl._pipeline]
+        assert widths[-1] >= 2.0 - 2 * ctl.config.slew_issue - 1e-12

@@ -33,6 +33,17 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             CosimConfig(**kwargs)
 
+    @pytest.mark.parametrize("warmup", [10, 11, 500])
+    def test_rejects_warmup_swallowing_window(self, warmup):
+        """A warmup at least as long as the measured window leaves
+        (nearly) nothing to measure; fail fast with a clear message
+        instead of reporting transient-dominated statistics."""
+        with pytest.raises(ValueError, match="warmup_cycles"):
+            CosimConfig(cycles=10, warmup_cycles=warmup)
+
+    def test_warmup_just_below_window_accepted(self):
+        CosimConfig(cycles=10, warmup_cycles=9)
+
 
 class TestCoupledRun:
     def test_shapes(self, short_run):
@@ -68,7 +79,7 @@ class TestCoupledRun:
 
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
-            run_cosim("nope", CosimConfig(cycles=10))
+            run_cosim("nope", CosimConfig(cycles=10, warmup_cycles=0))
 
 
 class TestControllerCoupling:
@@ -136,7 +147,7 @@ class TestWarmupWindowAccounting:
         ),
     )
     WARMUP = 300
-    RECORDED = 300
+    RECORDED = 320
 
     @pytest.fixture(scope="class")
     def runs(self):
@@ -242,6 +253,134 @@ class TestLayerShutoff:
         assert not event.active(9)
         assert event.active(10)
         assert not event.active(20)
+
+
+class TestDCCEngagement:
+    """Regression for the shared-slew unit bug (satellite of the
+    telemetry PR): with 0.02 W per decision the k3 = 20 W/V DCC needed
+    ~630 decisions to reach its DAC full scale, so during a sustained
+    layer shutoff the compensation never arrived.  The per-actuator
+    ``slew_dcc_w`` restores it."""
+
+    BASE = dict(
+        cycles=1500, warmup_cycles=200, seed=7,
+        shutoff=LayerShutoffEvent(layer=3, start_cycle=0),
+    )
+
+    @pytest.fixture(scope="class")
+    def commanded_w(self):
+        """Total commanded DCC power, from the *uncompensated* run's
+        overvoltage on the shutoff layer: min(k3*(V - Vnom), DAC max)
+        per SM.  (The compensated run closes the loop and pulls the
+        voltage back to ~1 V, so the error must be read open-loop.)"""
+        off = run_cosim(
+            "heartwall",
+            CosimConfig(
+                actuation=WeightedActuation(w1=1.0, w2=0.0, w3=0.0),
+                **self.BASE,
+            ),
+        )
+        cfg = ControllerConfig()
+        dac_max = WeightedActuation().dac.max_power_w
+        v_late = off.sm_voltages[-600:, 12:16].mean(axis=0)
+        per_sm = np.minimum(
+            np.maximum(v_late - cfg.v_nominal, 0.0) * cfg.k3, dac_max
+        )
+        assert per_sm.sum() > 1.0  # the scenario must demand real power
+        return float(per_sm.sum())
+
+    def test_dcc_reaches_half_of_commanded_power(self, commanded_w):
+        on = run_cosim(
+            "heartwall",
+            CosimConfig(
+                actuation=WeightedActuation(w1=1.0, w2=0.0, w3=1.0),
+                **self.BASE,
+            ),
+        )
+        assert on.mean_dcc_power_w >= 0.5 * commanded_w
+        # And the loop actually closes: the shutoff layer's overvoltage
+        # is pulled back near nominal.
+        assert on.sm_voltages[-600:, 12:16].mean() < 1.05
+
+
+class TestCosimTelemetry:
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        from repro.telemetry import Telemetry
+
+        tele = Telemetry(run_id="test")
+        result = run_cosim(
+            "hotspot",
+            CosimConfig(cycles=400, warmup_cycles=100),
+            telemetry=tele,
+        )
+        return tele, result
+
+    def test_stage_times_sum_to_wall(self, recorded):
+        """The per-stage split must account for the run: stage sum
+        within 10% of the recorder's wall clock (the residual stages
+        ``setup``/``loop_other``/``finalize`` close the gap)."""
+        tele, _ = recorded
+        wall = tele.elapsed_s
+        stage_sum = sum(tele.timings.values())
+        assert wall > 0
+        assert abs(stage_sum - wall) / wall <= 0.10
+
+    def test_stage_names(self, recorded):
+        tele, _ = recorded
+        for stage in ("setup", "gpu_model", "transient_solve",
+                      "controller", "record", "loop_other", "finalize"):
+            assert stage in tele.timings
+
+    def test_work_counters(self, recorded):
+        tele, result = recorded
+        total = 400 + 100
+        assert tele.counters["cycles"] == 400
+        assert tele.counters["solver_steps"] == total * 2  # substeps
+        assert tele.counters["solver_factorizations"] == 1
+        assert tele.counters["instructions"] == result.instructions
+        assert "controller_decisions_made" in tele.counters
+        assert "controller_slew_saturated_dcc" in tele.counters
+
+    def test_channels_cover_recorded_window(self, recorded):
+        tele, _ = recorded
+        for name in ("min_sm_voltage_v", "total_power_w"):
+            chan = tele.channels[name]
+            assert chan.offered == 400
+            assert len(chan) > 0
+
+    def test_headline_metrics_match_result(self, recorded):
+        tele, result = recorded
+        assert tele.metrics["min_voltage_v"] == result.min_voltage
+        assert tele.metrics["throughput_ipc"] == result.throughput()
+
+    def test_events_bracket_the_run(self, recorded):
+        tele, _ = recorded
+        kinds = [e["kind"] for e in tele.events]
+        assert kinds[0] == "cosim_start"
+        assert kinds[-1] == "cosim_done"
+
+    def test_disabled_recorder_records_nothing(self):
+        from repro.telemetry import Telemetry
+
+        tele = Telemetry(enabled=False)
+        run_cosim(
+            "hotspot",
+            CosimConfig(cycles=40, warmup_cycles=10),
+            telemetry=tele,
+        )
+        assert tele.timings == {}
+        assert tele.counters == {}
+
+    def test_result_identical_with_and_without_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        cfg = CosimConfig(cycles=120, warmup_cycles=20, seed=11)
+        plain = run_cosim("hotspot", cfg)
+        traced = run_cosim("hotspot", cfg, telemetry=Telemetry())
+        assert np.array_equal(plain.sm_voltages, traced.sm_voltages)
+        assert plain.instructions == traced.instructions
+        assert plain.throttled_cycles == traced.throttled_cycles
 
 
 class TestPDSConfigs:

@@ -2,11 +2,14 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.sim.cosim import CosimConfig
 from repro.sim.sweep import (
     SweepPoint,
+    SweepPointResult,
+    SweepResult,
     SweepRunner,
     expand_grid,
     point_seed,
@@ -111,7 +114,9 @@ class TestRunnerInline:
         assert [r.point.index for r in seen] == [0, 1]
 
     def test_rejects_live_controller_object(self):
-        config = CosimConfig(cycles=10, controller_object=object())
+        config = CosimConfig(
+            cycles=10, warmup_cycles=0, controller_object=object()
+        )
         with pytest.raises(ValueError, match="controller_object"):
             SweepRunner(expand_grid(["hotspot"]), config)
 
@@ -158,3 +163,61 @@ class TestJsonWriter:
         assert isinstance(good["metrics"]["min_voltage_v"], float)
         bad = data["points"][1]
         assert bad["ok"] is False and "unknown benchmark" in bad["error"]
+
+    def test_numpy_metrics_round_trip(self, tmp_path):
+        """Regression: point metrics carrying NumPy scalars *and arrays*
+        must survive the JSON writer (the old coercion handled only
+        scalar ``.item()``, so an ``np.ndarray`` metric crashed
+        ``json.dump``)."""
+        point = SweepPoint(index=0, benchmark="hotspot")
+        result = SweepResult(
+            points=[
+                SweepPointResult(
+                    point=point,
+                    ok=True,
+                    metrics={
+                        "f64": np.float64(1.5),
+                        "i64": np.int64(7),
+                        "arr": np.array([0.25, 0.5], dtype=np.float32),
+                    },
+                )
+            ],
+            base_config=FAST,
+        )
+        path = result.write_json(tmp_path / "np.json")
+        metrics = json.loads(path.read_text())["points"][0]["metrics"]
+        assert metrics == {"f64": 1.5, "i64": 7, "arr": [0.25, 0.5]}
+        assert isinstance(metrics["i64"], int)
+
+
+class TestSweepTelemetry:
+    def test_per_point_events_and_utilization(self):
+        from repro.telemetry import Telemetry
+
+        tele = Telemetry(run_id="sweep-test")
+        result = run_sweep(
+            ["hotspot", "__bad__"], base_config=FAST, max_workers=1,
+            telemetry=tele,
+        )
+        assert result.num_failed == 1
+        assert tele.counters["points_ok"] == 1
+        assert tele.counters["points_failed"] == 1
+        kinds = [e["kind"] for e in tele.events]
+        assert kinds[0] == "sweep_start"
+        assert kinds.count("sweep_point") == 2
+        assert kinds[-1] == "sweep_done"
+        failed = [e for e in tele.events
+                  if e["kind"] == "sweep_point" and not e["ok"]]
+        assert "unknown benchmark" in failed[0]["error"]
+        assert 0.0 < tele.metrics["worker_utilization"] <= 1.5
+        assert tele.metrics["num_points"] == 2
+        assert "sweep" in tele.timings
+
+    def test_disabled_recorder_is_inert(self):
+        from repro.telemetry import Telemetry
+
+        tele = Telemetry(enabled=False)
+        run_sweep(["hotspot"], base_config=FAST, max_workers=1,
+                  telemetry=tele)
+        assert tele.events == []
+        assert tele.counters == {}

@@ -1,0 +1,212 @@
+"""Tests for the run-telemetry recorder and manifest persistence."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    EVENTS_NAME,
+    MetricChannel,
+    Telemetry,
+    config_hash,
+    load_manifest,
+    render_manifest,
+    to_jsonable,
+    write_run,
+)
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        tele = Telemetry()
+        with tele.timer("stage"):
+            pass
+        with tele.timer("stage"):
+            pass
+        assert tele.timings["stage"] >= 0.0
+        assert len(tele.timings) == 1
+
+    def test_add_time_accumulates(self):
+        tele = Telemetry()
+        tele.add_time("solve", 0.5)
+        tele.add_time("solve", 0.25)
+        assert tele.timings["solve"] == pytest.approx(0.75)
+
+    def test_timer_records_on_exception(self):
+        tele = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tele.timer("boom"):
+                raise RuntimeError("x")
+        assert "boom" in tele.timings
+
+    def test_elapsed_monotonic(self):
+        tele = Telemetry()
+        first = tele.elapsed_s
+        assert tele.elapsed_s >= first >= 0.0
+
+
+class TestCountersAndMetrics:
+    def test_incr(self):
+        tele = Telemetry()
+        tele.incr("steps")
+        tele.incr("steps", 4)
+        assert tele.counters["steps"] == 5
+
+    def test_set_metrics(self):
+        tele = Telemetry()
+        tele.set_metrics({"a": 1, "b": 2.0})
+        tele.set_metric("a", 3)
+        assert tele.metrics == {"a": 3, "b": 2.0}
+
+
+class TestMetricChannel:
+    def test_bounded_for_any_run_length(self):
+        chan = MetricChannel("v", capacity=16)
+        for cycle in range(10_000):
+            chan.record(cycle, float(cycle))
+        assert len(chan) < 16
+        assert chan.offered == 10_000
+
+    def test_stride_is_power_of_two(self):
+        chan = MetricChannel("v", capacity=8)
+        for cycle in range(1000):
+            chan.record(cycle, 0.0)
+        assert chan.stride & (chan.stride - 1) == 0
+
+    def test_kept_cycles_uniformly_spaced(self):
+        chan = MetricChannel("v", capacity=8)
+        for cycle in range(1000):
+            chan.record(cycle, float(cycle))
+        diffs = np.diff(chan.cycles)
+        assert np.all(diffs == chan.stride)
+        assert chan.cycles[0] == 0
+
+    def test_no_decimation_under_capacity(self):
+        chan = MetricChannel("v", capacity=64)
+        for cycle in range(50):
+            chan.record(cycle, float(cycle))
+        assert chan.stride == 1
+        assert chan.values == [float(c) for c in range(50)]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            MetricChannel("v", capacity=1)
+
+    def test_telemetry_channel_handle_is_cached(self):
+        tele = Telemetry()
+        assert tele.channel("v") is tele.channel("v")
+
+
+class TestDisabledRecorder:
+    def test_all_mutators_are_noops(self):
+        tele = Telemetry(enabled=False)
+        with tele.timer("s"):
+            pass
+        tele.add_time("s", 1.0)
+        tele.incr("c")
+        tele.set_metric("m", 1)
+        tele.record("chan", 0, 1.0)
+        tele.event("kind", x=1)
+        assert tele.timings == {}
+        assert tele.counters == {}
+        assert tele.metrics == {}
+        assert tele.events == []
+        # channel() still hands out a handle; record() never fed it.
+        assert len(tele.channel("chan")) == 0
+
+
+class TestJsonable:
+    def test_numpy_scalars_round_trip(self):
+        out = to_jsonable({"a": np.float64(1.5), "b": np.int64(7)})
+        text = json.dumps(out)
+        back = json.loads(text)
+        assert back == {"a": 1.5, "b": 7}
+        assert isinstance(back["b"], int)
+
+    def test_numpy_arrays_round_trip(self):
+        out = to_jsonable(np.arange(4, dtype=np.int64).reshape(2, 2))
+        assert json.loads(json.dumps(out)) == [[0, 1], [2, 3]]
+
+    def test_nested_structures(self):
+        out = to_jsonable(
+            {"xs": (np.float32(0.5), [np.int32(2)]), "s": {1, 1}}
+        )
+        assert json.loads(json.dumps(out)) == {"xs": [0.5, [2]], "s": [1]}
+
+
+class TestManifest:
+    def make_recorded_run(self):
+        tele = Telemetry(run_id="unit")
+        tele.add_time("solve", 0.2)
+        tele.add_time("model", 0.3)
+        tele.incr("steps", 10)
+        tele.set_metric("min_v", np.float64(0.91))
+        for cycle in range(40):
+            tele.record("v", cycle, 1.0 - cycle * 1e-3)
+        tele.event("start", note="hello")
+        tele.event("done")
+        return tele
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        tele = self.make_recorded_run()
+        path = write_run(
+            tele, tmp_path / "t", config={"seed": 9, "cycles": 40},
+            extra={"command": "unit"},
+        )
+        manifest = load_manifest(path)
+        assert manifest["run_id"] == "unit"
+        assert manifest["seed"] == 9
+        assert manifest["command"] == "unit"
+        assert manifest["counters"]["steps"] == 10
+        assert manifest["timings_s"]["solve"] == pytest.approx(0.2)
+        assert manifest["channels"]["v"]["kept"] == 40
+        assert manifest["num_events"] == 2
+        assert manifest["config_hash"] == config_hash(
+            {"seed": 9, "cycles": 40}
+        )
+
+    def test_load_accepts_directory(self, tmp_path):
+        write_run(self.make_recorded_run(), tmp_path)
+        assert load_manifest(tmp_path)["run_id"] == "unit"
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_manifest(tmp_path / "nowhere")
+
+    def test_events_jsonl_one_object_per_line(self, tmp_path):
+        write_run(self.make_recorded_run(), tmp_path)
+        lines = (tmp_path / EVENTS_NAME).read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["kind"] for e in events] == ["start", "done"]
+        assert all("t_s" in e for e in events)
+
+    def test_config_hash_stable_and_order_insensitive(self):
+        a = config_hash({"x": 1, "y": 2})
+        b = config_hash({"y": 2, "x": 1})
+        assert a == b
+        assert a != config_hash({"x": 1, "y": 3})
+
+    def test_render_mentions_stages_counters_channels(self, tmp_path):
+        path = write_run(
+            self.make_recorded_run(), tmp_path, config={"seed": 9}
+        )
+        text = render_manifest(load_manifest(path))
+        for needle in ("run unit", "solve", "steps", "min_v", "v",
+                       "stage sum", "2 events"):
+            assert needle in text
+
+    def test_render_handles_minimal_manifest(self):
+        text = render_manifest({"run_id": "bare"})
+        assert "run bare" in text
+        assert "0 events" in text
+
+    def test_manifest_is_json_clean(self, tmp_path):
+        """Every value written must survive strict JSON (no NaN from the
+        NumPy metric, no sets, no dataclasses)."""
+        path = write_run(
+            self.make_recorded_run(), tmp_path, config={"seed": 1}
+        )
+        data = json.loads(path.read_text())
+        assert not math.isnan(float(data["metrics"]["min_v"]))

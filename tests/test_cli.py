@@ -35,6 +35,18 @@ class TestParser:
         assert args.cycles == 100
         assert args.no_controller
 
+    def test_run_is_cosim_alias(self):
+        args = build_parser().parse_args(
+            ["run", "bfs", "--telemetry", "/tmp/t"]
+        )
+        assert args.benchmark == "bfs"
+        assert args.telemetry == "/tmp/t"
+
+    def test_trace_takes_manifest_path(self):
+        args = build_parser().parse_args(["trace", "some/dir"])
+        assert args.manifest == "some/dir"
+        assert callable(args.func)
+
 
 class TestCommands:
     def test_benchmarks_lists_names(self, capsys):
@@ -103,3 +115,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "VS cross-layer" in out
         assert "single layer VRM" in out
+
+
+class TestTelemetryCommands:
+    def test_run_writes_manifest_and_trace_renders_it(self, capsys, tmp_path):
+        """The headline workflow: ``repro run --telemetry DIR`` then
+        ``repro trace DIR``."""
+        tele_dir = tmp_path / "tele"
+        assert main(["run", "hotspot", "--cycles", "120", "--warmup", "20",
+                     "--telemetry", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry written to" in out
+        assert (tele_dir / "manifest.json").exists()
+        assert (tele_dir / "events.jsonl").exists()
+
+        assert main(["trace", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run cosim-hotspot" in out
+        assert "gpu_model" in out
+        assert "transient_solve" in out
+        assert "stage sum" in out
+
+    def test_trace_missing_manifest_errors(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope")]) == 1
+        assert "no telemetry manifest" in capsys.readouterr().err
+
+    def test_sweep_telemetry(self, capsys, tmp_path):
+        tele_dir = tmp_path / "tele"
+        assert main(["sweep", "--benchmarks", "hotspot",
+                     "--areas", "105.8", "--cycles", "60", "--warmup", "10",
+                     "--workers", "1", "--output", "",
+                     "--telemetry", str(tele_dir)]) == 0
+        assert (tele_dir / "manifest.json").exists()
+        assert main(["trace", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "points_ok" in out
+        assert "worker_utilization" in out

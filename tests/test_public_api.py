@@ -63,3 +63,21 @@ class TestSubpackageSurfaces:
         from repro.workloads import BENCHMARK_NAMES, PowerTrace
 
         assert len(BENCHMARK_NAMES) == 12
+
+    def test_circuits_exports(self):
+        from repro.circuits import SolverStats, TransientSolver
+
+        assert SolverStats().steps == 0
+
+    def test_telemetry_exports(self):
+        from repro.telemetry import (
+            MetricChannel,
+            Telemetry,
+            load_manifest,
+            render_manifest,
+            to_jsonable,
+            write_run,
+        )
+
+        assert callable(write_run)
+        assert Telemetry().enabled
