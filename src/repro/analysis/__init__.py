@@ -1,5 +1,13 @@
-"""Metrics and report formatting for the paper's tables and figures."""
+"""Metrics, report formatting and run observability (noise observatory)."""
 
+from repro.analysis.compare import (
+    CompareReport,
+    MetricDelta,
+    Threshold,
+    compare_manifests,
+    load_thresholds,
+    render_compare,
+)
 from repro.analysis.metrics import (
     BoxStats,
     imbalance_distribution,
@@ -7,26 +15,58 @@ from repro.analysis.metrics import (
     noise_box_stats,
     performance_penalty,
 )
+from repro.analysis.observatory import (
+    Band,
+    DroopEvent,
+    LossLedger,
+    NoiseReport,
+    band_decomposition,
+    compute_noise_report,
+    default_bands,
+    droop_event_log,
+    layer_imbalance_summary,
+    pde_loss_ledger,
+    render_noise_report,
+)
 from repro.analysis.report import format_series, format_table
 from repro.analysis.spectral import (
     band_power,
     dominant_frequency,
+    imbalance_series,
     imbalance_spectrum,
     low_frequency_fraction,
     power_spectrum,
 )
 
 __all__ = [
+    "Band",
     "BoxStats",
+    "CompareReport",
+    "DroopEvent",
+    "LossLedger",
+    "MetricDelta",
+    "NoiseReport",
+    "Threshold",
+    "band_decomposition",
     "band_power",
+    "compare_manifests",
+    "compute_noise_report",
+    "default_bands",
     "dominant_frequency",
+    "droop_event_log",
     "format_series",
     "format_table",
     "imbalance_distribution",
+    "imbalance_series",
     "imbalance_spectrum",
+    "layer_imbalance_summary",
+    "load_thresholds",
     "low_frequency_fraction",
     "net_energy_saving",
     "noise_box_stats",
+    "pde_loss_ledger",
     "performance_penalty",
     "power_spectrum",
+    "render_compare",
+    "render_noise_report",
 ]

@@ -67,18 +67,53 @@ def dominant_frequency(signal: np.ndarray, sample_rate_hz: float) -> float:
     return float(freqs[int(np.argmax(amplitudes))])
 
 
-def imbalance_spectrum(
+def imbalance_series(
     per_sm_power: np.ndarray,
-    sample_rate_hz: float,
     stack: StackConfig = StackConfig(),
-) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
-    """Spectra of the global / stack / residual current components.
+) -> Dict[str, np.ndarray]:
+    """Representative per-cycle series of each imbalance component.
 
     Decomposes every cycle's per-SM power into the three orthogonal
-    components of Section III-B, takes a representative scalar for each
-    (the global mean; the first stack's deviation; the first SM's
-    residual) and returns the spectrum of each — showing *where in
-    frequency* each kind of imbalance lives for a workload.
+    components of Section III-B and takes a representative scalar for
+    each: the global mean; the first column's stack deviation; the
+    first SM's residual.  Vectorized over cycles, but each scalar is
+    produced by the same reduction (order and operand count) that
+    :func:`repro.pdn.impedance.decompose_currents` applies per frame,
+    so the output matches the retained per-cycle reference loop
+    (:func:`_imbalance_series_reference`) bit for bit.
+    """
+    per_sm_power = np.atleast_2d(np.asarray(per_sm_power, dtype=float))
+    if per_sm_power.shape[1] != stack.num_sms:
+        raise ValueError(
+            f"expected {stack.num_sms} SM columns, got {per_sm_power.shape[1]}"
+        )
+    grid = per_sm_power.reshape(
+        per_sm_power.shape[0], stack.num_layers, stack.num_columns
+    )
+    # g[0]: the all-SM mean (flat contiguous reduction per cycle).
+    global_series = per_sm_power.mean(axis=1)
+    # st[0]: column-0 mean minus the global mean.
+    column0_mean = grid[:, :, 0].mean(axis=1)
+    stack_series = column0_mean - global_series
+    # r[0] in decompose_currents is (grid - global_part) - stack_part;
+    # mirror that two-subtraction order for exact agreement.
+    residual_series = (grid[:, 0, 0] - global_series) - stack_series
+    return {
+        "global": global_series,
+        "stack": stack_series,
+        "residual": residual_series,
+    }
+
+
+def _imbalance_series_reference(
+    per_sm_power: np.ndarray,
+    stack: StackConfig = StackConfig(),
+) -> Dict[str, np.ndarray]:
+    """Per-cycle reference loop behind :func:`imbalance_series`.
+
+    Calls :func:`decompose_currents` once per cycle.  Retained as the
+    ground truth the vectorized path is locked against in tests and the
+    perf harness (``benchmarks/test_perf_spectral.py``).
     """
     per_sm_power = np.atleast_2d(np.asarray(per_sm_power, dtype=float))
     if per_sm_power.shape[1] != stack.num_sms:
@@ -97,9 +132,27 @@ def imbalance_spectrum(
         stack_series[k] = st[0]
         residual_series[k] = r[0]
     return {
-        "global": power_spectrum(global_series, sample_rate_hz),
-        "stack": power_spectrum(stack_series, sample_rate_hz),
-        "residual": power_spectrum(residual_series, sample_rate_hz),
+        "global": global_series,
+        "stack": stack_series,
+        "residual": residual_series,
+    }
+
+
+def imbalance_spectrum(
+    per_sm_power: np.ndarray,
+    sample_rate_hz: float,
+    stack: StackConfig = StackConfig(),
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Spectra of the global / stack / residual current components.
+
+    The :func:`imbalance_series` scalars of every cycle, spectrum-ized —
+    showing *where in frequency* each kind of imbalance lives for a
+    workload.
+    """
+    series = imbalance_series(per_sm_power, stack)
+    return {
+        name: power_spectrum(values, sample_rate_hz)
+        for name, values in series.items()
     }
 
 

@@ -6,6 +6,10 @@ Subcommands mirror the library's main workflows:
   (alias: ``run``; ``--telemetry DIR`` writes a run manifest);
 * ``sweep``     — parallel co-simulation grid (area x benchmark x ...);
 * ``trace``     — summarize a telemetry manifest written by the above;
+* ``observe``   — render a run's noise-observatory report (band
+  decomposition, droop events, PDE loss ledger, layer imbalance);
+* ``compare``   — diff two run manifests under regression thresholds
+  (exit 1 on regression — the CI physics gate);
 * ``impedance`` — print the Fig. 3 effective-impedance curves;
 * ``size``      — CR-IVR die-area sizing for both VS configurations;
 * ``pde``       — PDE breakdown of a benchmark under each PDS;
@@ -258,7 +262,7 @@ def _cmd_pde(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.telemetry import load_manifest, render_manifest
+    from repro.telemetry import load_manifest, read_events, render_manifest
 
     try:
         manifest = load_manifest(args.manifest)
@@ -266,7 +270,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 1
     print(render_manifest(manifest))
+    # A missing or mid-line-truncated events.jsonl (run killed while
+    # writing, partial copy, ...) must not block the manifest summary:
+    # surface it as a note instead.
+    _, note = read_events(args.manifest)
+    if note:
+        print(f"note: {note}")
     return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    from repro.analysis.observatory import render_noise_report
+    from repro.telemetry import load_manifest
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    noise = manifest.get("noise")
+    if not noise:
+        print(
+            f"manifest {manifest.get('run_id', '?')} has no noise section "
+            "(run was too short, or predates the observatory — re-run "
+            "with --telemetry)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"run {manifest.get('run_id', '?')}")
+    print(render_noise_report(noise))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import (
+        compare_manifests,
+        load_thresholds,
+        render_compare,
+    )
+    from repro.telemetry import load_manifest
+
+    try:
+        base = load_manifest(args.base)
+        candidate = load_manifest(args.candidate)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    thresholds = None
+    if args.thresholds:
+        try:
+            thresholds = load_thresholds(args.thresholds)
+        except (OSError, ValueError) as exc:
+            print(f"bad thresholds file: {exc}", file=sys.stderr)
+            return 2
+    report = compare_manifests(base, candidate, thresholds)
+    print(render_compare(report))
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -320,6 +379,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("manifest", help="telemetry directory or manifest.json")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "observe",
+        help="render a run's noise report (bands, droops, loss ledger)",
+    )
+    p.add_argument("manifest", help="telemetry directory or manifest.json")
+    p.set_defaults(func=_cmd_observe)
+
+    p = sub.add_parser(
+        "compare",
+        help="diff two run manifests; exit 1 on metric regression",
+    )
+    p.add_argument("base", help="baseline telemetry dir or manifest.json")
+    p.add_argument("candidate", help="candidate telemetry dir or manifest.json")
+    p.add_argument(
+        "--thresholds", default="", metavar="FILE",
+        help="JSON per-metric threshold overrides (merged over defaults)",
+    )
+    p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("impedance", help="effective impedance curves (Fig 3)")
     p.add_argument("--area", type=float, default=0.0)

@@ -304,6 +304,8 @@ def run_cosim(
         tele.add_time("setup", perf_counter() - setup_start)
         v_chan = tele.channel("min_sm_voltage_v")
         p_chan = tele.channel("total_power_w")
+        d_chan = tele.channel("dcc_power_w")
+        li_chan = tele.channel("worst_layer_imbalance_w")
     loop_start = perf_counter()
     for cycle in range(total_cycles):
         recording = cycle >= config.warmup_cycles
@@ -381,6 +383,13 @@ def run_cosim(
             if timing:
                 v_chan.record(k, voltages_now.min())
                 p_chan.record(k, powers.sum())
+                d_chan.record(k, dcc_powers.sum())
+                layer_powers = powers.reshape(
+                    stack.num_layers, stack.num_columns
+                ).sum(axis=1)
+                li_chan.record(
+                    k, layer_powers.max() - layer_powers.mean()
+                )
         if timing:
             t_record += perf_counter() - t3
 
@@ -461,6 +470,20 @@ def _record_cosim_telemetry(
         "throughput_ipc": result.throughput(),
         "mean_dcc_power_w": result.mean_dcc_power_w,
     })
+    # The noise observatory: band decomposition, droop-event log, PDE
+    # loss ledger and per-layer imbalance, embedded as the manifest's
+    # ``noise`` section (rendered back by ``repro observe`` and gated
+    # by ``repro compare``).  Too-short runs skip it with an event.
+    if result.num_cycles >= 8:
+        from repro.analysis.observatory import compute_noise_report
+
+        tele.set_section("noise", compute_noise_report(result).to_dict())
+    else:
+        tele.event(
+            "noise_report_skipped",
+            reason="too few recorded cycles",
+            cycles=result.num_cycles,
+        )
     tele.event(
         "cosim_done", benchmark=result.benchmark,
         min_voltage_v=result.min_voltage,

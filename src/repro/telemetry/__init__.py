@@ -24,6 +24,7 @@ from repro.telemetry.manifest import (
     config_hash,
     git_revision,
     load_manifest,
+    read_events,
     render_manifest,
     to_jsonable,
     write_run,
@@ -38,6 +39,7 @@ __all__ = [
     "config_hash",
     "git_revision",
     "load_manifest",
+    "read_events",
     "render_manifest",
     "to_jsonable",
     "write_run",

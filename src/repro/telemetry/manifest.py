@@ -126,6 +126,12 @@ def write_run(
         "events_file": EVENTS_NAME,
         "num_events": len(telemetry.events),
     }
+    for name, value in telemetry.sections.items():
+        if name in manifest:
+            raise ValueError(
+                f"telemetry section {name!r} collides with a manifest key"
+            )
+        manifest[name] = to_jsonable(value)
     if extra:
         manifest.update(to_jsonable(extra))
 
@@ -134,6 +140,42 @@ def write_run(
         json.dump(manifest, handle, indent=2)
         handle.write("\n")
     return manifest_path
+
+
+def read_events(path):
+    """Tolerantly read a run's ``events.jsonl``.
+
+    ``path`` may be the telemetry directory, the ``manifest.json`` path
+    or the events file itself.  Returns ``(events, note)`` where
+    ``note`` is ``None`` for a healthy log, or a human-readable string
+    when the file is missing or truncated (e.g. a run killed mid-write
+    leaves a partial last line).  Never raises for those states: the
+    manifest should still render, with the note made visible.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / EVENTS_NAME
+    elif path.name == MANIFEST_NAME:
+        path = path.with_name(EVENTS_NAME)
+    if not path.exists():
+        return [], f"events log missing ({path.name} not found)"
+    events = []
+    bad = 0
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            bad += 1
+    if bad:
+        return events, (
+            f"events log truncated: parsed {len(events)} of "
+            f"{len(events) + bad} lines"
+        )
+    return events, None
 
 
 def load_manifest(path) -> Dict[str, object]:

@@ -98,6 +98,7 @@ class Telemetry:
         self.counters: Dict[str, int] = {}
         self.metrics: Dict[str, object] = {}
         self.channels: Dict[str, MetricChannel] = {}
+        self.sections: Dict[str, object] = {}
         self.events: List[Dict[str, object]] = []
         self.created_unix = time.time()
         self._t0 = time.perf_counter()
@@ -139,6 +140,18 @@ class Telemetry:
     def set_metrics(self, values: Dict[str, object]) -> None:
         for name, value in values.items():
             self.set_metric(name, value)
+
+    def set_section(self, name: str, value) -> None:
+        """Attach a named structured block to the run.
+
+        Sections become top-level manifest keys (e.g. the noise
+        observatory's ``noise`` report), so the name must not collide
+        with the manifest's own schema keys — ``write_run`` enforces
+        that at persistence time.
+        """
+        if not self.enabled:
+            return
+        self.sections[name] = value
 
     # -- channels ------------------------------------------------------
     def channel(

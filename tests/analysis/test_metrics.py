@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis.metrics import (
     IMBALANCE_BUCKET_LABELS,
@@ -122,3 +123,49 @@ class TestImbalanceDistribution:
         trace = np.array([[0.0, 0.0, 8.0, 8.0]])  # top layer at peak
         dist = imbalance_distribution(trace, stack)
         assert dist[">40% imbalance"] == pytest.approx(1.0)
+
+
+class TestMetricProperties:
+    """Property-based invariants of the Fig. 14 / Fig. 17 accounting."""
+
+    @given(
+        trace=st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=16, max_size=16,
+            ),
+            min_size=1, max_size=12,
+        ),
+        peak=st.floats(min_value=0.5, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distribution_shares_sum_to_one(self, trace, peak):
+        """For any finite non-negative trace the bucket shares form a
+        probability distribution: every pair lands in exactly one of
+        the paper's bins."""
+        dist = imbalance_distribution(
+            np.array(trace), peak_sm_power_w=peak
+        )
+        assert all(0.0 <= share <= 1.0 for share in dist.values())
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    @given(
+        pde_baseline=st.floats(min_value=0.05, max_value=1.0),
+        pde_stacked=st.floats(min_value=0.05, max_value=1.0),
+        leakage=st.floats(min_value=0.0, max_value=0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_zero_penalty_closed_form(self, pde_baseline, pde_stacked,
+                                      leakage):
+        """At penalty = 0 and extra_dynamic_fraction = 0 the stacked
+        chip energy equals the baseline's, so the saving collapses to
+        the closed form ``1 - pde_baseline / pde_stacked`` regardless
+        of the leakage split."""
+        saving = net_energy_saving(
+            pde_baseline, pde_stacked, penalty=0.0,
+            leakage_fraction=leakage, extra_dynamic_fraction=0.0,
+        )
+        assert saving == pytest.approx(
+            1.0 - pde_baseline / pde_stacked, rel=1e-12, abs=1e-12
+        )

@@ -1,0 +1,270 @@
+"""Tests for the noise observatory (bands, droop log, ledger, layers)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.observatory import (
+    Band,
+    band_decomposition,
+    compute_noise_report,
+    default_bands,
+    droop_event_log,
+    layer_imbalance_summary,
+    pde_loss_ledger,
+    render_noise_report,
+)
+from repro.config import StackConfig
+from repro.sim.cosim import CosimConfig, CosimResult, run_cosim
+from repro.workloads.traces import PowerTrace
+
+FS = 700e6
+STACK = StackConfig()
+
+
+def synthetic_result(sm_voltages, per_sm_power, controller_power_w=1.634e-3):
+    """Wrap raw waveforms in a CosimResult for the observatory."""
+    cycles = sm_voltages.shape[0]
+    return CosimResult(
+        benchmark="synthetic",
+        power_trace=PowerTrace(per_sm_power, frequency_hz=FS),
+        sm_voltages=sm_voltages,
+        supply_current=np.full(cycles, 60.0),
+        stack=STACK,
+        instructions=cycles * 16,
+        fake_instructions=0,
+        throttled_cycles=0,
+        controller_power_w=controller_power_w,
+    )
+
+
+@pytest.fixture(scope="module")
+def hotspot_run():
+    """One short default-configuration hotspot co-simulation."""
+    return run_cosim(
+        "hotspot", CosimConfig(cycles=600, warmup_cycles=150)
+    )
+
+
+class TestDefaultBands:
+    def test_three_increasing_bands(self):
+        bands = default_bands(FS)
+        assert [b.name for b in bands] == ["control", "mid", "resonance"]
+        edges = [bands[0].low_hz] + [b.high_hz for b in bands]
+        assert edges == sorted(edges)
+        assert bands[0].low_hz == 0.0
+
+    def test_control_edge_is_loop_bandwidth(self):
+        # One 60-cycle loop turnaround at 700 MHz.
+        bands = default_bands(FS)
+        assert bands[0].high_hz == pytest.approx(FS / 60)
+
+    def test_resonance_band_brackets_peak(self):
+        bands = default_bands(FS)
+        assert bands[2].low_hz < 70e6 < bands[2].high_hz
+
+    def test_degenerate_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            default_bands(1e6)  # Nyquist far below the resonance layout
+
+    def test_band_validates_edges(self):
+        with pytest.raises(ValueError):
+            Band("bad", 10.0, 5.0)
+
+
+class TestBandDecomposition:
+    def test_attribution_follows_the_stimulus(self):
+        """A global tone in the control band and a residual tone in the
+        resonance band must attribute their bands accordingly."""
+        cycles = 4096
+        t = np.arange(cycles) / FS
+        power = np.full((cycles, 16), 4.0)
+        power += np.sin(2 * np.pi * 5e6 * t)[:, None]  # global, low band
+        power[:, 0] += 0.8 * np.sin(2 * np.pi * 70e6 * t)  # residual @ peak
+        voltages = np.full((cycles, 16), 1.0)
+        voltages[:, 0] -= 0.02 * np.sin(2 * np.pi * 70e6 * t)
+        rows = band_decomposition(
+            voltages, power, FS, default_bands(FS), STACK
+        )
+        by_name = {row["band"]: row for row in rows}
+        assert by_name["control"]["component_share"]["global"] > 0.9
+        assert by_name["resonance"]["component_share"]["residual"] > 0.9
+        # The voltage RMS lands in the band its tone occupies.
+        assert (
+            by_name["resonance"]["voltage_rms_v"]
+            > 10 * by_name["control"]["voltage_rms_v"]
+        )
+
+    def test_quiet_trace_zero_shares(self):
+        rows = band_decomposition(
+            np.full((256, 16), 1.0), np.full((256, 16), 4.0),
+            FS, default_bands(FS), STACK,
+        )
+        for row in rows:
+            assert row["voltage_rms_v"] == pytest.approx(0.0, abs=1e-12)
+            assert sum(row["component_share"].values()) == 0.0
+
+
+class TestDroopEventLog:
+    def make_voltages(self, cycles=200, level=1.0):
+        return np.full((cycles, 16), level)
+
+    def test_no_events_above_guardband(self):
+        assert droop_event_log(self.make_voltages(), 0.8, STACK) == []
+
+    def test_one_event_with_depth_and_location(self):
+        v = self.make_voltages()
+        v[50:60, 5] = 0.75
+        v[54, 5] = 0.70  # the event minimum
+        events = droop_event_log(v, 0.8, STACK)
+        assert len(events) == 1
+        e = events[0]
+        assert e.start_cycle == 50
+        assert e.duration_cycles == 10
+        assert e.worst_sm == 5
+        assert e.layer == STACK.layer_column(5)[0]
+        assert e.min_voltage_v == pytest.approx(0.70)
+        assert e.depth_v == pytest.approx(0.10)
+
+    def test_separate_events_not_merged(self):
+        v = self.make_voltages()
+        v[10:12, 0] = 0.7
+        v[30:35, 9] = 0.65
+        events = droop_event_log(v, 0.8, STACK)
+        assert [e.start_cycle for e in events] == [10, 30]
+        assert [e.duration_cycles for e in events] == [2, 5]
+        assert [e.worst_sm for e in events] == [0, 9]
+
+    def test_adjacent_cycles_merge_across_sms(self):
+        """Consecutive below-guardband cycles are one event even when a
+        different SM is the worst one each cycle."""
+        v = self.make_voltages()
+        v[20, 1] = 0.75
+        v[21, 2] = 0.70
+        events = droop_event_log(v, 0.8, STACK)
+        assert len(events) == 1
+        assert events[0].duration_cycles == 2
+        assert events[0].worst_sm == 2
+
+    def test_event_touching_trace_end(self):
+        v = self.make_voltages()
+        v[190:, 3] = 0.7
+        events = droop_event_log(v, 0.8, STACK)
+        assert events[-1].start_cycle == 190
+        assert events[-1].duration_cycles == 10
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            droop_event_log(np.ones((10, 8)), 0.8, STACK)
+
+
+class TestLossLedger:
+    def test_closes_for_default_hotspot_run(self, hotspot_run):
+        """Acceptance: input minus the loss terms equals delivered
+        power within 1 % relative error."""
+        ledger = pde_loss_ledger(hotspot_run)
+        assert ledger.closes(tolerance=0.01)
+        assert ledger.closure_rel_error <= 0.01
+        gap = (
+            ledger.input_power_w - ledger.total_loss_w
+            - ledger.delivered_power_w
+        )
+        assert abs(gap) / ledger.input_power_w <= 0.01
+
+    def test_ledger_pde_matches_headline(self, hotspot_run):
+        ledger = pde_loss_ledger(hotspot_run)
+        assert ledger.pde == pytest.approx(
+            hotspot_run.efficiency().pde, rel=1e-9
+        )
+
+    def test_all_terms_present_and_nonnegative(self, hotspot_run):
+        ledger = pde_loss_ledger(hotspot_run)
+        assert set(ledger.terms) == {
+            "vrm_conversion_w", "pdn_ir_w", "cr_ivr_shuffle_w",
+            "level_shifter_w", "cr_quiescent_w", "controller_w",
+        }
+        assert all(v >= 0.0 for v in ledger.terms.values())
+        assert ledger.terms["controller_w"] == pytest.approx(1.634e-3)
+
+
+class TestLayerSummary:
+    def test_shares_sum_to_one(self):
+        rng = np.random.default_rng(5)
+        power = rng.uniform(1.0, 8.0, (300, 16))
+        rows = layer_imbalance_summary(np.ones((300, 16)), power, STACK)
+        assert len(rows) == STACK.num_layers
+        assert sum(r["power_share"] for r in rows) == pytest.approx(1.0)
+
+    def test_loaded_layer_shows_excess(self):
+        power = np.full((100, 16), 4.0)
+        power[:, STACK.sms_in_layer(2)] = 7.0
+        rows = layer_imbalance_summary(np.ones((100, 16)), power, STACK)
+        assert rows[2]["mean_excess_w"] > 0
+        assert rows[0]["mean_excess_w"] == pytest.approx(0.0)
+
+    def test_min_voltage_per_layer(self):
+        v = np.full((100, 16), 1.0)
+        v[42, STACK.sms_in_layer(1)[0]] = 0.9
+        rows = layer_imbalance_summary(v, np.full((100, 16), 4.0), STACK)
+        assert rows[1]["min_voltage_v"] == pytest.approx(0.9)
+        assert rows[0]["min_voltage_v"] == pytest.approx(1.0)
+
+
+class TestNoiseReport:
+    def test_report_from_real_run(self, hotspot_run):
+        report = compute_noise_report(hotspot_run)
+        assert report.benchmark == "hotspot"
+        assert report.guardband_v == pytest.approx(0.8)
+        assert len(report.bands) == 3
+        assert report.ledger.closes()
+
+    def test_summary_keys_stable(self, hotspot_run):
+        summary = compute_noise_report(hotspot_run).summary()
+        for key in (
+            "droop_event_count", "droop_cycles", "worst_droop_depth_v",
+            "ledger_closure_rel_error", "pde", "max_layer_excess_w",
+            "band_control_vrms", "band_mid_vrms", "band_resonance_vrms",
+            "residual_imbalance_w_rms",
+        ):
+            assert key in summary, key
+
+    def test_dict_form_is_json_clean(self, hotspot_run):
+        payload = compute_noise_report(hotspot_run).to_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["summary"] == payload["summary"]
+
+    def test_droop_summary_reflects_events(self):
+        v = np.full((256, 16), 1.0)
+        v[100:104, 7] = 0.72
+        result = synthetic_result(v, np.full((256, 16), 4.0))
+        report = compute_noise_report(result)
+        summary = report.summary()
+        assert summary["droop_event_count"] == 1
+        assert summary["droop_cycles"] == 4
+        assert summary["worst_droop_depth_v"] == pytest.approx(0.08)
+
+    def test_too_short_run_rejected(self):
+        result = synthetic_result(
+            np.ones((4, 16)), np.full((4, 16), 4.0)
+        )
+        with pytest.raises(ValueError):
+            compute_noise_report(result)
+
+
+class TestRendering:
+    def test_render_mentions_every_section(self, hotspot_run):
+        text = render_noise_report(compute_noise_report(hotspot_run).to_dict())
+        assert "Band decomposition" in text
+        assert "PDE loss ledger" in text
+        assert "Per-layer current imbalance" in text
+        assert "Droop events" in text  # none in a healthy run
+        assert "board input" in text
+
+    def test_render_lists_droop_events(self):
+        v = np.full((256, 16), 1.0)
+        v[10:14, 3] = 0.7
+        result = synthetic_result(v, np.full((256, 16), 4.0))
+        text = render_noise_report(compute_noise_report(result).to_dict())
+        assert "1 below guardband" in text
+        assert "SM3" in text

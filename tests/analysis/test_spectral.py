@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.analysis.spectral import (
+    _imbalance_series_reference,
     band_power,
     dominant_frequency,
+    imbalance_series,
     imbalance_spectrum,
     low_frequency_fraction,
     power_spectrum,
@@ -82,6 +84,47 @@ class TestImbalanceSpectrum:
     def test_shape_validated(self):
         with pytest.raises(ValueError):
             imbalance_spectrum(np.ones((100, 8)), FS)
+
+
+class TestImbalanceSeriesVectorization:
+    """The vectorized series must match the retained per-cycle
+    reference loop *bit for bit* (acceptance criterion; the perf floor
+    lives in ``benchmarks/test_perf_spectral.py``)."""
+
+    def test_bit_for_bit_on_random_matrix(self):
+        rng = np.random.default_rng(17)
+        power = rng.uniform(0.0, 8.0, (2048, 16))
+        fast = imbalance_series(power)
+        slow = _imbalance_series_reference(power)
+        assert set(fast) == set(slow) == {"global", "stack", "residual"}
+        for name in fast:
+            assert np.array_equal(fast[name], slow[name]), name
+
+    def test_bit_for_bit_on_adversarial_values(self):
+        # Mixed magnitudes stress summation-order sensitivity.
+        rng = np.random.default_rng(3)
+        power = np.abs(rng.lognormal(mean=0.0, sigma=3.0, size=(500, 16)))
+        fast = imbalance_series(power)
+        slow = _imbalance_series_reference(power)
+        for name in fast:
+            assert np.array_equal(fast[name], slow[name]), name
+
+    def test_single_cycle_row_vector(self):
+        power = np.arange(16.0)
+        fast = imbalance_series(power)
+        slow = _imbalance_series_reference(power)
+        for name in fast:
+            assert np.array_equal(fast[name], slow[name])
+            assert fast[name].shape == (1,)
+
+    def test_components_reconstruct_first_sm(self):
+        rng = np.random.default_rng(9)
+        power = rng.uniform(0.0, 8.0, (64, 16))
+        series = imbalance_series(power)
+        recon = (
+            series["global"] + series["stack"] + series["residual"]
+        )
+        assert np.allclose(recon, power[:, 0])
 
 
 class TestLowFrequencyFraction:

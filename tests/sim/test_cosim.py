@@ -344,10 +344,54 @@ class TestCosimTelemetry:
 
     def test_channels_cover_recorded_window(self, recorded):
         tele, _ = recorded
-        for name in ("min_sm_voltage_v", "total_power_w"):
+        for name in ("min_sm_voltage_v", "total_power_w", "dcc_power_w",
+                     "worst_layer_imbalance_w"):
             chan = tele.channels[name]
             assert chan.offered == 400
             assert len(chan) > 0
+
+    def test_dcc_channel_integrates_to_mean(self, recorded):
+        """The per-cycle boost channel is consistent with the surviving
+        scalar: its time average equals mean_dcc_power_w (no decimation
+        at 400 offers under the 4096 default capacity)."""
+        tele, result = recorded
+        chan = tele.channels["dcc_power_w"]
+        assert chan.stride == 1
+        assert np.mean(chan.values) == pytest.approx(
+            result.mean_dcc_power_w, abs=1e-12
+        )
+
+    def test_worst_layer_imbalance_channel_nonnegative(self, recorded):
+        tele, _ = recorded
+        values = np.asarray(tele.channels["worst_layer_imbalance_w"].values)
+        assert np.all(values >= 0.0)
+        # hotspot's jittery issue keeps the layers from perfect balance.
+        assert values.max() > 0.0
+
+    def test_noise_section_attached(self, recorded):
+        """The observatory report rides the manifest as the ``noise``
+        section, with a closing ledger and the compare KPIs."""
+        tele, result = recorded
+        noise = tele.sections["noise"]
+        assert noise["benchmark"] == "hotspot"
+        assert len(noise["bands"]) == 3
+        assert noise["ledger"]["closure_rel_error"] <= 0.01
+        assert noise["summary"]["pde"] == pytest.approx(
+            result.efficiency().pde
+        )
+
+    def test_too_short_run_skips_noise_section(self):
+        from repro.telemetry import Telemetry
+
+        tele = Telemetry(run_id="short")
+        run_cosim(
+            "hotspot", CosimConfig(cycles=6, warmup_cycles=1),
+            telemetry=tele,
+        )
+        assert "noise" not in tele.sections
+        assert any(
+            e["kind"] == "noise_report_skipped" for e in tele.events
+        )
 
     def test_headline_metrics_match_result(self, recorded):
         tele, result = recorded

@@ -12,6 +12,7 @@ from repro.telemetry import (
     Telemetry,
     config_hash,
     load_manifest,
+    read_events,
     render_manifest,
     to_jsonable,
     write_run,
@@ -210,3 +211,74 @@ class TestManifest:
         )
         data = json.loads(path.read_text())
         assert not math.isnan(float(data["metrics"]["min_v"]))
+
+
+class TestSections:
+    def test_section_becomes_top_level_manifest_key(self, tmp_path):
+        tele = Telemetry(run_id="sec")
+        tele.set_section("noise", {"summary": {"droop_event_count": 0}})
+        manifest = load_manifest(write_run(tele, tmp_path))
+        assert manifest["noise"]["summary"]["droop_event_count"] == 0
+
+    def test_section_values_are_jsonable_coerced(self, tmp_path):
+        tele = Telemetry(run_id="sec")
+        tele.set_section("noise", {"rms": np.float64(0.01),
+                                   "series": np.arange(3)})
+        manifest = load_manifest(write_run(tele, tmp_path))
+        assert manifest["noise"]["rms"] == pytest.approx(0.01)
+        assert manifest["noise"]["series"] == [0, 1, 2]
+
+    def test_reserved_name_rejected(self, tmp_path):
+        tele = Telemetry(run_id="sec")
+        tele.set_section("metrics", {"clash": 1})
+        with pytest.raises(ValueError):
+            write_run(tele, tmp_path)
+
+    def test_disabled_recorder_ignores_sections(self):
+        tele = Telemetry(enabled=False)
+        tele.set_section("noise", {"x": 1})
+        assert tele.sections == {}
+
+
+class TestReadEvents:
+    def write_dir(self, tmp_path):
+        tele = Telemetry(run_id="ev")
+        tele.event("start")
+        tele.event("done", extra=1)
+        write_run(tele, tmp_path)
+        return tmp_path
+
+    def test_healthy_log(self, tmp_path):
+        events, note = read_events(self.write_dir(tmp_path))
+        assert [e["kind"] for e in events] == ["start", "done"]
+        assert note is None
+
+    def test_accepts_manifest_path(self, tmp_path):
+        self.write_dir(tmp_path)
+        events, note = read_events(tmp_path / "manifest.json")
+        assert len(events) == 2 and note is None
+
+    def test_missing_file_noted_not_raised(self, tmp_path):
+        self.write_dir(tmp_path)
+        (tmp_path / EVENTS_NAME).unlink()
+        events, note = read_events(tmp_path)
+        assert events == []
+        assert "missing" in note
+
+    def test_truncated_last_line_noted(self, tmp_path):
+        self.write_dir(tmp_path)
+        path = tmp_path / EVENTS_NAME
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) - 15])  # cut mid-JSON-object
+        events, note = read_events(tmp_path)
+        assert [e["kind"] for e in events] == ["start"]
+        assert "truncated" in note
+        assert "1 of 2" in note
+
+    def test_blank_lines_skipped_without_note(self, tmp_path):
+        self.write_dir(tmp_path)
+        path = tmp_path / EVENTS_NAME
+        path.write_text(path.read_text() + "\n\n")
+        events, note = read_events(tmp_path)
+        assert len(events) == 2
+        assert note is None

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -45,6 +47,20 @@ class TestParser:
     def test_trace_takes_manifest_path(self):
         args = build_parser().parse_args(["trace", "some/dir"])
         assert args.manifest == "some/dir"
+        assert callable(args.func)
+
+    def test_observe_takes_manifest_path(self):
+        args = build_parser().parse_args(["observe", "runs/h"])
+        assert args.manifest == "runs/h"
+        assert callable(args.func)
+
+    def test_compare_takes_two_manifests_and_thresholds(self):
+        args = build_parser().parse_args(
+            ["compare", "base", "cand", "--thresholds", "t.json"]
+        )
+        assert args.base == "base"
+        assert args.candidate == "cand"
+        assert args.thresholds == "t.json"
         assert callable(args.func)
 
 
@@ -151,3 +167,97 @@ class TestTelemetryCommands:
         out = capsys.readouterr().out
         assert "points_ok" in out
         assert "worker_utilization" in out
+
+    def test_trace_notes_missing_events_log(self, capsys, tmp_path):
+        tele_dir = tmp_path / "tele"
+        assert main(["run", "hotspot", "--cycles", "120", "--warmup", "20",
+                     "--telemetry", str(tele_dir)]) == 0
+        (tele_dir / "events.jsonl").unlink()
+        assert main(["trace", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "note: events log missing" in out
+
+    def test_trace_notes_truncated_events_log(self, capsys, tmp_path):
+        tele_dir = tmp_path / "tele"
+        assert main(["run", "hotspot", "--cycles", "120", "--warmup", "20",
+                     "--telemetry", str(tele_dir)]) == 0
+        events = tele_dir / "events.jsonl"
+        raw = events.read_text()
+        events.write_text(raw[: len(raw) - 12])  # cut mid-JSON-object
+        assert main(["trace", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "note: events log truncated" in out
+
+
+class TestObservatoryCommands:
+    @pytest.fixture()
+    def run_pair(self, tmp_path, capsys):
+        """Two telemetry runs of the same benchmark with the same seed."""
+        dirs = []
+        for name in ("base", "cand"):
+            tele_dir = tmp_path / name
+            assert main(["run", "hotspot", "--cycles", "200",
+                         "--warmup", "40", "--seed", "7",
+                         "--telemetry", str(tele_dir)]) == 0
+            dirs.append(tele_dir)
+        capsys.readouterr()  # drop run output
+        return dirs
+
+    def test_observe_renders_noise_report(self, capsys, run_pair):
+        base, _ = run_pair
+        assert main(["observe", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "run cosim-hotspot" in out
+        assert "Band decomposition" in out
+        assert "PDE loss ledger" in out
+        assert "Per-layer current imbalance" in out
+
+    def test_observe_without_noise_section_errors(self, capsys, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"run_id": "bare", "metrics": {}})
+        )
+        assert main(["observe", str(tmp_path)]) == 1
+        assert "no noise section" in capsys.readouterr().err
+
+    def test_compare_identical_seed_runs_passes(self, capsys, run_pair):
+        base, cand = run_pair
+        assert main(["compare", str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressions" in out
+        assert "REGRESSED" not in out
+
+    def test_compare_flags_perturbed_headline_metric(self, capsys,
+                                                     run_pair):
+        base, cand = run_pair
+        manifest_path = cand / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["metrics"]["min_voltage_v"] -= 0.05
+        manifest_path.write_text(json.dumps(manifest))
+        assert main(["compare", str(base), str(cand)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "min_voltage_v" in out
+
+    def test_compare_custom_thresholds_file(self, capsys, tmp_path,
+                                            run_pair):
+        base, cand = run_pair
+        manifest_path = cand / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["metrics"]["min_voltage_v"] -= 0.05
+        manifest_path.write_text(json.dumps(manifest))
+        thresholds = tmp_path / "thresholds.json"
+        thresholds.write_text(json.dumps(
+            {"min_voltage_v": {"better": "higher", "abs_tol": 0.2}}
+        ))
+        assert main(["compare", str(base), str(cand),
+                     "--thresholds", str(thresholds)]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_compare_bad_thresholds_file_errors(self, capsys, tmp_path,
+                                                run_pair):
+        base, cand = run_pair
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"min_voltage_v": {"better": "sideways"}}))
+        assert main(["compare", str(base), str(cand),
+                     "--thresholds", str(bad)]) == 2
+        assert capsys.readouterr().err != ""
