@@ -69,6 +69,16 @@ DEFAULT_THRESHOLDS: Dict[str, Threshold] = {
         LOWER, abs_tol=0.05, rel_tol=0.25
     ),
     "noise.max_layer_excess_w": Threshold(LOWER, abs_tol=0.1, rel_tol=0.25),
+    # Fault-scenario gates (manifest ``faults["summary"]``): the verdict
+    # code orders survived(0) < safe_state(1) < violated(2), so LOWER
+    # with zero tolerance means "a scenario that used to survive must
+    # keep surviving".
+    "faults.verdict_code": Threshold(LOWER, abs_tol=0.0),
+    "faults.min_voltage_v": Threshold(HIGHER, abs_tol=0.005),
+    "faults.tail_min_voltage_v": Threshold(HIGHER, abs_tol=0.005),
+    "faults.guardband_violation_cycles": Threshold(LOWER, abs_tol=2.0),
+    "faults.watchdog_engagements": Threshold(LOWER, abs_tol=0.0),
+    "faults.nan_samples_seen": Threshold(STABLE, rel_tol=0.10),
 }
 
 # Row outcomes.
@@ -122,18 +132,23 @@ def metric_values(manifest: Mapping[str, object]) -> Dict[str, float]:
     """Flatten a manifest's comparable numbers.
 
     Headline metrics keep their names; the observatory's flat summary
-    KPIs are prefixed ``noise.``.  Non-numeric metrics (benchmark name,
-    ...) are skipped.
+    KPIs are prefixed ``noise.`` and the fault report's ``faults.``.
+    Non-numeric metrics (benchmark name, ...) are skipped.
     """
     out: Dict[str, float] = {}
     for name, value in dict(manifest.get("metrics") or {}).items():
         if isinstance(value, numbers.Real) and not isinstance(value, bool):
             out[name] = float(value)
-    noise = manifest.get("noise") or {}
-    summary = dict(noise.get("summary") or {}) if isinstance(noise, Mapping) else {}
-    for name, value in summary.items():
-        if isinstance(value, numbers.Real) and not isinstance(value, bool):
-            out[f"noise.{name}"] = float(value)
+    for section, prefix in (("noise", "noise."), ("faults", "faults.")):
+        block = manifest.get(section) or {}
+        summary = (
+            dict(block.get("summary") or {})
+            if isinstance(block, Mapping)
+            else {}
+        )
+        for name, value in summary.items():
+            if isinstance(value, numbers.Real) and not isinstance(value, bool):
+                out[f"{prefix}{name}"] = float(value)
     return out
 
 

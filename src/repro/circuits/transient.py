@@ -272,6 +272,28 @@ class TransientSolver:
         ]
 
     # ------------------------------------------------------------------
+    # Mid-run topology-preserving refactorization
+    # ------------------------------------------------------------------
+    def refactor(self) -> None:
+        """Re-read element values and re-factorize the MNA matrix.
+
+        Element *values* (resistances, difference conductances) may be
+        mutated between steps — fault injection uses this to model
+        CR-IVR phase loss or parasitic drift mid-run — as long as the
+        topology (nodes, element set) is unchanged.  Reactive state
+        (capacitor voltages, inductor currents) carries across, so the
+        transient continues from the pre-fault operating point.
+        """
+        matrix = self.structure.assemble_resistive()
+        for (p, n), g in zip(self._cap_nodes, self._g_cap):
+            self.structure.stamp_conductance(matrix, p, n, g)
+        for (p, n), g in zip(self._ind_nodes, self._g_ind):
+            self.structure.stamp_conductance(matrix, p, n, g)
+        self._lu = lu_factor(matrix)
+        self.stats.factorizations += 1
+        self._getrs = get_lapack_funcs(("getrs",), (self._lu[0],))[0]
+
+    # ------------------------------------------------------------------
     # Initialization
     # ------------------------------------------------------------------
     def initialize_dc(self, t: float = 0.0) -> np.ndarray:

@@ -4,7 +4,11 @@ Subcommands mirror the library's main workflows:
 
 * ``cosim``     — run the cross-layer co-simulation of one benchmark
   (alias: ``run``; ``--telemetry DIR`` writes a run manifest);
-* ``sweep``     — parallel co-simulation grid (area x benchmark x ...);
+* ``faults``    — run a fault-injection scenario (canned name or JSON
+  file) and print the guardband verdict (exit 1 unless ``--expect``
+  matches);
+* ``sweep``     — parallel co-simulation grid (area x benchmark x ...)
+  with per-point timeouts, bounded retries and checkpoint/resume;
 * ``trace``     — summarize a telemetry manifest written by the above;
 * ``observe``   — render a run's noise-observatory report (band
   decomposition, droop events, PDE loss ledger, layer imbalance);
@@ -80,10 +84,107 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.controller import ControllerConfig
+    from repro.faults import (
+        FaultSchedule,
+        get_scenario,
+        list_scenarios,
+    )
+    from repro.sim.cosim import CosimConfig, run_cosim
+
+    if args.list:
+        for name in list_scenarios():
+            schedule = get_scenario(name)
+            kinds = ", ".join(e.kind for e in schedule.events)
+            print(f"{name:<20s} {len(schedule)} events: {kinds}")
+        return 0
+    if not args.scenario:
+        print("need a scenario name or JSON file (or --list)",
+              file=sys.stderr)
+        return 2
+    path = Path(args.scenario)
+    if path.suffix == ".json" or path.exists():
+        try:
+            schedule = FaultSchedule.from_json(path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"bad scenario file {path}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            schedule = get_scenario(args.scenario)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
+    controller = ControllerConfig(
+        watchdog_enabled=not args.no_degradation,
+        sensor_fallback_enabled=not args.no_degradation,
+    )
+    config = CosimConfig(
+        cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        seed=args.seed,
+        faults=schedule,
+        controller=controller,
+    )
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(run_id=f"faults-{schedule.name}")
+    result = run_cosim(args.benchmark, config, telemetry=telemetry)
+    if telemetry is not None:
+        from repro.telemetry import write_run
+
+        manifest = write_run(
+            telemetry, args.telemetry, config=config,
+            extra={
+                "command": "faults",
+                "benchmark": args.benchmark,
+                "scenario": schedule.name,
+            },
+        )
+        print(f"telemetry written to {manifest}")
+    report = result.fault_report
+    assert report is not None  # faults were scheduled
+    summary = report["summary"]
+    print(f"scenario: {schedule.name} ({len(schedule)} events, "
+          f"seed {schedule.seed})")
+    for event in report["events"]:
+        print(f"  [{event['layer']:<12s}] {event['description']}")
+    print(f"degradation: {'off' if args.no_degradation else 'on'} "
+          "(watchdog + sensor fallback)")
+    print(
+        f"min voltage {summary['min_voltage_v']:.3f} V "
+        f"(tail {summary['tail_min_voltage_v']:.3f} V, guardband "
+        f"{summary['guardband_v']:.2f} V); "
+        f"{summary['guardband_violation_cycles']} violation cycles "
+        f"({summary['guardband_violation_fraction']:.1%})"
+    )
+    print(
+        f"watchdog engagements {summary['watchdog_engagements']}, "
+        f"safe-state decisions {summary['safe_state_decisions']}, "
+        f"sensor fallback samples {summary['sensor_fallback_samples']}, "
+        f"NaN samples {summary['nan_samples_seen']}, "
+        f"limit-cycle events {summary['limit_cycle_events']}"
+    )
+    print(f"verdict: {report['verdict']}")
+    if args.expect:
+        if report["verdict"] != args.expect:
+            print(f"FAIL: expected verdict {args.expect!r}, got "
+                  f"{report['verdict']!r}", file=sys.stderr)
+            return 1
+        print(f"verdict matches --expect {args.expect}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
     from repro.sim.cosim import CosimConfig
-    from repro.sim.sweep import run_sweep
+    from repro.sim.sweep import SweepRunner, expand_grid
     from repro.workloads.benchmarks import BENCHMARK_NAMES
 
     if args.benchmarks.strip().lower() == "all":
@@ -99,24 +200,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     def progress(result) -> None:
         status = "ok" if result.ok else "FAILED"
+        if result.timed_out:
+            status = "TIMEOUT"
+        retry = f" attempt {result.attempts}" if result.attempts > 1 else ""
         print(f"  {result.point.describe():<48s} {status} "
-              f"({result.elapsed_s:.1f}s)", flush=True)
+              f"({result.elapsed_s:.1f}s{retry})", flush=True)
 
     telemetry = None
     if args.telemetry:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry(run_id="sweep")
-    sweep = run_sweep(
-        benchmarks,
-        axes={"cr_ivr_area_mm2": areas},
-        base_config=base,
-        base_seed=args.seed,
+    points = expand_grid(
+        benchmarks, axes={"cr_ivr_area_mm2": areas}, base_seed=args.seed
+    )
+    runner_kwargs = dict(
         max_workers=args.workers,
         chunksize=args.chunksize,
-        progress=progress,
-        telemetry=telemetry,
+        point_timeout_s=args.timeout or None,
+        max_attempts=args.retries + 1,
+        retry_backoff_s=args.backoff,
+        checkpoint_path=args.checkpoint or None,
     )
+    if args.resume:
+        if not args.checkpoint:
+            print("--resume needs --checkpoint FILE", file=sys.stderr)
+            return 2
+        try:
+            runner = SweepRunner.resume(
+                args.checkpoint, points, base,
+                **{k: v for k, v in runner_kwargs.items()
+                   if k != "checkpoint_path"},
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot resume from {args.checkpoint}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"resuming: {len(runner._preloaded)}/{len(points)} points "
+              "already complete")
+    else:
+        runner = SweepRunner(points, base, **runner_kwargs)
+    sweep = runner.run(progress=progress, telemetry=telemetry)
     if telemetry is not None:
         from repro.telemetry import write_run
 
@@ -157,6 +281,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for r in sweep.failures():
         first_line = (r.error or "").splitlines()[0]
         print(f"FAILED {r.point.describe()}: {first_line}")
+    for r in sweep.successes():
+        if r.note:
+            print(f"note {r.point.describe()}: {r.note}")
     if args.output:
         path = sweep.write_json(args.output)
         print(f"results written to {path}")
@@ -273,9 +400,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     # A missing or mid-line-truncated events.jsonl (run killed while
     # writing, partial copy, ...) must not block the manifest summary:
     # surface it as a note instead.
-    _, note = read_events(args.manifest)
+    events, note = read_events(args.manifest)
     if note:
         print(f"note: {note}")
+    # Per-point degradations a sweep recorded (timeouts, metrics that
+    # could not be computed) — failures are loud, these should not be
+    # silent either.
+    for event in events:
+        if event.get("kind") != "sweep_point":
+            continue
+        tags = []
+        if event.get("timed_out"):
+            tags.append("timed out")
+        if event.get("note"):
+            tags.append(str(event["note"]))
+        if not event.get("ok") and event.get("error"):
+            tags.append(str(event["error"]))
+        if tags:
+            print(f"point #{event.get('index')} "
+                  f"{event.get('benchmark', '?')}: {'; '.join(tags)}")
     return 0
 
 
@@ -355,6 +498,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_cosim)
 
     p = sub.add_parser(
+        "faults",
+        help="run a fault-injection scenario and print the guardband "
+             "verdict",
+    )
+    p.add_argument(
+        "scenario", nargs="?", default="",
+        help="canned scenario name (see --list) or a scenario JSON file",
+    )
+    p.add_argument("--benchmark", default="hotspot")
+    p.add_argument("--cycles", type=int, default=1200)
+    p.add_argument("--warmup", type=int, default=150)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--list", action="store_true",
+                   help="list canned scenarios and exit")
+    p.add_argument(
+        "--no-degradation", action="store_true",
+        help="disable the guardband watchdog and sensor-loss fallback "
+             "(demonstrates the unprotected failure mode)",
+    )
+    p.add_argument(
+        "--expect", default="", metavar="VERDICT",
+        choices=["", "survived", "safe_state", "violated"],
+        help="exit 1 unless the verdict matches (CI smoke gate)",
+    )
+    p.add_argument("--telemetry", default="", metavar="DIR",
+                   help="write a run manifest + JSONL event log here")
+    p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
         "sweep", help="parallel co-simulation sweep over a parameter grid"
     )
     p.add_argument("--benchmarks", default="hotspot,heartwall,fastwalsh,bfs",
@@ -368,6 +540,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunksize", type=int, default=1)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--no-controller", action="store_true")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="S",
+                   help="per-point wall-clock timeout in seconds "
+                        "(0 = none; hung points are killed)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts for retryable failures "
+                        "(timeouts, crashed workers)")
+    p.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                   help="base delay between retry waves (doubles each wave)")
+    p.add_argument("--checkpoint", default="", metavar="FILE",
+                   help="append completed points to this atomic "
+                        "partial-results file")
+    p.add_argument("--resume", action="store_true",
+                   help="skip points already completed in --checkpoint")
     p.add_argument("--output", default="sweep_results.json",
                    help="JSON results path ('' to skip writing)")
     p.add_argument("--telemetry", default="", metavar="DIR",

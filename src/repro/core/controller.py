@@ -70,6 +70,38 @@ class ControllerConfig:
     detector: DetectorSpec = field(
         default_factory=lambda: DETECTOR_OPTIONS["oddd"]
     )
+    # Escape hatch for the sampled-stability validation below: research
+    # configurations that deliberately cross the 2C/T bound (e.g. to
+    # reproduce a limit cycle) must opt in explicitly.
+    allow_unstable: bool = False
+    # --- graceful degradation -----------------------------------------
+    # The emergency guardband: ``watchdog_patience`` consecutive
+    # decisions measuring the worst SM below ``guardband_v`` escalate to
+    # a safe state (issue width clamped to ``safe_issue_width`` on every
+    # SM, FII off, DCC clamped off) until
+    # ``safe_state_release_decisions`` consecutive healthy decisions
+    # release it.  Off by default: escalation deliberately trades
+    # throughput for survival, so fault-scenario runs opt in.
+    guardband_v: float = 0.8
+    watchdog_enabled: bool = False
+    watchdog_patience: int = 8
+    # Max DIWS throttle: issue width 0 stops real issue everywhere, so
+    # every SM draws (near-uniform) idle power and the series stack
+    # re-balances by construction, whatever caused the imbalance.
+    safe_issue_width: float = 0.0
+    safe_state_release_decisions: int = 200
+    # Sensor-loss fallback: a NaN sample (dropout) holds the last good
+    # measurement and widens that SM's trigger thresholds by
+    # ``fallback_widen_v`` — protective actions engage earlier on stale
+    # data, power-adding ones later.  NaN itself NEVER reaches the RC
+    # filter or produces actuation, fallback enabled or not.
+    sensor_fallback_enabled: bool = True
+    fallback_widen_v: float = 0.05
+    # Limit-cycle detection (stats only): the throttle-engagement flag
+    # flipping >= ``limit_cycle_min_flips`` times within the last
+    # ``limit_cycle_window`` decisions marks a sustained oscillation.
+    limit_cycle_window: int = 32
+    limit_cycle_min_flips: int = 12
 
     def __post_init__(self) -> None:
         if not 0.0 < self.v_threshold <= self.v_nominal:
@@ -89,12 +121,110 @@ class ControllerConfig:
             object.__setattr__(self, "slew_fake", self.slew_per_decision)
         if min(self.slew_issue, self.slew_fake, self.slew_dcc_w) <= 0:
             raise ValueError("per-actuator slew limits must be positive")
+        if not 0.0 < self.guardband_v < self.v_nominal:
+            raise ValueError("need 0 < guardband_v < v_nominal")
+        if self.watchdog_patience <= 0:
+            raise ValueError("watchdog_patience must be positive")
+        if not 0.0 <= self.safe_issue_width <= 2.0:
+            raise ValueError("safe_issue_width must be within 0..2 slots")
+        if self.safe_state_release_decisions <= 0:
+            raise ValueError("safe_state_release_decisions must be positive")
+        if self.fallback_widen_v < 0:
+            raise ValueError("fallback_widen_v cannot be negative")
+        if self.limit_cycle_window < 4:
+            raise ValueError("limit_cycle_window must be at least 4")
+        if not 0 < self.limit_cycle_min_flips < self.limit_cycle_window:
+            raise ValueError(
+                "limit_cycle_min_flips must be within the window"
+            )
+        if not self.allow_unstable:
+            limit = self.stability_limit_w_per_v()
+            gains = self.effective_power_gains_w_per_v()
+            offenders = {
+                name: gains[name]
+                for name in ("diws", "fii")
+                if gains[name] > limit * (1.0 + 1e-9)
+            }
+            if offenders:
+                detail = ", ".join(
+                    f"{name}={gain:.2f} W/V" for name, gain in offenders.items()
+                )
+                raise ValueError(
+                    f"unstable controller gains ({detail}) exceed the "
+                    f"sampled-stability limit 2C/T = {limit:.2f} W/V at the "
+                    f"{self.total_latency_cycles}-cycle loop — such a loop "
+                    "limit-cycles (gain beyond 2C/T overshoots the "
+                    "boundary capacitance every period); reduce k1/k2, "
+                    "tighten the slew limits, shorten the latency, or pass "
+                    "allow_unstable=True to study the oscillation"
+                )
 
     @property
     def total_latency_cycles(self) -> int:
         if self.latency_cycles is not None:
             return self.latency_cycles
         return control_latency_cycles(self.detector)
+
+    # ------------------------------------------------------------------
+    # Sampled-stability bound (the "~12 W/V" note on the gains above)
+    # ------------------------------------------------------------------
+    def stability_limit_w_per_v(
+        self,
+        cycle_time_s: Optional[float] = None,
+        boundary_capacitance_f: Optional[float] = None,
+    ) -> float:
+        """The 2C/T gain bound of the sampled (ZOH) control loop.
+
+        A proportional power-per-volt gain above ``2C/T`` moves more
+        charge per loop latency ``T`` than the boundary capacitance
+        ``C`` holds, so every correction overshoots and the loop
+        limit-cycles.  ``C`` defaults to the decap hanging on one layer
+        boundary of the default stack (above + below: 2 x columns x
+        per-SM decap = 512 nF), ``T`` to this config's loop latency at
+        the default 700 MHz clock — about 12 W/V for the 60-cycle loop.
+        """
+        if cycle_time_s is None:
+            from repro.config import GPUConfig
+
+            cycle_time_s = GPUConfig().cycle_time_s
+        if boundary_capacitance_f is None:
+            from repro.pdn.parameters import DEFAULT_PDN
+
+            boundary_capacitance_f = (
+                2 * StackConfig().num_columns * DEFAULT_PDN.sm_decap
+            )
+        latency_s = self.total_latency_cycles * cycle_time_s
+        return 2.0 * boundary_capacitance_f / latency_s
+
+    def effective_power_gains_w_per_v(self) -> Dict[str, float]:
+        """Slew-aware closed-loop power gains, per actuator (W/V).
+
+        The raw proportional gain is ``k_i * P_instr`` (DIWS/FII issue
+        or inject instructions worth ``P_instr`` watts each; DCC's
+        ``k3`` is already in W/V).  The per-decision slew limit caps how
+        much actuation can actually build up within one loop latency —
+        ``slew x (latency / period)`` command units — so over the
+        guardband excursion (``v_nominal - guardband_v``) the realized
+        gain is the *smaller* of the raw gain and that ramp bound.
+        Only DIWS and FII gate construction: they always engage when
+        triggered, while DCC's contribution scales with the actuation
+        weight ``w3`` (zero in the reliability default) which this
+        config does not know.
+        """
+        p_instr = WeightedActuation().instruction_power_w
+        decisions = self.total_latency_cycles / self.control_period_cycles
+        depth = self.v_nominal - self.guardband_v
+
+        def slew_cap(slew: float, unit_power_w: float) -> float:
+            if depth <= 0:
+                return float("inf")
+            return slew * decisions * unit_power_w / depth
+
+        return {
+            "diws": min(self.k1 * p_instr, slew_cap(self.slew_issue, p_instr)),
+            "fii": min(self.k2 * p_instr, slew_cap(self.slew_fake, p_instr)),
+            "dcc": min(self.k3, slew_cap(self.slew_dcc_w, 1.0)),
+        }
 
 
 @dataclass
@@ -149,6 +279,25 @@ class VoltageSmoothingController:
         }
         self.throttle_decisions = 0
         self.boost_decisions = 0
+        # Graceful-degradation state: sensor-loss fallback holds the
+        # last good filtered measurement per SM; the guardband watchdog
+        # tracks consecutive sub-guardband decisions and escalates to
+        # the safe state; limit-cycle detection watches the throttle
+        # flag flap.
+        self._last_good = np.full(stack.num_sms, config.v_nominal)
+        self._fallback_active = np.zeros(stack.num_sms, dtype=bool)
+        self.sensor_fallback_samples = 0
+        self.nan_samples_seen = 0
+        self.watchdog_engagements = 0
+        self.safe_state_decisions = 0
+        self.in_safe_state = False
+        self._subguard_streak = 0
+        self._healthy_streak = 0
+        self._flap_history: Deque[bool] = deque(
+            maxlen=config.limit_cycle_window
+        )
+        self.limit_cycle_events = 0
+        self._limit_cycle_flagged = False
 
     # ------------------------------------------------------------------
     def _default_decision(self) -> ControlDecision:
@@ -165,6 +314,13 @@ class VoltageSmoothingController:
         Runs the per-SM RC filters every cycle; makes a control decision
         every ``control_period_cycles`` and enqueues it to apply after
         the loop latency.
+
+        A non-finite sample means "no reading this cycle" (sensor
+        dropout): it never enters the RC filter (NaN would poison the
+        filter state permanently) and never produces actuation.  With
+        the sensor fallback enabled the SM's last good measurement is
+        held instead, with widened trigger thresholds; otherwise the SM
+        simply cannot trigger until a real sample returns.
         """
         sm_voltages = np.asarray(sm_voltages, dtype=float)
         if sm_voltages.shape != (self.stack.num_sms,):
@@ -172,16 +328,44 @@ class VoltageSmoothingController:
                 f"expected {self.stack.num_sms} SM voltages, got "
                 f"{sm_voltages.shape}"
             )
-        measured = np.array(
-            [
-                detector.sample(v, self.dt_s)
-                for detector, v in zip(self.detectors, sm_voltages)
-            ]
-        )
+        cfg = self.config
+        finite = np.isfinite(sm_voltages)
+        if finite.all():
+            measured = np.array(
+                [
+                    detector.sample(v, self.dt_s)
+                    for detector, v in zip(self.detectors, sm_voltages)
+                ]
+            )
+            self._last_good[:] = measured
+            if self._fallback_active.any():
+                self._fallback_active[:] = False
+        else:
+            measured = np.empty(self.stack.num_sms)
+            for sm, (detector, v, ok) in enumerate(
+                zip(self.detectors, sm_voltages, finite)
+            ):
+                if ok:
+                    measured[sm] = detector.sample(v, self.dt_s)
+                    self._last_good[sm] = measured[sm]
+                    self._fallback_active[sm] = False
+                else:
+                    self.nan_samples_seen += 1
+                    if cfg.sensor_fallback_enabled:
+                        measured[sm] = self._last_good[sm]
+                        self._fallback_active[sm] = True
+                        self.sensor_fallback_samples += 1
+                    else:
+                        measured[sm] = np.nan
         if cycle - self._last_decision_cycle < self.config.control_period_cycles:
             return
         self._last_decision_cycle = cycle
-        decision = self._decide(measured)
+        self._update_watchdog(measured)
+        if self.in_safe_state:
+            decision = self._safe_decision()
+            self.safe_state_decisions += 1
+        else:
+            decision = self._decide(measured)
         self._apply_slew_limit(decision)
         self._last_enqueued = decision
         self.decisions_made += 1
@@ -195,6 +379,7 @@ class VoltageSmoothingController:
         throttling = bool(
             np.any(decision.issue_widths < self._default_issue_width)
         )
+        self._track_limit_cycle(throttling)
         fii_active = bool(np.any(decision.fake_rates > 0.0))
         dcc_active = bool(np.any(decision.dcc_powers_w > 0.0))
         if throttling:
@@ -209,6 +394,72 @@ class VoltageSmoothingController:
         self._pipeline.append(
             (cycle + self.config.total_latency_cycles, decision)
         )
+
+    def _update_watchdog(self, measured: np.ndarray) -> None:
+        """Track sub-guardband streaks; escalate / release the safe state.
+
+        The streaks advance on *decisions* (not cycles), so
+        ``watchdog_patience`` is a count of consecutive control
+        decisions whose worst measured SM sits below the guardband.
+        All-NaN measurements (total sensor loss without fallback) leave
+        the streaks untouched: no evidence either way.
+        """
+        cfg = self.config
+        finite = measured[np.isfinite(measured)]
+        if finite.size == 0:
+            return
+        worst = float(finite.min())
+        if worst < cfg.guardband_v:
+            self._subguard_streak += 1
+            self._healthy_streak = 0
+        else:
+            self._subguard_streak = 0
+            self._healthy_streak += 1
+        if (
+            cfg.watchdog_enabled
+            and not self.in_safe_state
+            and self._subguard_streak >= cfg.watchdog_patience
+        ):
+            self.in_safe_state = True
+            self.watchdog_engagements += 1
+            self._healthy_streak = 0
+        elif (
+            self.in_safe_state
+            and self._healthy_streak >= cfg.safe_state_release_decisions
+        ):
+            self.in_safe_state = False
+
+    def _safe_decision(self) -> ControlDecision:
+        """The emergency safe state: minimal, uniform, boost-free draw.
+
+        Every SM's issue width is clamped to ``safe_issue_width`` and
+        all power-adding actuation (FII, DCC) is clamped off: a small
+        uniform current per layer restores the series balance no matter
+        which layer caused the imbalance, at a known throughput cost.
+        The decision still passes through the normal slew limiter and
+        latency pipeline — the safe state must not itself ring the PDN.
+        """
+        n = self.stack.num_sms
+        return ControlDecision(
+            issue_widths=np.full(n, float(self.config.safe_issue_width)),
+            fake_rates=np.zeros(n),
+            dcc_powers_w=np.zeros(n),
+        )
+
+    def _track_limit_cycle(self, throttling: bool) -> None:
+        """Flag sustained on/off flapping of the throttle engagement."""
+        cfg = self.config
+        self._flap_history.append(throttling)
+        if len(self._flap_history) < cfg.limit_cycle_window:
+            return
+        history = list(self._flap_history)
+        flips = sum(a != b for a, b in zip(history, history[1:]))
+        if flips >= cfg.limit_cycle_min_flips:
+            if not self._limit_cycle_flagged:
+                self._limit_cycle_flagged = True
+                self.limit_cycle_events += 1
+        elif flips <= cfg.limit_cycle_min_flips // 2:
+            self._limit_cycle_flagged = False
 
     def _decide(self, measured: np.ndarray) -> ControlDecision:
         """The Algorithm 1 loop body over all (layer, column) positions.
@@ -231,14 +482,21 @@ class VoltageSmoothingController:
         decision = self._default_decision()
         for sm in range(self.stack.num_sms):
             v_sm = measured[sm]
-            if v_sm < cfg.v_threshold:
+            # Sensor-loss fallback widens this SM's thresholds: with a
+            # held (stale) measurement, protective throttling engages
+            # earlier and power-adding boosts engage later.  NaN (no
+            # fallback) fails both comparisons — never actuates.
+            widen = (
+                cfg.fallback_widen_v if self._fallback_active[sm] else 0.0
+            )
+            if v_sm < cfg.v_threshold + widen:
                 decision.triggered_sms.append(sm)
                 error = cfg.v_nominal - v_sm
                 command = self.actuation.commands(
                     error, cfg.k1, cfg.k2, cfg.k3
                 )
                 decision.issue_widths[sm] = command.issue_width
-            elif v_sm > cfg.v_high_threshold:
+            elif v_sm > cfg.v_high_threshold + widen:
                 decision.triggered_sms.append(sm)
                 boost = self.actuation.boost_commands(
                     v_sm - cfg.v_nominal, cfg.k2, cfg.k3
@@ -320,4 +578,10 @@ class VoltageSmoothingController:
             "throttled_cycles": self.throttled_cycles,
             "actuator_decisions": dict(self.actuator_decisions),
             "slew_saturations": dict(self.slew_saturations),
+            "watchdog_engagements": self.watchdog_engagements,
+            "safe_state_decisions": self.safe_state_decisions,
+            "in_safe_state": self.in_safe_state,
+            "sensor_fallback_samples": self.sensor_fallback_samples,
+            "nan_samples_seen": self.nan_samples_seen,
+            "limit_cycle_events": self.limit_cycle_events,
         }

@@ -1,0 +1,74 @@
+"""Cross-layer fault injection for the co-simulation.
+
+Public surface:
+
+* :class:`FaultSchedule` and the typed event classes
+  (:mod:`repro.faults.events`) — declarative, JSON-round-tripping
+  scenario descriptions;
+* :class:`FaultInjector` / :func:`build_fault_report`
+  (:mod:`repro.faults.injector`) — the runtime that ``run_cosim``
+  drives, plus the manifest's ``faults`` section with the guardband
+  verdict;
+* :func:`get_scenario` / :data:`CANNED_SCENARIOS`
+  (:mod:`repro.faults.scenarios`) — the ``repro faults`` registry.
+
+See ``docs/robustness.md`` for the fault taxonomy and scenario format.
+"""
+
+from repro.faults.events import (
+    ActuatorStuck,
+    ControlLoopJitter,
+    CRIVRPhaseLoss,
+    DFSTransient,
+    EVENT_TYPES,
+    FaultEvent,
+    FaultSchedule,
+    LayerShutoff,
+    PDNDrift,
+    PowerGateTransient,
+    ProcessVariation,
+    SensorDropout,
+    SensorNoise,
+    SensorQuantization,
+    SensorStuck,
+    event_from_dict,
+)
+from repro.faults.injector import (
+    SAFE_STATE,
+    SURVIVED,
+    VIOLATED,
+    FaultInjector,
+    build_fault_report,
+)
+from repro.faults.scenarios import (
+    CANNED_SCENARIOS,
+    get_scenario,
+    list_scenarios,
+)
+
+__all__ = [
+    "ActuatorStuck",
+    "CANNED_SCENARIOS",
+    "ControlLoopJitter",
+    "CRIVRPhaseLoss",
+    "DFSTransient",
+    "EVENT_TYPES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "LayerShutoff",
+    "PDNDrift",
+    "PowerGateTransient",
+    "ProcessVariation",
+    "SAFE_STATE",
+    "SURVIVED",
+    "SensorDropout",
+    "SensorNoise",
+    "SensorQuantization",
+    "SensorStuck",
+    "VIOLATED",
+    "build_fault_report",
+    "event_from_dict",
+    "get_scenario",
+    "list_scenarios",
+]

@@ -1,0 +1,127 @@
+"""Canned fault scenarios for ``repro faults`` and the robustness tests.
+
+Each factory returns a named, seeded :class:`FaultSchedule`.  The
+schedules are deliberately severe: :func:`guardband_breaker` is
+calibrated so that the stock Algorithm 1 controller (degradation
+disabled) demonstrably violates the 0.8 V guardband, while the
+watchdog-enabled controller survives or lands in the declared safe
+state — the acceptance pair the fault-injection layer exists to lock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.faults.events import (
+    ControlLoopJitter,
+    CRIVRPhaseLoss,
+    DFSTransient,
+    FaultSchedule,
+    LayerShutoff,
+    PDNDrift,
+    PowerGateTransient,
+    ProcessVariation,
+    SensorDropout,
+    SensorNoise,
+    SensorStuck,
+)
+
+
+def guardband_breaker(seed: int = 7) -> FaultSchedule:
+    """CR-IVR phase loss + sensor dropout + layer shutoff (acceptance).
+
+    Three simultaneous insults: most of the charge-shuffle capacity
+    dies, the detectors lose a third of their samples, and the top
+    layer shuts off — the Fig. 9 worst case with the recovery
+    machinery itself degraded.  Without graceful degradation the
+    controller's partial view cannot rebalance the crippled stack and
+    the worst SM falls through the guardband; the watchdog's safe
+    state (uniform minimal draw) restores series balance by
+    construction.
+    """
+    return FaultSchedule(
+        name="guardband-breaker",
+        seed=seed,
+        events=(
+            CRIVRPhaseLoss(start_cycle=100, capacity_fraction=0.05),
+            SensorDropout(start_cycle=100, probability=0.35),
+            LayerShutoff(start_cycle=300, layer=3),
+        ),
+    )
+
+
+def sensor_storm(seed: int = 11) -> FaultSchedule:
+    """Every class of detector corruption at once, healthy plant.
+
+    Noise, a stuck-at-nominal sensor on SM 0 and heavy dropout: tests
+    that the controller stays *inert where it should* (no actuation
+    from NaN, no false triggers from a stuck healthy reading) while
+    still serving the SMs it can see.
+    """
+    return FaultSchedule(
+        name="sensor-storm",
+        seed=seed,
+        events=(
+            SensorNoise(start_cycle=0, sigma_v=0.015),
+            SensorStuck(start_cycle=200, sms=(0,), value_v=1.0),
+            SensorDropout(start_cycle=400, probability=0.5),
+        ),
+    )
+
+
+def pdn_aging(seed: int = 13) -> FaultSchedule:
+    """Electromigration-style drift plus process variation.
+
+    Lateral-grid resistance doubles mid-run and per-SM current spread
+    widens — the slow cross-layer imbalance sources; exercises the
+    mid-run circuit refactorization path.
+    """
+    return FaultSchedule(
+        name="pdn-aging",
+        seed=seed,
+        events=(
+            ProcessVariation(start_cycle=0, sigma=0.08),
+            PDNDrift(start_cycle=300, element_prefix="r_link",
+                     resistance_scale=2.5),
+        ),
+    )
+
+
+def scheduler_storm(seed: int = 17) -> FaultSchedule:
+    """System-layer churn: DFS steps, power gating and loop jitter."""
+    return FaultSchedule(
+        name="scheduler-storm",
+        seed=seed,
+        events=(
+            DFSTransient(start_cycle=200, end_cycle=600,
+                         frequency_scale=0.6, sms=(0, 1, 2, 3)),
+            PowerGateTransient(start_cycle=400, end_cycle=800,
+                               sms=(12, 13)),
+            ControlLoopJitter(start_cycle=0, drop_probability=0.1,
+                              extra_latency_cycles=8),
+        ),
+    )
+
+
+#: name -> schedule factory, the ``repro faults`` registry.
+CANNED_SCENARIOS: Dict[str, Callable[[], FaultSchedule]] = {
+    "guardband-breaker": guardband_breaker,
+    "sensor-storm": sensor_storm,
+    "pdn-aging": pdn_aging,
+    "scheduler-storm": scheduler_storm,
+}
+
+
+def get_scenario(name: str) -> FaultSchedule:
+    """Build a canned scenario by name (``list_scenarios`` for choices)."""
+    try:
+        return CANNED_SCENARIOS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; canned scenarios: "
+            f"{', '.join(sorted(CANNED_SCENARIOS))}"
+        )
+
+
+def list_scenarios() -> List[str]:
+    return sorted(CANNED_SCENARIOS)

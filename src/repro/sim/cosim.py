@@ -45,6 +45,7 @@ from repro.workloads.benchmarks import get_benchmark
 from repro.workloads.traces import PowerTrace
 
 if TYPE_CHECKING:  # pragma: no cover — typing only, avoids import cost
+    from repro.faults import FaultSchedule
     from repro.telemetry import Telemetry
 
 
@@ -77,6 +78,11 @@ class CosimConfig:
     circuit_substeps: int = 2
     seed: int = 1
     shutoff: Optional[LayerShutoffEvent] = None
+    # Declarative cross-layer fault injection (repro.faults): a
+    # FaultSchedule of timed circuit / architecture / system events,
+    # threaded through the loop by a FaultInjector.  Event cycles use
+    # the same convention as ``shutoff`` (0 = end of warmup).
+    faults: Optional["FaultSchedule"] = None
     # Swap in an alternative controller implementation (duck-typed:
     # observe / commands_for / throttled_cycles) — used by the
     # prior-art ablation (e.g. GlobalThrottleController).
@@ -127,6 +133,9 @@ class CosimResult:
         self.kernels_completed = kernels_completed
         self.mean_dcc_power_w = mean_dcc_power_w
         self.kernel_durations: np.ndarray = np.array([])
+        # Filled by run_cosim when a FaultSchedule was injected: the
+        # manifest's ``faults`` section (events, counters, verdict).
+        self.fault_report: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -246,6 +255,19 @@ def run_cosim(
     pdn.set_sm_currents(np.full(stack.num_sms, nominal_current))
     solver.initialize_dc()
 
+    injector = None
+    if config.faults is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            config.faults, stack, pdn=pdn, solver=solver
+        )
+        if tele is not None:
+            tele.event(
+                "faults_armed", schedule=config.faults.name,
+                num_events=len(config.faults), seed=config.faults.seed,
+            )
+
     controller = None
     controller_power = 0.0
     if config.use_controller:
@@ -316,10 +338,24 @@ def run_cosim(
             if controller is not None:
                 throttled_at_start = controller.throttled_cycles
 
+        # Fault-event timing shares the shutoff convention: cycle 0 of
+        # an event window is the end of warmup.
+        recorded_cycle = cycle - config.warmup_cycles
+
         # 1. GPU cycle under the actuation currently in force.
         if timing:
             t0 = perf_counter()
         powers = gpu.step()
+        if injector is not None:
+            # Circuit faults mutate element values (one re-factorization
+            # per activation edge, before this cycle's solve); process
+            # variation scales the emitted powers *before* they become
+            # currents or records, keeping the PDE ledger closed.
+            injector.apply_circuit_faults(recorded_cycle)
+            powers = injector.scale_powers(recorded_cycle, powers)
+            scales = injector.frequency_scales(recorded_cycle)
+            if scales is not None:
+                gpu.set_frequency_scales(scales)
         if timing:
             t1 = perf_counter()
             t_gpu += t1 - t0
@@ -343,32 +379,53 @@ def run_cosim(
             t2 = perf_counter()
             t_circuit += t2 - t1
 
-        # Halted SMs must not block the kernel-launch barrier.  Event
-        # timing is relative to the *recorded* window (cycle 0 = end of
-        # warmup).
-        recorded_cycle = cycle - config.warmup_cycles
-        if config.shutoff is not None:
-            gpu.barrier_exempt = (
-                set(shutoff_sms)
-                if config.shutoff.active(recorded_cycle)
-                else set()
-            )
+        # Halted SMs (legacy shutoff event + scheduled layer shutoffs /
+        # power gating) must not block the kernel-launch barrier.
+        halted: set = set()
+        if config.shutoff is not None and config.shutoff.active(recorded_cycle):
+            halted.update(shutoff_sms)
+        if injector is not None:
+            halted.update(injector.halted_sms(recorded_cycle))
+        if config.shutoff is not None or injector is not None:
+            gpu.barrier_exempt = halted
+        halted_idx = sorted(halted)
 
         # 4. Detection + control (commands apply after the loop latency).
         if controller is not None:
-            controller.observe(cycle, voltages_now)
-            decision = controller.commands_for(cycle)
-            widths = decision.issue_widths.copy()
-            fakes = decision.fake_rates
-            if config.shutoff and config.shutoff.active(recorded_cycle):
-                widths[shutoff_sms] = 0.0
+            if injector is None:
+                controller.observe(cycle, voltages_now)
+                decision = controller.commands_for(cycle)
+                widths = decision.issue_widths.copy()
+                fakes = decision.fake_rates
+                dcc = decision.dcc_powers_w
+            else:
+                # Architecture faults: the detectors see a corrupted
+                # copy of the voltages (or nothing at all this cycle),
+                # and jitter delays which enqueued decision is read.
+                seen = injector.corrupt_sensors(recorded_cycle, voltages_now)
+                if injector.observation_allowed(recorded_cycle):
+                    controller.observe(cycle, seen)
+                decision = controller.commands_for(
+                    cycle - injector.extra_latency(recorded_cycle)
+                )
+                widths = decision.issue_widths.copy()
+                fakes = decision.fake_rates
+                dcc = decision.dcc_powers_w
+                if injector.touches_actuation:
+                    fakes = fakes.copy()
+                    dcc = dcc.copy()
+                    injector.distort_actuation(
+                        recorded_cycle, widths, fakes, dcc
+                    )
+            if halted_idx:
+                widths[halted_idx] = 0.0
             gpu.set_issue_widths(widths)
             gpu.set_fake_rates(fakes)
-            dcc_powers = decision.dcc_powers_w
-        elif config.shutoff is not None:
+            dcc_powers = dcc
+        elif config.shutoff is not None or injector is not None:
             widths = np.full(num, 2.0)
-            if config.shutoff.active(recorded_cycle):
-                widths[shutoff_sms] = 0.0
+            if halted_idx:
+                widths[halted_idx] = 0.0
             gpu.set_issue_widths(widths)
         if timing:
             t3 = perf_counter()
@@ -430,6 +487,10 @@ def run_cosim(
         mean_dcc_power_w=dcc_energy_accum / config.cycles,
     )
     result.kernel_durations = durations
+    if injector is not None:
+        from repro.faults.injector import build_fault_report
+
+        result.fault_report = build_fault_report(injector, result, controller)
     if tele is not None:
         with tele.timer("finalize"):
             _record_cosim_telemetry(tele, config, result, solver, controller)
@@ -483,6 +544,16 @@ def _record_cosim_telemetry(
             "noise_report_skipped",
             reason="too few recorded cycles",
             cycles=result.num_cycles,
+        )
+    # Fault-injection section: injected events, degradation counters
+    # and the guardband verdict (gated by ``repro compare`` via the
+    # flat ``faults.*`` summary keys).
+    if result.fault_report is not None:
+        tele.set_section("faults", result.fault_report)
+        tele.event(
+            "fault_verdict",
+            verdict=result.fault_report["verdict"],
+            min_voltage_v=result.fault_report["summary"]["min_voltage_v"],
         )
     tele.event(
         "cosim_done", benchmark=result.benchmark,

@@ -17,6 +17,19 @@ Structure:
   so one diverging point never kills the sweep.
 * :class:`SweepResult` — ordered per-point results plus a JSON writer.
 
+Hardening (long sweeps die in boring ways, and should survive them):
+
+* ``point_timeout_s`` runs each point in its own killable process — a
+  hanging point is terminated at the deadline and captured as a
+  structured, retryable failure instead of wedging the pool;
+* ``max_attempts`` re-runs *retryable* failures (timeouts, crashed
+  workers, OS-level errors) in bounded retry waves with exponential
+  backoff; deterministic failures (bad configs) are never retried;
+* ``checkpoint_path`` appends every completed point to an atomically
+  replaced partial-results file, and :meth:`SweepRunner.resume`
+  rebuilds a runner that skips the points already done — a sweep
+  killed mid-run continues where it stopped.
+
 The CLI front end is ``repro sweep``; ``examples/parameter_sweep.py``
 shows library usage.
 """
@@ -25,21 +38,31 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, replace
 from itertools import product
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.cosim import CosimConfig
-from repro.telemetry import Telemetry, to_jsonable
+from repro.telemetry import Telemetry, config_hash, to_jsonable
 
 # Seed derivation: a fixed odd multiplier keeps per-point seeds distinct
 # for any base seed while staying deterministic across runs and worker
 # scheduling orders.
 _SEED_STRIDE = 100_003
+
+#: Failure classes worth re-running: transient by nature (a timeout, a
+#: worker killed by the OOM killer, a flaky filesystem) rather than a
+#: property of the point's configuration.
+RETRYABLE_ERRORS = frozenset({
+    "TimeoutError", "WorkerCrash", "BrokenProcessPool",
+    "OSError", "IOError", "MemoryError", "ConnectionResetError",
+})
 
 
 def point_seed(base_seed: int, index: int) -> int:
@@ -72,13 +95,69 @@ class SweepPoint:
 
 @dataclass
 class SweepPointResult:
-    """Outcome of one point: metrics on success, a traceback on failure."""
+    """Outcome of one point: metrics on success, a traceback on failure.
+
+    ``note`` carries structured degradations that are *not* failures
+    (e.g. ``cycles_per_kernel`` unavailable on a short run) so they
+    surface in ``repro trace`` / the results JSON instead of being
+    silently swallowed.  ``attempts``/``timed_out`` record the retry
+    history under the hardened runner.
+    """
 
     point: SweepPoint
     ok: bool
     metrics: Dict[str, object] = field(default_factory=dict)
     error: Optional[str] = None
+    error_type: Optional[str] = None
     elapsed_s: float = 0.0
+    attempts: int = 1
+    timed_out: bool = False
+    note: Optional[str] = None
+
+    @property
+    def retryable(self) -> bool:
+        """Whether this failure is worth another attempt."""
+        if self.ok:
+            return False
+        return self.timed_out or self.error_type in RETRYABLE_ERRORS
+
+    def to_record(self) -> Dict[str, object]:
+        """The JSON record shared by results files and checkpoints."""
+        return {
+            "index": self.point.index,
+            "benchmark": self.point.benchmark,
+            "overrides": dict(self.point.overrides),
+            "seed": self.point.seed,
+            "ok": self.ok,
+            "metrics": _jsonable(self.metrics),
+            "error": self.error,
+            "error_type": self.error_type,
+            "elapsed_s": self.elapsed_s,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "SweepPointResult":
+        """Rebuild a result from its JSON record (checkpoint resume)."""
+        point = SweepPoint(
+            index=int(record["index"]),
+            benchmark=str(record["benchmark"]),
+            overrides=tuple(sorted(dict(record.get("overrides") or {}).items())),
+            seed=int(record.get("seed", 1)),
+        )
+        return cls(
+            point=point,
+            ok=bool(record["ok"]),
+            metrics=dict(record.get("metrics") or {}),
+            error=record.get("error"),
+            error_type=record.get("error_type"),
+            elapsed_s=float(record.get("elapsed_s", 0.0)),
+            attempts=int(record.get("attempts", 1)),
+            timed_out=bool(record.get("timed_out", False)),
+            note=record.get("note"),
+        )
 
 
 @dataclass
@@ -106,29 +185,38 @@ class SweepResult:
             "num_failed": self.num_failed,
             "elapsed_s": self.elapsed_s,
             "base_config": _jsonable(asdict(self.base_config)),
-            "points": [
-                {
-                    "index": r.point.index,
-                    "benchmark": r.point.benchmark,
-                    "overrides": dict(r.point.overrides),
-                    "seed": r.point.seed,
-                    "ok": r.ok,
-                    "metrics": _jsonable(r.metrics),
-                    "error": r.error,
-                    "elapsed_s": r.elapsed_s,
-                }
-                for r in self.points
-            ],
+            "points": [r.to_record() for r in self.points],
         }
 
     def write_json(self, path) -> Path:
-        """Write the structured results to ``path`` (JSON)."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        """Write the structured results to ``path`` (JSON, atomically).
+
+        The document lands via a same-directory temp file and
+        ``os.replace``, so a sweep killed mid-write never leaves a
+        truncated/corrupt results JSON behind.
+        """
+        return _atomic_write_json(path, self.to_dict())
+
+
+def _atomic_write_json(path, payload: Dict[str, object]) -> Path:
+    """Write ``payload`` as JSON via temp file + ``os.replace``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
-        return path
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def _jsonable(value):
@@ -187,14 +275,22 @@ def expand_grid(
 # ---------------------------------------------------------------------------
 # Worker
 # ---------------------------------------------------------------------------
-def _point_metrics(result) -> Dict[str, object]:
-    """Flatten a CosimResult into the JSON-friendly sweep record."""
+def _point_metrics(result) -> Tuple[Dict[str, object], Optional[str]]:
+    """Flatten a CosimResult into the JSON-friendly sweep record.
+
+    Returns ``(metrics, note)``: a metric that cannot be computed for a
+    legitimate reason (``cycles_per_kernel`` needs a completed kernel in
+    the window) is recorded as ``None`` *and explained* in the note —
+    previously the ValueError was swallowed without a trace.
+    """
     eff = result.efficiency()
+    note: Optional[str] = None
     try:
         cycles_per_kernel = result.cycles_per_kernel()
-    except ValueError:
+    except ValueError as exc:
         cycles_per_kernel = None
-    return {
+        note = f"cycles_per_kernel unavailable: {exc}"
+    metrics: Dict[str, object] = {
         "min_voltage_v": result.min_voltage,
         "max_voltage_v": result.max_voltage,
         "p1_voltage_v": float(result.voltage_percentiles(1)),
@@ -208,6 +304,12 @@ def _point_metrics(result) -> Dict[str, object]:
         "cycles_per_kernel": cycles_per_kernel,
         "mean_dcc_power_w": result.mean_dcc_power_w,
     }
+    if result.fault_report is not None:
+        metrics["fault_verdict"] = result.fault_report["verdict"]
+        metrics["fault_min_voltage_v"] = (
+            result.fault_report["summary"]["min_voltage_v"]
+        )
+    return metrics, note
 
 
 def _run_point(payload: Tuple[SweepPoint, CosimConfig]) -> SweepPointResult:
@@ -218,10 +320,12 @@ def _run_point(payload: Tuple[SweepPoint, CosimConfig]) -> SweepPointResult:
         from repro.sim.cosim import run_cosim
 
         result = run_cosim(point.benchmark, point.config(base))
+        metrics, note = _point_metrics(result)
         return SweepPointResult(
             point=point,
             ok=True,
-            metrics=_point_metrics(result),
+            metrics=metrics,
+            note=note,
             elapsed_s=time.perf_counter() - start,
         )
     except Exception as exc:  # noqa: BLE001 — structured failure capture
@@ -229,8 +333,14 @@ def _run_point(payload: Tuple[SweepPoint, CosimConfig]) -> SweepPointResult:
             point=point,
             ok=False,
             error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            error_type=type(exc).__name__,
             elapsed_s=time.perf_counter() - start,
         )
+
+
+def _run_point_to_queue(runner, payload, queue) -> None:
+    """Child-process entry for the timeout path: result via queue."""
+    queue.put(runner(payload))
 
 
 # ---------------------------------------------------------------------------
@@ -240,9 +350,21 @@ class SweepRunner:
     """Fan a list of :class:`SweepPoint` across worker processes.
 
     ``max_workers=0/1`` runs in-process (useful for tests and debugging);
-    otherwise a :class:`~concurrent.futures.ProcessPoolExecutor` maps
-    points in ``chunksize`` batches.  Results always come back in grid
-    order, independent of worker scheduling.
+    otherwise points fan out across processes — a
+    :class:`~concurrent.futures.ProcessPoolExecutor` in ``chunksize``
+    batches, or (with ``point_timeout_s`` set) one killable process per
+    point so a hung point can be terminated at its deadline.  Results
+    always come back in grid order, independent of worker scheduling.
+
+    ``max_attempts > 1`` re-runs retryable failures in waves separated
+    by ``retry_backoff_s * 2**(wave-1)`` seconds.  ``checkpoint_path``
+    persists completed points (atomic replace) every
+    ``checkpoint_every`` completions; :meth:`resume` rebuilds a runner
+    from such a file that skips the successes already recorded.
+
+    ``point_runner`` swaps the per-point callable (tests inject hanging
+    or crashing stand-ins); it must stay importable/picklable for the
+    process-pool path.
     """
 
     def __init__(
@@ -251,11 +373,27 @@ class SweepRunner:
         base_config: CosimConfig = CosimConfig(),
         max_workers: Optional[int] = None,
         chunksize: int = 1,
+        point_timeout_s: Optional[float] = None,
+        max_attempts: int = 1,
+        retry_backoff_s: float = 0.5,
+        checkpoint_path=None,
+        checkpoint_every: int = 1,
+        point_runner=None,
     ) -> None:
         if not points:
             raise ValueError("sweep needs at least one point")
         if chunksize <= 0:
             raise ValueError(f"chunksize must be positive, got {chunksize}")
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise ValueError(
+                f"point_timeout_s must be positive, got {point_timeout_s}"
+            )
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s cannot be negative")
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
         if base_config.controller_object is not None:
             raise ValueError(
                 "sweeps cannot ship a live controller_object to worker "
@@ -265,7 +403,94 @@ class SweepRunner:
         self.base_config = base_config
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self.point_timeout_s = point_timeout_s
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self._point_runner = point_runner or _run_point
+        # index -> result preloaded from a checkpoint (resume).
+        self._preloaded: Dict[int, SweepPointResult] = {}
+        self._completed_since_checkpoint = 0
 
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def _signature(self) -> Dict[str, object]:
+        """Identity of this sweep: base config hash + the grid itself."""
+        return {
+            "config_hash": config_hash(self.base_config),
+            "points_hash": config_hash([
+                (p.index, p.benchmark, tuple(p.overrides), p.seed)
+                for p in self.points
+            ]),
+            "num_points": len(self.points),
+        }
+
+    def _write_checkpoint(self, results_by_index: Dict[int, SweepPointResult]) -> None:
+        payload = dict(self._signature())
+        payload["completed"] = [
+            results_by_index[i].to_record() for i in sorted(results_by_index)
+        ]
+        _atomic_write_json(self.checkpoint_path, payload)
+
+    def _maybe_checkpoint(
+        self, results_by_index: Dict[int, SweepPointResult], force: bool = False
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        self._completed_since_checkpoint += 0 if force else 1
+        if force or self._completed_since_checkpoint >= self.checkpoint_every:
+            self._write_checkpoint(results_by_index)
+            self._completed_since_checkpoint = 0
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_path,
+        points: Sequence[SweepPoint],
+        base_config: CosimConfig = CosimConfig(),
+        **kwargs,
+    ) -> "SweepRunner":
+        """Rebuild a runner from a checkpoint written by a killed sweep.
+
+        Points whose successful results are recorded in the checkpoint
+        are *not* re-run; recorded failures are retried.  The checkpoint
+        must describe the same sweep: identical base config and grid
+        (both hashed), otherwise resuming would silently mix results
+        from different experiments.
+        """
+        checkpoint_path = Path(checkpoint_path)
+        with open(checkpoint_path) as handle:
+            data = json.load(handle)
+        runner = cls(
+            points, base_config, checkpoint_path=checkpoint_path, **kwargs
+        )
+        signature = runner._signature()
+        for key in ("config_hash", "points_hash"):
+            if data.get(key) != signature[key]:
+                raise ValueError(
+                    f"checkpoint {checkpoint_path} does not match this sweep "
+                    f"({key} differs): it was written for a different base "
+                    "config or grid"
+                )
+        by_index = {p.index: p for p in runner.points}
+        for record in data.get("completed", []):
+            result = SweepPointResult.from_record(record)
+            point = by_index.get(result.point.index)
+            if point is None:
+                continue
+            # Re-attach the live point object (identical by signature).
+            result.point = point
+            if result.ok:
+                runner._preloaded[point.index] = result
+        return runner
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def run(
         self,
         progress=None,
@@ -290,29 +515,52 @@ class SweepRunner:
             tele.event(
                 "sweep_start", num_points=len(self.points), workers=workers,
                 chunksize=self.chunksize,
+                resumed_points=len(self._preloaded),
+                point_timeout_s=self.point_timeout_s,
+                max_attempts=self.max_attempts,
             )
-        payloads = [(p, self.base_config) for p in self.points]
+        results_by_index: Dict[int, SweepPointResult] = dict(self._preloaded)
+        pending = [p for p in self.points if p.index not in results_by_index]
+        attempts: Dict[int, int] = {p.index: 0 for p in self.points}
         start = time.perf_counter()
-        results: List[SweepPointResult]
-        if inline:
-            results = [
-                self._notify(_run_point(p), progress, tele) for p in payloads
-            ]
-        else:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                results = [
-                    self._notify(r, progress, tele)
-                    for r in pool.map(
-                        _run_point, payloads, chunksize=self.chunksize
+        wave = 0
+        while pending:
+            wave += 1
+            if wave > 1:
+                delay = self.retry_backoff_s * 2 ** (wave - 2)
+                if tele is not None:
+                    tele.event(
+                        "sweep_retry_wave", wave=wave,
+                        num_points=len(pending), backoff_s=delay,
                     )
-                ]
+                if delay > 0:
+                    time.sleep(delay)
+            retry: List[SweepPoint] = []
+            for result in self._iter_wave(pending, inline, workers):
+                attempts[result.point.index] += 1
+                result.attempts = attempts[result.point.index]
+                if (
+                    result.retryable
+                    and result.attempts < self.max_attempts
+                ):
+                    retry.append(result.point)
+                # Record the latest outcome either way, so a sweep that
+                # dies mid-retry still has the structured failure.
+                results_by_index[result.point.index] = result
+                self._notify(result, progress, tele)
+                self._maybe_checkpoint(results_by_index)
+            pending = retry
+        self._maybe_checkpoint(results_by_index, force=True)
         elapsed = time.perf_counter() - start
+        results = [results_by_index[p.index] for p in self.points]
         if tele is not None:
             busy = sum(r.elapsed_s for r in results)
             tele.add_time("sweep", elapsed)
             tele.set_metrics({
                 "num_points": len(results),
                 "num_failed": sum(1 for r in results if not r.ok),
+                "num_timed_out": sum(1 for r in results if r.timed_out),
+                "num_resumed": len(self._preloaded),
                 "workers": workers,
                 # Fraction of the worker pool's wall-clock capacity spent
                 # inside points; low values localize a slow sweep to
@@ -324,6 +572,7 @@ class SweepRunner:
             tele.event(
                 "sweep_done", elapsed_s=round(elapsed, 3),
                 num_failed=sum(1 for r in results if not r.ok),
+                waves=wave,
             )
         return SweepResult(
             points=results,
@@ -331,9 +580,156 @@ class SweepRunner:
             elapsed_s=elapsed,
         )
 
-    @staticmethod
+    def _call_runner(
+        self, payload: Tuple[SweepPoint, CosimConfig]
+    ) -> SweepPointResult:
+        """Invoke the point runner, structuring any exception it leaks.
+
+        The built-in runner captures its own failures; this guard keeps
+        an injected ``point_runner`` that raises from aborting the whole
+        sweep (and losing the checkpoint progress of finished points).
+        """
+        try:
+            return self._point_runner(payload)
+        except Exception as exc:
+            return SweepPointResult(
+                point=payload[0], ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+                error_type=type(exc).__name__,
+            )
+
+    def _iter_wave(
+        self, points: Sequence[SweepPoint], inline: bool, workers: int
+    ) -> Iterator[SweepPointResult]:
+        """One attempt over ``points``, yielding each result as it
+        completes (completion order, not grid order) so the caller can
+        checkpoint incrementally; never raises."""
+        payloads = [(p, self.base_config) for p in points]
+        if self.point_timeout_s is not None:
+            yield from self._run_wave_killable(payloads, workers)
+            return
+        if inline:
+            for payload in payloads:
+                yield self._call_runner(payload)
+            return
+        done = 0
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                for result in pool.map(
+                    self._point_runner, payloads, chunksize=self.chunksize
+                ):
+                    done += 1
+                    yield result
+        except BrokenProcessPool:
+            # A worker died hard (OOM kill, segfault).  Points without a
+            # result get a structured, retryable failure.
+            for point, _ in payloads[done:]:
+                yield SweepPointResult(
+                    point=point, ok=False,
+                    error="worker process pool broke before this point "
+                          "completed",
+                    error_type="BrokenProcessPool",
+                )
+        except Exception as exc:
+            # A custom point runner raised inside the pool; ``map``
+            # re-raises on iteration and drops the rest of the wave.
+            for point, _ in payloads[done:]:
+                yield SweepPointResult(
+                    point=point, ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                )
+
+    def _run_wave_killable(
+        self, payloads: List[Tuple[SweepPoint, CosimConfig]], workers: int
+    ) -> Iterator[SweepPointResult]:
+        """Process-per-point execution with a wall-clock deadline each.
+
+        ``ProcessPoolExecutor`` cannot kill a hung task, so the timeout
+        path manages its own worker processes: up to ``workers`` run at
+        once, each with a private result queue; a point that misses its
+        deadline is terminated (then killed) and captured as a
+        structured timeout.
+        """
+        import multiprocessing as mp
+        import queue as queue_mod
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover — non-POSIX fallback
+            ctx = mp.get_context()
+        pending = list(payloads)
+        running: List[Tuple[object, object, Tuple[SweepPoint, CosimConfig], float]] = []
+        deadline = self.point_timeout_s
+
+        def harvest(proc, result_queue, payload, started) -> Optional[SweepPointResult]:
+            now = time.monotonic()
+            try:
+                result = result_queue.get_nowait()
+                proc.join()
+                return result
+            except queue_mod.Empty:
+                pass
+            if not proc.is_alive():
+                # Dead without a result: give the queue feeder a moment
+                # to flush, then declare a crash.
+                try:
+                    result = result_queue.get(timeout=0.25)
+                    proc.join()
+                    return result
+                except queue_mod.Empty:
+                    proc.join()
+                    return SweepPointResult(
+                        point=payload[0], ok=False,
+                        error=(
+                            "worker process died without a result "
+                            f"(exit code {proc.exitcode})"
+                        ),
+                        error_type="WorkerCrash",
+                        elapsed_s=now - started,
+                    )
+            if now - started > deadline:
+                proc.terminate()
+                proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover — SIGTERM ignored
+                    proc.kill()
+                    proc.join()
+                return SweepPointResult(
+                    point=payload[0], ok=False,
+                    error=(
+                        f"point exceeded its {deadline:g} s wall-clock "
+                        "timeout and was killed"
+                    ),
+                    error_type="TimeoutError",
+                    timed_out=True,
+                    elapsed_s=now - started,
+                )
+            return None
+
+        while pending or running:
+            while pending and len(running) < workers:
+                payload = pending.pop(0)
+                result_queue = ctx.Queue(maxsize=1)
+                proc = ctx.Process(
+                    target=_run_point_to_queue,
+                    args=(self._point_runner, payload, result_queue),
+                    daemon=True,
+                )
+                proc.start()
+                running.append((proc, result_queue, payload, time.monotonic()))
+            still_running = []
+            for entry in running:
+                outcome = harvest(*entry)
+                if outcome is None:
+                    still_running.append(entry)
+                else:
+                    yield outcome
+            running = still_running
+            if running:
+                time.sleep(0.02)
+
     def _notify(
-        result: SweepPointResult, progress, tele: Optional[Telemetry] = None
+        self, result: SweepPointResult, progress, tele: Optional[Telemetry] = None
     ) -> SweepPointResult:
         if tele is not None:
             tele.incr("points_ok" if result.ok else "points_failed")
@@ -342,7 +738,12 @@ class SweepRunner:
                 "benchmark": result.point.benchmark,
                 "ok": result.ok,
                 "elapsed_s": round(result.elapsed_s, 4),
+                "attempt": result.attempts,
             }
+            if result.timed_out:
+                event["timed_out"] = True
+            if result.note:
+                event["note"] = result.note
             if not result.ok and result.error:
                 event["error"] = result.error.splitlines()[0]
             tele.event("sweep_point", **event)
@@ -360,10 +761,17 @@ def run_sweep(
     chunksize: int = 1,
     progress=None,
     telemetry: Optional[Telemetry] = None,
+    **runner_kwargs,
 ) -> SweepResult:
-    """Convenience wrapper: expand the grid and run it."""
+    """Convenience wrapper: expand the grid and run it.
+
+    Extra keyword arguments (``point_timeout_s``, ``max_attempts``,
+    ``retry_backoff_s``, ``checkpoint_path``, ...) pass through to
+    :class:`SweepRunner`.
+    """
     points = expand_grid(benchmarks, axes, base_seed=base_seed)
     runner = SweepRunner(
-        points, base_config, max_workers=max_workers, chunksize=chunksize
+        points, base_config, max_workers=max_workers, chunksize=chunksize,
+        **runner_kwargs,
     )
     return runner.run(progress=progress, telemetry=telemetry)

@@ -248,6 +248,27 @@ def render_manifest(manifest: Mapping[str, object]) -> str:
             )
         )
 
+    faults = dict(manifest.get("faults") or {})
+    if faults:
+        summary = dict(faults.get("summary") or {})
+        lines.append("")
+        lines.append(
+            f"faults: schedule {faults.get('schedule', '?')!r} "
+            f"({faults.get('num_events', 0)} events, seed "
+            f"{faults.get('seed', '?')}) -> verdict "
+            f"{faults.get('verdict', '?')}"
+        )
+        if summary:
+            lines.append(
+                f"  min voltage {summary.get('min_voltage_v', float('nan')):.3f} V, "
+                f"{summary.get('guardband_violation_cycles', 0)} "
+                "guardband-violation cycles, "
+                f"{summary.get('watchdog_engagements', 0)} watchdog "
+                "engagement(s), "
+                f"{summary.get('safe_state_decisions', 0)} safe-state "
+                "decision(s)"
+            )
+
     channels = dict(manifest.get("channels") or {})
     if channels:
         rows = []

@@ -14,10 +14,13 @@ from repro.analysis.compare import (
 )
 
 
-def manifest(metrics=None, noise_summary=None, run_id="run-a"):
+def manifest(metrics=None, noise_summary=None, faults_summary=None,
+             run_id="run-a"):
     doc = {"run_id": run_id, "metrics": dict(metrics or {})}
     if noise_summary is not None:
         doc["noise"] = {"summary": dict(noise_summary)}
+    if faults_summary is not None:
+        doc["faults"] = {"summary": dict(faults_summary)}
     return doc
 
 
@@ -41,6 +44,15 @@ class TestMetricValues:
 
     def test_missing_sections_tolerated(self):
         assert metric_values({"run_id": "x"}) == {}
+
+    def test_flattens_faults_summary(self):
+        doc = manifest(
+            metrics={"pde": 0.9},
+            faults_summary={"verdict_code": 1, "min_voltage_v": 0.82},
+        )
+        values = metric_values(doc)
+        assert values["faults.verdict_code"] == 1
+        assert values["faults.min_voltage_v"] == 0.82
 
 
 class TestCompare:
@@ -118,6 +130,24 @@ class TestCompare:
         assert report.ok
         row = next(r for r in report.rows if r.name == "extra")
         assert row.status == "new"
+
+    def test_fault_verdict_code_regression_gates(self):
+        """survived (0) -> violated (2) under the same fault scenario is
+        a zero-tolerance regression; the reverse is an improvement."""
+        good = manifest(
+            metrics={"pde": 0.9},
+            faults_summary={"verdict_code": 0, "min_voltage_v": 0.85},
+        )
+        bad = manifest(
+            metrics={"pde": 0.9},
+            faults_summary={"verdict_code": 2, "min_voltage_v": 0.70},
+        )
+        report = compare_manifests(good, bad)
+        assert not report.ok
+        names = [r.name for r in report.regressions]
+        assert "faults.verdict_code" in names
+        assert "faults.min_voltage_v" in names
+        assert compare_manifests(bad, good).ok
 
     def test_stable_direction_flags_both_ways(self):
         gates = {"mean_power_w": Threshold("stable", rel_tol=0.05)}

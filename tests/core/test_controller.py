@@ -211,8 +211,11 @@ class TestPerActuatorSlew:
         assert cfg.slew_dcc_w == 0.25
 
     def test_explicit_limits_win_over_legacy(self):
+        # Slews this loose stop capping the k2 = 8 FII gain below the
+        # 2C/T sampled-stability bound, so the escape hatch is needed.
         cfg = ControllerConfig(
-            slew_per_decision=0.05, slew_issue=0.5, slew_fake=0.3
+            slew_per_decision=0.05, slew_issue=0.5, slew_fake=0.3,
+            allow_unstable=True,
         )
         assert cfg.slew_issue == 0.5
         assert cfg.slew_fake == 0.3

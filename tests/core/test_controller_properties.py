@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) of controller robustness contracts.
+
+Two invariants the fault-injection machinery leans on:
+
+* slew limits are never violated — consecutive in-force decisions can
+  differ by at most the per-actuator slew, whatever voltage trace
+  (droops, spikes, NaN dropouts) the detectors see;
+* a missing sample (NaN) never produces actuation, with the sensor
+  fallback on or off.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.actuators import WeightedActuation
+from repro.core.controller import ControllerConfig, VoltageSmoothingController
+
+NUM_SMS = 16
+LATENCY = 10
+
+voltage = st.one_of(
+    st.floats(min_value=0.0, max_value=1.5),
+    st.just(float("nan")),
+)
+voltage_frames = st.lists(
+    st.lists(voltage, min_size=NUM_SMS, max_size=NUM_SMS),
+    min_size=5,
+    max_size=60,
+)
+# A base example of 5x16 floats is inherently largish; the invariants
+# under test need whole traces, not single samples.
+trace_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.large_base_example],
+)
+sm_subsets = st.sets(
+    st.integers(min_value=0, max_value=NUM_SMS - 1), min_size=1, max_size=6
+)
+
+
+def make_controller(**config_kwargs):
+    defaults = dict(latency_cycles=LATENCY, control_period_cycles=1)
+    defaults.update(config_kwargs)
+    return VoltageSmoothingController(
+        config=ControllerConfig(**defaults),
+        actuation=WeightedActuation(w1=1.0, w2=1.0, w3=1.0),
+    )
+
+
+class TestSlewInvariant:
+    @given(frames=voltage_frames, fallback=st.booleans())
+    @trace_settings
+    def test_in_force_commands_never_jump_past_the_slew(
+        self, frames, fallback
+    ):
+        """With one decision per cycle, consecutive in-force decisions
+        are consecutive enqueued decisions — each within the per-
+        actuator slew of the last, for ANY trace including dropouts."""
+        ctl = make_controller(sensor_fallback_enabled=fallback)
+        cfg = ctl.config
+        eps = 1e-12
+        prev = ctl.commands_for(-1)
+        prev_state = (
+            prev.issue_widths.copy(),
+            prev.fake_rates.copy(),
+            prev.dcc_powers_w.copy(),
+        )
+        for cycle, frame in enumerate(frames):
+            ctl.observe(cycle, np.array(frame))
+            decision = ctl.commands_for(cycle)
+            state = (
+                decision.issue_widths.copy(),
+                decision.fake_rates.copy(),
+                decision.dcc_powers_w.copy(),
+            )
+            for (now, before), slew in zip(
+                zip(state, prev_state),
+                (cfg.slew_issue, cfg.slew_fake, cfg.slew_dcc_w),
+            ):
+                assert np.all(np.abs(now - before) <= slew + eps)
+            prev_state = state
+
+    @given(frames=voltage_frames, watchdog=st.booleans())
+    @trace_settings
+    def test_commands_always_within_hardware_ranges(self, frames, watchdog):
+        ctl = make_controller(
+            watchdog_enabled=watchdog, watchdog_patience=3
+        )
+        for cycle, frame in enumerate(frames):
+            ctl.observe(cycle, np.array(frame))
+            decision = ctl.commands_for(cycle)
+            assert np.all(decision.issue_widths >= 0.0)
+            assert np.all(decision.issue_widths <= 2.0)
+            assert np.all(decision.fake_rates >= 0.0)
+            assert np.all(decision.dcc_powers_w >= 0.0)
+            assert np.all(np.isfinite(decision.issue_widths))
+            assert np.all(np.isfinite(decision.fake_rates))
+            assert np.all(np.isfinite(decision.dcc_powers_w))
+
+
+class TestNaNNeverActuates:
+    @given(dead=sm_subsets, fallback=st.booleans(),
+           cycles=st.integers(min_value=40, max_value=120))
+    @settings(max_examples=30, deadline=None)
+    def test_permanently_dead_sensors_keep_default_commands(
+        self, dead, fallback, cycles
+    ):
+        """An SM whose sensor never reports (and whose last good level
+        was healthy) is never throttled or boosted — neither raw NaN
+        nor the held fallback measurement may actuate it."""
+        ctl = make_controller(sensor_fallback_enabled=fallback)
+        voltages = np.full(NUM_SMS, 1.0)
+        voltages[list(dead)] = np.nan
+        for cycle in range(cycles):
+            ctl.observe(cycle, voltages)
+            decision = ctl.commands_for(cycle)
+            for sm in dead:
+                assert decision.issue_widths[sm] == 2.0
+                assert decision.fake_rates[sm] == 0.0
+                assert decision.dcc_powers_w[sm] == 0.0
+
+    @given(dead=sm_subsets)
+    @settings(max_examples=20, deadline=None)
+    def test_nan_never_poisons_the_filter_state(self, dead):
+        """After the sensor recovers, the filtered measurement is
+        finite immediately — NaN must never have entered the RC state."""
+        ctl = make_controller(sensor_fallback_enabled=False)
+        voltages = np.full(NUM_SMS, 1.0)
+        voltages[list(dead)] = np.nan
+        for cycle in range(50):
+            ctl.observe(cycle, voltages)
+        for cycle in range(50, 60):
+            ctl.observe(cycle, np.full(NUM_SMS, 1.0))
+        assert np.all(np.isfinite(ctl._last_good))
+        decision = ctl.commands_for(100)
+        assert np.all(np.isfinite(decision.issue_widths))

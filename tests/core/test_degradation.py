@@ -1,0 +1,235 @@
+"""Graceful-degradation tests for the voltage smoothing controller.
+
+Covers the guardband watchdog (escalation to the emergency safe state
+and its release), the sensor-loss fallback (hold-last-good with widened
+thresholds; NaN never actuates), limit-cycle detection, and the
+sampled-stability validation in ControllerConfig.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.actuators import WeightedActuation
+from repro.core.controller import ControllerConfig, VoltageSmoothingController
+
+
+def make_controller(**config_kwargs):
+    defaults = dict(latency_cycles=10, control_period_cycles=1)
+    defaults.update(config_kwargs)
+    return VoltageSmoothingController(
+        config=ControllerConfig(**defaults),
+        actuation=WeightedActuation(w1=1.0, w2=1.0, w3=1.0),
+    )
+
+
+def healthy():
+    return np.full(16, 1.0)
+
+
+class TestStabilityValidation:
+    def test_default_config_is_stable(self):
+        cfg = ControllerConfig()
+        gains = cfg.effective_power_gains_w_per_v()
+        limit = cfg.stability_limit_w_per_v()
+        assert gains["diws"] <= limit
+        assert gains["fii"] <= limit
+
+    def test_limit_is_2c_over_t(self):
+        cfg = ControllerConfig(latency_cycles=60)
+        # 2 x (2 x 4 columns x 64 nF) / (60 cycles / 700 MHz) ~ 12 W/V.
+        assert cfg.stability_limit_w_per_v() == pytest.approx(11.95, abs=0.1)
+
+    def test_unstable_gain_rejected(self):
+        # Loose slews stop capping the k2 = 8 FII gain
+        # (8 x 2.66 W = 21.3 W/V) below the ~12 W/V bound.
+        with pytest.raises(ValueError, match="sampled-stability limit"):
+            ControllerConfig(k2=8.0, slew_fake=0.5, latency_cycles=60)
+
+    def test_allow_unstable_escape_hatch(self):
+        cfg = ControllerConfig(
+            k2=8.0, slew_fake=0.5, latency_cycles=60, allow_unstable=True
+        )
+        assert cfg.effective_power_gains_w_per_v()["fii"] > (
+            cfg.stability_limit_w_per_v()
+        )
+
+    def test_tight_slew_rescues_a_hot_gain(self):
+        """A big k2 is fine when the slew limit caps the realized gain."""
+        cfg = ControllerConfig(k2=8.0, slew_fake=0.02, latency_cycles=60)
+        assert cfg.effective_power_gains_w_per_v()["fii"] <= (
+            cfg.stability_limit_w_per_v()
+        )
+
+
+class TestWatchdog:
+    def test_escalates_after_patience_decisions(self):
+        ctl = make_controller(watchdog_enabled=True, watchdog_patience=5)
+        for cycle in range(200):
+            ctl.observe(cycle, np.full(16, 0.5))
+        stats = ctl.stats()
+        assert stats["in_safe_state"]
+        assert stats["watchdog_engagements"] == 1
+        assert stats["safe_state_decisions"] > 0
+
+    def test_safe_state_commands_reach_max_throttle(self):
+        ctl = make_controller(
+            watchdog_enabled=True, watchdog_patience=3, safe_issue_width=0.0
+        )
+        for cycle in range(400):
+            ctl.observe(cycle, np.full(16, 0.5))
+        decision = ctl.commands_for(500)
+        assert np.all(decision.issue_widths == 0.0)
+        assert np.all(decision.fake_rates == 0.0)
+        assert np.all(decision.dcc_powers_w == 0.0)
+
+    def test_disabled_watchdog_never_escalates(self):
+        ctl = make_controller(watchdog_enabled=False, watchdog_patience=5)
+        for cycle in range(200):
+            ctl.observe(cycle, np.full(16, 0.5))
+        stats = ctl.stats()
+        assert not stats["in_safe_state"]
+        assert stats["watchdog_engagements"] == 0
+
+    def test_brief_dip_does_not_escalate(self):
+        ctl = make_controller(watchdog_enabled=True, watchdog_patience=50)
+        for cycle in range(30):
+            ctl.observe(cycle, np.full(16, 0.5))
+        for cycle in range(30, 200):
+            ctl.observe(cycle, healthy())
+        assert ctl.stats()["watchdog_engagements"] == 0
+
+    def test_released_after_sustained_recovery(self):
+        ctl = make_controller(
+            watchdog_enabled=True, watchdog_patience=3,
+            safe_state_release_decisions=20,
+        )
+        for cycle in range(100):
+            ctl.observe(cycle, np.full(16, 0.5))
+        assert ctl.stats()["in_safe_state"]
+        for cycle in range(100, 400):
+            ctl.observe(cycle, healthy())
+        assert not ctl.stats()["in_safe_state"]
+
+    def test_all_nan_is_no_evidence(self):
+        """Total sensor loss without fallback must not advance either
+        streak — the watchdog acts on measurements, not their absence."""
+        ctl = make_controller(
+            watchdog_enabled=True, watchdog_patience=2,
+            sensor_fallback_enabled=False,
+        )
+        for cycle in range(100):
+            ctl.observe(cycle, np.full(16, np.nan))
+        stats = ctl.stats()
+        assert not stats["in_safe_state"]
+        assert stats["nan_samples_seen"] == 1600
+
+
+class TestSensorFallback:
+    def test_nan_never_actuates_without_fallback(self):
+        ctl = make_controller(sensor_fallback_enabled=False)
+        voltages = healthy()
+        voltages[4] = np.nan
+        for cycle in range(300):
+            ctl.observe(cycle, voltages)
+        decision = ctl.commands_for(400)
+        assert decision.issue_widths[4] == 2.0
+        assert decision.fake_rates[4] == 0.0
+        assert ctl.stats()["nan_samples_seen"] == 300
+        assert ctl.stats()["sensor_fallback_samples"] == 0
+
+    def test_fallback_holds_last_good_measurement(self):
+        ctl = make_controller(sensor_fallback_enabled=True)
+        # Settle the filter at a healthy level, then lose the sensor
+        # while the true voltage collapses: the held measurement keeps
+        # the SM from false-triggering on garbage.
+        for cycle in range(200):
+            ctl.observe(cycle, healthy())
+        lost = healthy()
+        lost[4] = np.nan
+        for cycle in range(200, 400):
+            ctl.observe(cycle, lost)
+        decision = ctl.commands_for(500)
+        assert decision.issue_widths[4] == 2.0
+        assert ctl.stats()["sensor_fallback_samples"] == 200
+
+    def test_fallback_widens_the_droop_threshold(self):
+        """A held measurement inside the widened band triggers
+        protective throttling that a live one would not."""
+        widened = make_controller(
+            sensor_fallback_enabled=True, fallback_widen_v=0.05
+        )
+        live = make_controller(
+            sensor_fallback_enabled=True, fallback_widen_v=0.05
+        )
+        # 0.93 V sits above v_threshold (0.9) but inside the widened
+        # band (0.95).
+        settle = healthy()
+        settle[4] = 0.93
+        for cycle in range(300):
+            widened.observe(cycle, settle)
+            live.observe(cycle, settle)
+        assert live.commands_for(350).issue_widths[4] == 2.0
+        lost = settle.copy()
+        lost[4] = np.nan
+        for cycle in range(300, 600):
+            widened.observe(cycle, lost)
+            live.observe(cycle, settle)
+        assert widened.commands_for(700).issue_widths[4] < 2.0
+        assert live.commands_for(700).issue_widths[4] == 2.0
+
+    def test_recovered_sensor_clears_fallback(self):
+        ctl = make_controller(sensor_fallback_enabled=True)
+        lost = healthy()
+        lost[4] = np.nan
+        for cycle in range(50):
+            ctl.observe(cycle, lost)
+        before = ctl.stats()["sensor_fallback_samples"]
+        for cycle in range(50, 100):
+            ctl.observe(cycle, healthy())
+        assert ctl.stats()["sensor_fallback_samples"] == before
+
+
+class TestLimitCycleDetection:
+    def test_sustained_flapping_is_flagged(self):
+        ctl = make_controller(
+            latency_cycles=5,
+            control_period_cycles=30,
+            limit_cycle_window=8,
+            limit_cycle_min_flips=4,
+        )
+        # Alternate droop/healthy every control period: the throttle
+        # engagement flag flips on every decision.
+        droop = np.full(16, 0.7)
+        for decision_idx in range(40):
+            v = droop if decision_idx % 2 == 0 else healthy()
+            for step in range(30):
+                ctl.observe(decision_idx * 30 + step, v)
+        assert ctl.stats()["limit_cycle_events"] >= 1
+
+    def test_steady_throttling_is_not_a_limit_cycle(self):
+        ctl = make_controller(
+            limit_cycle_window=8, limit_cycle_min_flips=4
+        )
+        for cycle in range(600):
+            ctl.observe(cycle, np.full(16, 0.7))
+        assert ctl.stats()["limit_cycle_events"] == 0
+
+
+class TestDegradationConfigValidation:
+    def test_guardband_range(self):
+        with pytest.raises(ValueError, match="guardband_v"):
+            ControllerConfig(guardband_v=1.5)
+
+    def test_patience_positive(self):
+        with pytest.raises(ValueError, match="watchdog_patience"):
+            ControllerConfig(watchdog_patience=0)
+
+    def test_safe_issue_width_in_hardware_range(self):
+        with pytest.raises(ValueError, match="safe_issue_width"):
+            ControllerConfig(safe_issue_width=3.0)
+
+    def test_limit_cycle_window_bounds(self):
+        with pytest.raises(ValueError, match="limit_cycle"):
+            ControllerConfig(limit_cycle_window=2)
+        with pytest.raises(ValueError, match="limit_cycle"):
+            ControllerConfig(limit_cycle_window=8, limit_cycle_min_flips=8)

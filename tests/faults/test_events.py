@@ -1,0 +1,143 @@
+"""Tests for the declarative fault events and FaultSchedule."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    ActuatorStuck,
+    ControlLoopJitter,
+    CRIVRPhaseLoss,
+    DFSTransient,
+    EVENT_TYPES,
+    FaultSchedule,
+    LayerShutoff,
+    PDNDrift,
+    PowerGateTransient,
+    ProcessVariation,
+    SensorDropout,
+    SensorNoise,
+    SensorQuantization,
+    SensorStuck,
+    event_from_dict,
+)
+
+
+def one_of_each():
+    return (
+        CRIVRPhaseLoss(start_cycle=10, capacity_fraction=0.3, columns=(0, 2)),
+        PDNDrift(element_prefix="r_link", resistance_scale=1.5),
+        ProcessVariation(sigma=0.1),
+        SensorNoise(sigma_v=0.02, sms=(1, 5)),
+        SensorQuantization(step_v=0.1),
+        SensorStuck(value_v=0.95, sms=(3,)),
+        SensorDropout(probability=0.25),
+        ActuatorStuck(actuator="fii", sms=(2,), value=0.5),
+        ControlLoopJitter(drop_probability=0.2, extra_latency_cycles=4),
+        LayerShutoff(start_cycle=100, layer=2),
+        PowerGateTransient(sms=(8, 9), start_cycle=5, end_cycle=50),
+        DFSTransient(frequency_scale=0.6, sms=(0, 1)),
+    )
+
+
+class TestEventWindows:
+    def test_active_is_half_open(self):
+        event = LayerShutoff(start_cycle=10, end_cycle=20)
+        assert not event.active(9)
+        assert event.active(10)
+        assert event.active(19)
+        assert not event.active(20)
+
+    def test_negative_start_covers_warmup(self):
+        event = SensorNoise(start_cycle=-100)
+        assert event.active(-50)
+        assert event.active(0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="end_cycle"):
+            LayerShutoff(start_cycle=10, end_cycle=10)
+
+    def test_describe_mentions_kind_and_window(self):
+        text = LayerShutoff(start_cycle=5, end_cycle=50).describe()
+        assert "layer_shutoff" in text
+        assert "[5, 50)" in text
+
+
+class TestEventValidation:
+    def test_capacity_fraction_bounds(self):
+        with pytest.raises(ValueError, match="capacity_fraction"):
+            CRIVRPhaseLoss(capacity_fraction=1.5)
+        CRIVRPhaseLoss(capacity_fraction=0.0)  # a fully dead phase is legal
+
+    def test_resistance_scale_positive(self):
+        with pytest.raises(ValueError, match="resistance_scale"):
+            PDNDrift(resistance_scale=0.0)
+
+    def test_process_variation_scales_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProcessVariation(scales=(1.0,) * 15 + (-0.2,))
+
+    def test_actuator_name_checked(self):
+        with pytest.raises(ValueError, match="diws/fii/dcc"):
+            ActuatorStuck(actuator="warp")
+
+    def test_jitter_noop_rejected(self):
+        with pytest.raises(ValueError, match="no-op"):
+            ControlLoopJitter()
+
+    def test_dfs_scale_bounds(self):
+        with pytest.raises(ValueError, match="frequency_scale"):
+            DFSTransient(frequency_scale=0.0)
+
+    def test_dropout_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            SensorDropout(probability=1.5)
+
+    def test_sm_lists_coerced_to_tuples(self):
+        event = SensorStuck(sms=[4, 7])
+        assert event.sms == (4, 7)
+
+
+class TestScheduleRoundTrip:
+    def test_every_kind_round_trips_through_dict(self):
+        schedule = FaultSchedule(events=one_of_each(), seed=42, name="all")
+        rebuilt = FaultSchedule.from_dict(schedule.to_dict())
+        assert rebuilt == schedule
+        assert len(rebuilt) == len(EVENT_TYPES)
+
+    def test_round_trips_through_json_file(self, tmp_path):
+        schedule = FaultSchedule(events=one_of_each(), seed=9, name="disk")
+        path = schedule.to_json(tmp_path / "scenario.json")
+        rebuilt = FaultSchedule.from_json(path)
+        assert rebuilt == schedule
+        # The file is plain JSON a human can edit.
+        data = json.loads(path.read_text())
+        assert data["name"] == "disk"
+        assert {e["kind"] for e in data["events"]} == set(EVENT_TYPES)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            event_from_dict({"kind": "meteor_strike"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            event_from_dict({"kind": "layer_shutoff", "laser": 3})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            event_from_dict({"layer": 3})
+
+    def test_schedule_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            FaultSchedule.from_dict(
+                {"events": [], "seed": 0, "rng_state": "x"}
+            )
+
+    def test_schedule_requires_event_instances(self):
+        with pytest.raises(TypeError, match="FaultEvent"):
+            FaultSchedule(events=({"kind": "layer_shutoff"},))
+
+    def test_of_kind_filters(self):
+        schedule = FaultSchedule(events=one_of_each())
+        assert len(schedule.of_kind("layer_shutoff")) == 1
+        assert schedule.of_kind("nothing") == []

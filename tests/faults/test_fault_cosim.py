@@ -1,0 +1,178 @@
+"""End-to-end fault scenarios through run_cosim.
+
+Locks the PR's acceptance pair: under the canned guardband-breaker
+scenario (CR-IVR phase loss + sensor dropout + layer shutoff) the
+watchdog-enabled controller ends in a declared safe state, while the
+degradation-disabled controller demonstrably violates the guardband.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import ControllerConfig
+from repro.faults import (
+    SAFE_STATE,
+    SURVIVED,
+    VIOLATED,
+    CRIVRPhaseLoss,
+    FaultSchedule,
+    ProcessVariation,
+    get_scenario,
+)
+from repro.sim.cosim import CosimConfig, run_cosim
+
+# Long enough for the breaker scenario's layer shutoff (recorded cycle
+# 300) plus the watchdog escalation to play out.
+CYCLES, WARMUP, SEED = 600, 100, 3
+
+
+def breaker_config(degradation: bool) -> CosimConfig:
+    return CosimConfig(
+        cycles=CYCLES,
+        warmup_cycles=WARMUP,
+        seed=SEED,
+        faults=get_scenario("guardband-breaker"),
+        controller=ControllerConfig(
+            watchdog_enabled=degradation,
+            sensor_fallback_enabled=degradation,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def breaker_pair():
+    hardened = run_cosim("hotspot", breaker_config(degradation=True))
+    plain = run_cosim("hotspot", breaker_config(degradation=False))
+    return hardened, plain
+
+
+class TestAcceptancePair:
+    def test_degraded_controller_reaches_safe_state(self, breaker_pair):
+        hardened, _ = breaker_pair
+        report = hardened.fault_report
+        assert report["verdict"] in (SAFE_STATE, SURVIVED)
+        assert report["summary"]["watchdog_engagements"] >= 1
+        assert report["summary"]["safe_state_decisions"] > 0
+
+    def test_unprotected_controller_violates(self, breaker_pair):
+        _, plain = breaker_pair
+        report = plain.fault_report
+        assert report["verdict"] == VIOLATED
+        assert report["summary"]["watchdog_engagements"] == 0
+        assert report["summary"]["guardband_violation_cycles"] > 0
+
+    def test_degradation_strictly_improves_the_outcome(self, breaker_pair):
+        hardened, plain = breaker_pair
+        good = hardened.fault_report["summary"]
+        bad = plain.fault_report["summary"]
+        assert good["verdict_code"] < bad["verdict_code"]
+        # The safe state limits the excursion depth: the hardened run's
+        # worst droop is strictly shallower than the unprotected run's.
+        assert good["min_voltage_v"] > bad["min_voltage_v"]
+
+    def test_sensor_fallback_engaged_under_dropout(self, breaker_pair):
+        hardened, plain = breaker_pair
+        assert hardened.fault_report["summary"]["sensor_fallback_samples"] > 0
+        assert plain.fault_report["summary"]["sensor_fallback_samples"] == 0
+        # Both saw the same dropout faults.
+        assert hardened.fault_report["summary"]["nan_samples_seen"] > 0
+        assert plain.fault_report["summary"]["nan_samples_seen"] > 0
+
+
+class TestFaultReportPlumbing:
+    def test_no_schedule_no_report(self):
+        result = run_cosim(
+            "hotspot", CosimConfig(cycles=60, warmup_cycles=10)
+        )
+        assert result.fault_report is None
+
+    def test_manifest_gets_faults_section(self, tmp_path):
+        from repro.telemetry import Telemetry, load_manifest, write_run
+
+        config = CosimConfig(
+            cycles=120, warmup_cycles=20, seed=SEED,
+            faults=get_scenario("sensor-storm"),
+        )
+        tele = Telemetry(run_id="faults-test")
+        run_cosim("hotspot", config, telemetry=tele)
+        write_run(tele, tmp_path, config=config)
+        manifest = load_manifest(tmp_path)
+        faults = manifest["faults"]
+        assert faults["schedule"] == "sensor-storm"
+        assert faults["verdict"] in (SURVIVED, SAFE_STATE, VIOLATED)
+        assert faults["summary"]["verdict_code"] == {
+            SURVIVED: 0, SAFE_STATE: 1, VIOLATED: 2
+        }[faults["verdict"]]
+        kinds = [e["kind"] for e in tele.events]
+        assert "faults_armed" in kinds
+        assert "fault_verdict" in kinds
+
+
+class TestCircuitFaultsInCosim:
+    def test_phase_loss_refactorizes_once_per_edge(self):
+        schedule = FaultSchedule(
+            events=(
+                CRIVRPhaseLoss(start_cycle=20, end_cycle=60,
+                               capacity_fraction=0.2),
+            ),
+            name="one-pulse",
+        )
+        result = run_cosim(
+            "hotspot",
+            CosimConfig(cycles=150, warmup_cycles=30, faults=schedule),
+        )
+        # One edge in (cycle 20) and one out (cycle 60).
+        counters = result.fault_report["counters"]
+        assert counters["refactorizations"] == 2
+
+    def test_phase_loss_degrades_min_voltage(self):
+        base = CosimConfig(cycles=200, warmup_cycles=50, seed=SEED)
+        clean = run_cosim("hotspot", base)
+        faulted = run_cosim(
+            "hotspot",
+            CosimConfig(
+                cycles=200, warmup_cycles=50, seed=SEED,
+                faults=FaultSchedule(
+                    events=(CRIVRPhaseLoss(capacity_fraction=0.02),),
+                    name="dead-ivr",
+                ),
+            ),
+        )
+        assert faulted.min_voltage < clean.min_voltage
+
+    def test_process_variation_keeps_ledger_closed(self):
+        """PV scaling happens before current accounting, so the noise
+        observatory's board-vs-delivered ledger still closes."""
+        schedule = FaultSchedule(
+            events=(ProcessVariation(sigma=0.1, start_cycle=-10**9),),
+            seed=2,
+            name="pv",
+        )
+        result = run_cosim(
+            "hotspot",
+            CosimConfig(cycles=200, warmup_cycles=50, faults=schedule),
+        )
+        report = result.fault_report
+        assert report["verdict"] in (SURVIVED, SAFE_STATE, VIOLATED)
+        # Powers were genuinely scaled: per-SM mean draw differs.
+        means = result.power_trace.data.mean(axis=0)
+        assert float(np.std(means / means.mean())) > 0.01
+
+
+class TestSystemFaultsInCosim:
+    def test_scheduler_storm_runs_and_counts(self):
+        # 500 recorded cycles reach into the scenario's power-gate
+        # window (recorded cycles 400..800).
+        result = run_cosim(
+            "hotspot",
+            CosimConfig(
+                cycles=550, warmup_cycles=50, seed=SEED,
+                faults=get_scenario("scheduler-storm"),
+            ),
+        )
+        counters = result.fault_report["counters"]
+        assert counters["halted_sm_cycles"] > 0
+        assert (
+            counters["observations_dropped"] > 0
+            or counters["latency_jitter_cycles"] > 0
+        )

@@ -1,0 +1,293 @@
+"""Tests for the hardened sweep runner: timeouts, retries, checkpoints.
+
+Point runners injected via ``point_runner`` live at module level so the
+process-pool path can pickle them; the timeout path forks, so module
+globals set by a test (e.g. scratch directories) are visible in the
+children.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sim.cosim import CosimConfig
+from repro.sim.sweep import (
+    SweepPoint,
+    SweepPointResult,
+    SweepRunner,
+    expand_grid,
+    run_sweep,
+)
+
+FAST = CosimConfig(cycles=40, warmup_cycles=10)
+
+# Scratch state for the flaky runner (set per-test, inherited by fork).
+_FLAKY_DIR = None
+
+
+def _ok_runner(payload):
+    point, _ = payload
+    return SweepPointResult(point=point, ok=True, metrics={"index": point.index})
+
+
+def _hang_on_first_runner(payload):
+    point, _ = payload
+    if point.index == 0:
+        time.sleep(60)
+    return _ok_runner(payload)
+
+
+def _crash_runner(payload):
+    os._exit(3)
+
+
+def _fail_value_error_runner(payload):
+    point, _ = payload
+    raise_marker = point.index % 2 == 0
+    if raise_marker:
+        return SweepPointResult(
+            point=point, ok=False, error="ValueError: bad point",
+            error_type="ValueError",
+        )
+    return _ok_runner(payload)
+
+
+def _flaky_runner(payload):
+    """Crashes hard twice for point 0, then succeeds (state on disk)."""
+    point, _ = payload
+    marker = Path(_FLAKY_DIR) / str(point.index)
+    attempt = int(marker.read_text()) if marker.exists() else 0
+    marker.write_text(str(attempt + 1))
+    if point.index == 0 and attempt < 2:
+        os._exit(3)
+    return _ok_runner(payload)
+
+
+def two_points():
+    return expand_grid(["hotspot"], {"seed": [1, 2]})
+
+
+class TestTimeouts:
+    def test_hanging_point_is_killed_and_structured(self):
+        start = time.monotonic()
+        result = SweepRunner(
+            two_points(), FAST, max_workers=2, point_timeout_s=1.0,
+            point_runner=_hang_on_first_runner,
+        ).run()
+        elapsed = time.monotonic() - start
+        assert elapsed < 30  # nowhere near the 60 s hang
+        hung, fine = result.points
+        assert not hung.ok
+        assert hung.timed_out
+        assert hung.error_type == "TimeoutError"
+        assert "timeout" in hung.error
+        assert fine.ok
+
+    def test_worker_crash_is_structured(self):
+        result = SweepRunner(
+            two_points(), FAST, max_workers=2, point_timeout_s=30.0,
+            point_runner=_crash_runner,
+        ).run()
+        assert result.num_failed == 2
+        assert all(p.error_type == "WorkerCrash" for p in result.points)
+        assert all("exit code" in p.error for p in result.points)
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="point_timeout_s"):
+            SweepRunner(two_points(), FAST, point_timeout_s=0.0)
+
+
+class TestRetries:
+    def test_retryable_crash_is_retried_to_success(self, tmp_path):
+        global _FLAKY_DIR
+        _FLAKY_DIR = str(tmp_path)
+        result = SweepRunner(
+            two_points(), FAST, max_workers=2, point_timeout_s=30.0,
+            max_attempts=3, retry_backoff_s=0.01,
+            point_runner=_flaky_runner,
+        ).run()
+        flaky, stable = result.points
+        assert flaky.ok
+        assert flaky.attempts == 3
+        assert stable.ok
+        assert stable.attempts == 1
+
+    def test_deterministic_failures_are_not_retried(self, tmp_path):
+        global _FLAKY_DIR
+        _FLAKY_DIR = str(tmp_path)
+        result = SweepRunner(
+            two_points(), FAST, max_workers=1, max_attempts=3,
+            retry_backoff_s=0.01, point_runner=_fail_value_error_runner,
+        ).run()
+        failed = [p for p in result.points if not p.ok]
+        assert failed
+        assert all(p.attempts == 1 for p in failed)
+
+    def test_attempts_exhausted_keeps_last_failure(self, tmp_path):
+        result = SweepRunner(
+            two_points(), FAST, max_workers=2, point_timeout_s=30.0,
+            max_attempts=2, retry_backoff_s=0.01, point_runner=_crash_runner,
+        ).run()
+        assert all(not p.ok for p in result.points)
+        assert all(p.attempts == 2 for p in result.points)
+
+
+class TestCheckpointResume:
+    def test_checkpoint_written_and_resume_skips_completed(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        points = two_points()
+        SweepRunner(
+            points, FAST, max_workers=1, checkpoint_path=ckpt,
+            point_runner=_ok_runner,
+        ).run()
+        data = json.loads(ckpt.read_text())
+        assert len(data["completed"]) == len(points)
+        assert data["config_hash"]
+
+        calls = []
+
+        def counting_runner(payload):
+            calls.append(payload[0].index)
+            return _ok_runner(payload)
+
+        resumed = SweepRunner.resume(
+            ckpt, points, FAST, max_workers=1, point_runner=counting_runner
+        )
+        result = resumed.run()
+        assert calls == []  # nothing re-ran
+        assert all(p.ok for p in result.points)
+        assert len(result.points) == len(points)
+
+    def test_resume_reruns_recorded_failures(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        points = two_points()
+        SweepRunner(
+            points, FAST, max_workers=1, checkpoint_path=ckpt,
+            point_runner=_fail_value_error_runner,
+        ).run()
+
+        calls = []
+
+        def counting_runner(payload):
+            calls.append(payload[0].index)
+            return _ok_runner(payload)
+
+        result = SweepRunner.resume(
+            ckpt, points, FAST, max_workers=1, point_runner=counting_runner
+        ).run()
+        # Point 0 failed in the first run (even index) and re-ran.
+        assert calls == [0]
+        assert all(p.ok for p in result.points)
+
+    def test_mid_run_kill_then_resume(self, tmp_path):
+        """The acceptance flow: a sweep dies partway, the checkpoint has
+        the finished prefix, resume completes only the remainder."""
+        ckpt = tmp_path / "ckpt.json"
+        points = expand_grid(["hotspot"], {"seed": [1, 2, 3, 4]})
+
+        class Boom(RuntimeError):
+            pass
+
+        done = []
+
+        def dies_after_two(payload):
+            if len(done) >= 2:
+                raise Boom("simulated crash of the whole driver")
+            done.append(payload[0].index)
+            return _ok_runner(payload)
+
+        runner = SweepRunner(
+            points, FAST, max_workers=1, checkpoint_path=ckpt,
+            point_runner=dies_after_two,
+        )
+        result = runner.run()  # failures are captured, not raised
+        assert result.num_failed == 2
+        assert len(json.loads(ckpt.read_text())["completed"]) == 4
+
+        calls = []
+
+        def counting_runner(payload):
+            calls.append(payload[0].index)
+            return _ok_runner(payload)
+
+        resumed = SweepRunner.resume(
+            ckpt, points, FAST, max_workers=1, point_runner=counting_runner
+        ).run()
+        assert sorted(calls) == [2, 3]  # completed points NOT re-run
+        assert all(p.ok for p in resumed.points)
+
+    def test_resume_rejects_different_config(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        points = two_points()
+        SweepRunner(
+            points, FAST, max_workers=1, checkpoint_path=ckpt,
+            point_runner=_ok_runner,
+        ).run()
+        other = CosimConfig(cycles=80, warmup_cycles=10)
+        with pytest.raises(ValueError, match="different base"):
+            SweepRunner.resume(ckpt, points, other, max_workers=1)
+
+    def test_resume_rejects_different_grid(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        SweepRunner(
+            two_points(), FAST, max_workers=1, checkpoint_path=ckpt,
+            point_runner=_ok_runner,
+        ).run()
+        other_points = expand_grid(["hotspot"], {"seed": [5, 6]})
+        with pytest.raises(ValueError, match="different base|grid"):
+            SweepRunner.resume(ckpt, other_points, FAST, max_workers=1)
+
+
+class TestAtomicResults:
+    def test_write_json_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        result = SweepRunner(
+            two_points(), FAST, max_workers=1, point_runner=_ok_runner
+        ).run()
+        out = tmp_path / "nested" / "results.json"
+        result.write_json(out)
+        data = json.loads(out.read_text())
+        assert data["num_points"] == 2
+        assert data["points"][0]["attempts"] == 1
+        leftovers = [p for p in out.parent.iterdir() if p != out]
+        assert leftovers == []
+
+    def test_point_record_round_trips(self):
+        point = SweepPoint(
+            index=3, benchmark="bfs", overrides=(("seed", 9),), seed=9
+        )
+        original = SweepPointResult(
+            point=point, ok=False, error="boom", error_type="TimeoutError",
+            elapsed_s=1.5, attempts=2, timed_out=True, note="n",
+        )
+        rebuilt = SweepPointResult.from_record(original.to_record())
+        assert rebuilt.point == point
+        assert rebuilt.timed_out
+        assert rebuilt.attempts == 2
+        assert rebuilt.error_type == "TimeoutError"
+        assert rebuilt.note == "n"
+
+
+class TestStructuredNotes:
+    def test_short_run_notes_unavailable_metric(self):
+        result = run_sweep(
+            ["hotspot"], {"seed": [1]}, base_config=FAST, max_workers=1
+        )
+        (point,) = result.points
+        assert point.ok
+        assert point.metrics["cycles_per_kernel"] is None
+        assert "cycles_per_kernel unavailable" in point.note
+
+    def test_long_run_has_no_note(self):
+        # A kernel duration needs two hotspot launches (~6000 cycles).
+        result = run_sweep(
+            ["hotspot"], {"seed": [1]},
+            base_config=CosimConfig(cycles=6000, warmup_cycles=100),
+            max_workers=1,
+        )
+        (point,) = result.points
+        assert point.ok
+        assert point.note is None
+        assert point.metrics["cycles_per_kernel"] is not None

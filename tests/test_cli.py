@@ -63,6 +63,33 @@ class TestParser:
         assert args.thresholds == "t.json"
         assert callable(args.func)
 
+    def test_faults_options(self):
+        args = build_parser().parse_args(
+            ["faults", "guardband-breaker", "--no-degradation",
+             "--expect", "violated", "--cycles", "300"]
+        )
+        assert args.scenario == "guardband-breaker"
+        assert args.no_degradation
+        assert args.expect == "violated"
+        assert args.cycles == 300
+        assert callable(args.func)
+
+    def test_faults_list_flag(self):
+        args = build_parser().parse_args(["faults", "--list"])
+        assert args.list
+        assert args.scenario == ""
+
+    def test_sweep_hardening_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--timeout", "30", "--retries", "2",
+             "--backoff", "0.1", "--checkpoint", "ck.json", "--resume"]
+        )
+        assert args.timeout == 30.0
+        assert args.retries == 2
+        assert args.backoff == 0.1
+        assert args.checkpoint == "ck.json"
+        assert args.resume
+
 
 class TestCommands:
     def test_benchmarks_lists_names(self, capsys):
@@ -261,3 +288,99 @@ class TestObservatoryCommands:
         assert main(["compare", str(base), str(cand),
                      "--thresholds", str(bad)]) == 2
         assert capsys.readouterr().err != ""
+
+
+class TestFaultCommands:
+    def test_list_prints_canned_scenarios(self, capsys):
+        assert main(["faults", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "guardband-breaker" in out
+        assert "sensor-storm" in out
+
+    def test_missing_scenario_errors(self, capsys):
+        assert main(["faults"]) == 2
+        assert "scenario" in capsys.readouterr().err
+
+    def test_unknown_scenario_errors(self, capsys):
+        assert main(["faults", "__nope__"]) == 2
+        assert "__nope__" in capsys.readouterr().err
+
+    def test_short_scenario_run_prints_verdict(self, capsys):
+        assert main(["faults", "sensor-storm", "--cycles", "150",
+                     "--warmup", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:" in out
+        assert "min voltage" in out
+
+    def test_expect_mismatch_fails(self, capsys):
+        # With degradation on, the breaker scenario does NOT end violated.
+        assert main(["faults", "guardband-breaker", "--cycles", "600",
+                     "--warmup", "100", "--seed", "3",
+                     "--expect", "violated"]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_no_degradation_violates_breaker(self, capsys):
+        assert main(["faults", "guardband-breaker", "--cycles", "600",
+                     "--warmup", "100", "--seed", "3", "--no-degradation",
+                     "--expect", "violated"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: violated" in out
+
+    def test_json_scenario_file(self, capsys, tmp_path):
+        from repro.faults import get_scenario
+
+        path = tmp_path / "scenario.json"
+        get_scenario("sensor-storm").to_json(path)
+        assert main(["faults", str(path), "--cycles", "150",
+                     "--warmup", "30"]) == 0
+        assert "verdict:" in capsys.readouterr().out
+
+    def test_bad_json_scenario_file_errors(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({"events": [{"kind": "__nope__"}]}))
+        assert main(["faults", str(path)]) == 2
+        assert capsys.readouterr().err != ""
+
+    def test_faults_telemetry_writes_faults_manifest(self, capsys, tmp_path):
+        tele_dir = tmp_path / "tele"
+        assert main(["faults", "sensor-storm", "--cycles", "150",
+                     "--warmup", "30", "--telemetry", str(tele_dir)]) == 0
+        manifest = json.loads((tele_dir / "manifest.json").read_text())
+        assert manifest["faults"]["schedule"] == "sensor-storm"
+        assert "verdict" in manifest["faults"]
+        capsys.readouterr()
+        assert main(["trace", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "faults: schedule 'sensor-storm'" in out
+
+
+class TestSweepHardeningCommands:
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        base_args = ["sweep", "--benchmarks", "hotspot",
+                     "--areas", "105.8", "--cycles", "60", "--warmup", "10",
+                     "--workers", "1", "--output", "",
+                     "--checkpoint", str(ckpt)]
+        assert main(base_args) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        assert main(base_args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming: 1/1 points already complete" in out
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["sweep", "--resume", "--workers", "1",
+                     "--output", ""]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_trace_surfaces_point_notes(self, capsys, tmp_path):
+        tele_dir = tmp_path / "tele"
+        assert main(["sweep", "--benchmarks", "hotspot",
+                     "--areas", "105.8", "--cycles", "60", "--warmup", "10",
+                     "--workers", "1", "--output", "",
+                     "--telemetry", str(tele_dir)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "point #0 hotspot" in out
+        assert "cycles_per_kernel unavailable" in out
