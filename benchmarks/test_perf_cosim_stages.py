@@ -27,6 +27,14 @@ MAX_OVERHEAD = 0.25
 # The split must account for the run: residual stages (setup /
 # loop_other / finalize) close the books to within this tolerance.
 STAGE_SUM_TOLERANCE = 0.10
+# With the vectorized GPU engine the architecture layer must no longer
+# dominate the co-simulation: the transient solve is the rightful
+# hotspot.
+MAX_GPU_MODEL_SHARE = 0.40
+# Best-of-N repeats for each timed leg: scheduler noise on shared CI
+# cores would otherwise let a single slow plain run report a negative
+# telemetry overhead.
+TIMING_ROUNDS = 3
 
 
 def _run(telemetry=None):
@@ -38,12 +46,21 @@ def _run(telemetry=None):
 
 def test_cosim_stage_split():
     _run()  # warm caches / allocator
-    plain_s = _run()
-    tele = Telemetry(run_id="perf-stages")
-    traced_s = _run(telemetry=tele)
+    plain_s = min(_run() for _ in range(TIMING_ROUNDS))
+    traced_s = float("inf")
+    tele = None
+    for _ in range(TIMING_ROUNDS):
+        candidate = Telemetry(run_id="perf-stages")
+        elapsed = _run(telemetry=candidate)
+        if elapsed < traced_s:
+            traced_s = elapsed
+            tele = candidate
     wall = tele.elapsed_s
     stage_sum = sum(tele.timings.values())
-    overhead = traced_s / plain_s - 1.0
+    # Both legs are best-of-N minima of the same work, so the ratio is a
+    # noise-resistant overhead estimate; clamp at zero because the true
+    # overhead cannot be negative (any residual below zero is jitter).
+    overhead = max(0.0, traced_s / plain_s - 1.0)
 
     rows = [
         [stage, format_seconds(seconds), f"{seconds / wall:.1%}"]
@@ -88,3 +105,4 @@ def test_cosim_stage_split():
     for stage in ("gpu_model", "transient_solve", "controller"):
         assert tele.timings[stage] > 0.0
     assert overhead <= MAX_OVERHEAD
+    assert tele.timings["gpu_model"] / wall <= MAX_GPU_MODEL_SHARE

@@ -79,6 +79,12 @@ DEFAULT_THRESHOLDS: Dict[str, Threshold] = {
     "faults.guardband_violation_cycles": Threshold(LOWER, abs_tol=2.0),
     "faults.watchdog_engagements": Threshold(LOWER, abs_tol=0.0),
     "faults.nan_samples_seen": Threshold(STABLE, rel_tol=0.10),
+    # Stage-timing gate (manifest ``timings_s``, prefixed ``timing.``):
+    # the GPU model must stay off the critical path now that the
+    # vectorized engine carries it.  The absolute floor absorbs shared
+    # CI-core noise; a slide back toward the per-object reference
+    # (which is ~20x this budget on the baseline scenario) still trips.
+    "timing.gpu_model": Threshold(LOWER, abs_tol=0.15, rel_tol=1.0),
 }
 
 # Row outcomes.
@@ -132,13 +138,17 @@ def metric_values(manifest: Mapping[str, object]) -> Dict[str, float]:
     """Flatten a manifest's comparable numbers.
 
     Headline metrics keep their names; the observatory's flat summary
-    KPIs are prefixed ``noise.`` and the fault report's ``faults.``.
+    KPIs are prefixed ``noise.``, the fault report's ``faults.``, and
+    the per-stage wall-clock split (``timings_s``) ``timing.``.
     Non-numeric metrics (benchmark name, ...) are skipped.
     """
     out: Dict[str, float] = {}
     for name, value in dict(manifest.get("metrics") or {}).items():
         if isinstance(value, numbers.Real) and not isinstance(value, bool):
             out[name] = float(value)
+    for name, value in dict(manifest.get("timings_s") or {}).items():
+        if isinstance(value, numbers.Real) and not isinstance(value, bool):
+            out[f"timing.{name}"] = float(value)
     for section, prefix in (("noise", "noise."), ("faults", "faults.")):
         block = manifest.get(section) or {}
         summary = (

@@ -255,6 +255,19 @@ class VoltageSmoothingController:
             VoltageDetector(config.detector, filter_initial_v=stack.sm_voltage)
             for _ in range(stack.num_sms)
         ]
+        # Vectorized sensor front-end: one array holds every SM's RC
+        # filter state; observe() advances them all with three ufunc
+        # calls instead of num_sms Python method calls.  The per-object
+        # detectors above remain the spec source and the documented
+        # front-end model; their scalar ``sample`` is what the array
+        # update replicates operation-for-operation.
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        filt = self.detectors[0].filter
+        tau = filt.r_ohm * filt.c_farad
+        self._filter_alpha = dt_s / (tau + dt_s)
+        self._filter_state = np.full(stack.num_sms, stack.sm_voltage)
+        self._resolution_v = config.detector.resolution_v
         # (apply_at_cycle, decision) queue modelling the loop latency.
         self._pipeline: Deque[Tuple[int, ControlDecision]] = deque()
         self._last_decision_cycle = -config.control_period_cycles
@@ -330,33 +343,33 @@ class VoltageSmoothingController:
             )
         cfg = self.config
         finite = np.isfinite(sm_voltages)
+        # RC filter + quantization for all SMs at once.  The elementwise
+        # float64 ops match RCLowPassFilter.step / VoltageDetector.sample
+        # exactly (np.rint is round-half-even, like Python's round), so
+        # decisions are bit-identical to the per-object path.  Non-finite
+        # samples never enter the filter state.
+        state = self._filter_state
+        alpha = self._filter_alpha
+        step = self._resolution_v
         if finite.all():
-            measured = np.array(
-                [
-                    detector.sample(v, self.dt_s)
-                    for detector, v in zip(self.detectors, sm_voltages)
-                ]
-            )
+            state += alpha * (sm_voltages - state)
+            measured = np.rint(state / step) * step
             self._last_good[:] = measured
             if self._fallback_active.any():
                 self._fallback_active[:] = False
         else:
-            measured = np.empty(self.stack.num_sms)
-            for sm, (detector, v, ok) in enumerate(
-                zip(self.detectors, sm_voltages, finite)
-            ):
-                if ok:
-                    measured[sm] = detector.sample(v, self.dt_s)
-                    self._last_good[sm] = measured[sm]
-                    self._fallback_active[sm] = False
-                else:
-                    self.nan_samples_seen += 1
-                    if cfg.sensor_fallback_enabled:
-                        measured[sm] = self._last_good[sm]
-                        self._fallback_active[sm] = True
-                        self.sensor_fallback_samples += 1
-                    else:
-                        measured[sm] = np.nan
+            bad = ~finite
+            self.nan_samples_seen += int(bad.sum())
+            np.copyto(state, state + alpha * (sm_voltages - state), where=finite)
+            measured = np.rint(state / step) * step
+            np.copyto(self._last_good, measured, where=finite)
+            self._fallback_active[finite] = False
+            if cfg.sensor_fallback_enabled:
+                np.copyto(measured, self._last_good, where=bad)
+                self._fallback_active[bad] = True
+                self.sensor_fallback_samples += int(bad.sum())
+            else:
+                measured[bad] = np.nan
         if cycle - self._last_decision_cycle < self.config.control_period_cycles:
             return
         self._last_decision_cycle = cycle

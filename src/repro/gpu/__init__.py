@@ -15,6 +15,11 @@ scheme interacts with:
   execution-unit power gating for the collaborative power-management
   studies;
 * a GPUWattch-style event power model emitting per-SM power every cycle.
+
+Two engines implement the model: the per-object reference
+(``StreamingMultiprocessor``) and the default vectorized
+struct-of-arrays engine (``VectorizedGPUEngine``), bit-identical to it
+— see ``docs/performance.md``.
 """
 
 from repro.gpu.isa import InstructionClass, Instruction, UNIT_FOR_CLASS
@@ -24,10 +29,12 @@ from repro.gpu.scheduler import GTOScheduler, GatingAwareScheduler
 from repro.gpu.memory import MemorySystem
 from repro.gpu.power import SMPowerModel
 from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.engine import VectorizedGPUEngine
 from repro.gpu.gpu import GPU
 
 __all__ = [
     "GPU",
+    "VectorizedGPUEngine",
     "GTOScheduler",
     "GatingAwareScheduler",
     "Instruction",

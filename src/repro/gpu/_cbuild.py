@@ -1,0 +1,159 @@
+"""Compile-on-demand loader for the C step kernel (``_enginec.c``).
+
+No new dependencies: the kernel is plain C with no Python headers, so a
+stock system compiler (``cc``/``gcc``/``clang``) produces the shared
+object and stdlib :mod:`ctypes` drives it.  Build artifacts are cached
+next to this file under ``_cbuild_cache/`` keyed by a hash of the C
+source, so the compiler runs once per source revision; concurrent
+builders (e.g. parallel sweep workers) race benignly through an atomic
+rename.
+
+When no compiler is available or the build fails, :func:`load_engine_lib`
+returns ``None`` and the engine falls back to its pure-NumPy step path —
+same results (both are bit-identical to the per-object reference), just
+slower.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_C_SOURCE = Path(__file__).with_name("_enginec.c")
+_CACHE_DIR = Path(__file__).with_name("_cbuild_cache")
+
+# IEEE-strict flags: no FMA contraction, no fast-math — double
+# arithmetic must match CPython's operation for operation.
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
+
+_PTR = ctypes.c_void_p
+_I64 = ctypes.c_longlong
+_F64 = ctypes.c_double
+
+
+class CEngineState(ctypes.Structure):
+    """Mirror of ``EngineState`` in ``_enginec.c`` (field order matters)."""
+
+    _fields_ = [
+        ("num_sms", _I64),
+        ("num_warps", _I64),
+        ("body", _I64),
+        ("heap_cap", _I64),
+        ("max_pc", _I64),
+        ("dram_cycles", _I64),
+        ("l2_cycles", _I64),
+        ("clock_hz", _F64),
+        ("idle_energy", _F64),
+        ("fake_energy", _F64),
+        ("slot_width", _F64),
+        ("issue_width", _PTR),
+        ("fake_rate", _PTR),
+        ("freq_scale", _PTR),
+        ("gated", _PTR),
+        ("waking", _PTR),
+        ("unit_idle", _PTR),
+        ("leakage", _PTR),
+        ("window_start", _PTR),
+        ("budget", _PTR),
+        ("fake_acc", _PTR),
+        ("clock_acc", _PTR),
+        ("wheel", _PTR),
+        ("wheel_pos", _PTR),
+        ("st_cycles", _PTR),
+        ("st_active", _PTR),
+        ("st_inst", _PTR),
+        ("st_fake", _PTR),
+        ("st_stall", _PTR),
+        ("pc", _PTR),
+        ("length", _PTR),
+        ("outstanding", _PTR),
+        ("warp_done", _PTR),
+        ("ready_at", _PTR),
+        ("last_warp", _PTR),
+        ("heap", _PTR),
+        ("heap_len", _PTR),
+        ("mem_slot", _PTR),
+        ("mem_counters", _PTR),
+        ("totals", _PTR),
+        ("s_unit", _PTR),
+        ("s_latency", _PTR),
+        ("s_dest", _PTR),
+        ("s_is_load", _PTR),
+        ("s_span", _PTR),
+        ("s_share", _PTR),
+        ("s_dest_col", _PTR),
+        ("s_src1_col", _PTR),
+        ("s_src2_col", _PTR),
+        ("miss_table", _PTR),
+        ("powers", _PTR),
+    ]
+
+
+_LIB_CACHE: dict = {}
+_LOAD_FAILED = object()
+
+
+def _find_compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build(so_path: Path) -> bool:
+    compiler = _find_compiler()
+    if compiler is None:
+        return False
+    so_path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        suffix=".so", prefix="_enginec_", dir=str(so_path.parent)
+    )
+    os.close(fd)
+    try:
+        result = subprocess.run(
+            [compiler, *_CFLAGS, "-o", tmp, str(_C_SOURCE), "-lm"],
+            capture_output=True,
+            timeout=120,
+        )
+        if result.returncode != 0:
+            return False
+        os.replace(tmp, so_path)  # atomic: concurrent builders race safely
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def load_engine_lib() -> Optional[ctypes.CDLL]:
+    """The compiled step kernel, or ``None`` when unavailable."""
+    cached = _LIB_CACHE.get("lib")
+    if cached is _LOAD_FAILED:
+        return None
+    if cached is not None:
+        return cached
+    try:
+        digest = hashlib.sha256(_C_SOURCE.read_bytes()).hexdigest()[:16]
+        so_path = _CACHE_DIR / f"_enginec_{digest}.so"
+        if not so_path.exists() and not _build(so_path):
+            _LIB_CACHE["lib"] = _LOAD_FAILED
+            return None
+        lib = ctypes.CDLL(str(so_path))
+        lib.engine_step.argtypes = [ctypes.POINTER(CEngineState), _I64]
+        lib.engine_step.restype = _I64
+    except (OSError, AttributeError):
+        _LIB_CACHE["lib"] = _LOAD_FAILED
+        return None
+    _LIB_CACHE["lib"] = lib
+    return lib

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.config import GPUConfig, PowerConfig, StackConfig, SystemConfig
+from repro.gpu.engine import SMView, VectorizedGPUEngine
 from repro.gpu.kernels import KernelSpec
 from repro.gpu.memory import MemorySystem
 from repro.gpu.power import SMPowerModel
@@ -23,7 +24,23 @@ from repro.gpu.sm import StreamingMultiprocessor
 
 
 class GPU:
-    """A Fermi-class GPU: 16 SMs, shared memory system, per-cycle power."""
+    """A Fermi-class GPU: 16 SMs, shared memory system, per-cycle power.
+
+    Two interchangeable, bit-identical execution engines back the model:
+
+    * ``vectorized=True`` (default): the struct-of-arrays engine in
+      :mod:`repro.gpu.engine`, stepping all SMs per cycle as NumPy
+      array operations.  ``self.sms`` holds per-SM views that expose
+      the same statistics/actuation surface as the object model.
+    * ``vectorized=False``: the retained per-object reference —
+      :class:`StreamingMultiprocessor` instances stepped in a Python
+      loop.  The equivalence suite (``tests/gpu/test_engine_equivalence``)
+      holds the two bit-identical per cycle.
+
+    The Warped-Gates study's gating-aware scheduler needs the
+    per-object scheduler coupling, so ``gating_aware_scheduler=True``
+    always uses the reference engine.
+    """
 
     def __init__(
         self,
@@ -33,33 +50,52 @@ class GPU:
         miss_ratio: float = 0.3,
         jitter: float = 0.0,
         gating_aware_scheduler: bool = False,
+        vectorized: bool = True,
     ) -> None:
         self.config = config
         self.kernel = kernel
         self.memory = MemorySystem(miss_ratio=miss_ratio, seed=seed)
         power_model = SMPowerModel(config.gpu, config.power)
-        self.sms: List[StreamingMultiprocessor] = []
-        for sm_id in range(config.gpu.num_sms):
-            scheduler = (
-                GatingAwareScheduler() if gating_aware_scheduler else GTOScheduler()
+        self.vectorized = bool(vectorized) and not gating_aware_scheduler
+        if self.vectorized:
+            self.engine: Optional[VectorizedGPUEngine] = VectorizedGPUEngine(
+                kernel,
+                config.gpu.num_sms,
+                self.memory,
+                power_model,
+                seed=seed,
+                jitter=jitter,
             )
-            # SPMD: every SM runs the same instruction streams (same
-            # stream seed); only the jitter seed differs per SM.  SMs do
-            # not self-rearm — the GPU launches kernels at global
-            # barriers (below) so phase drift stays bounded.
-            self.sms.append(
-                StreamingMultiprocessor(
-                    sm_id,
-                    kernel,
-                    self.memory,
-                    power_model=power_model,
-                    seed=seed,
-                    jitter=jitter,
-                    scheduler=scheduler,
-                    jitter_seed=seed * 65_537 + sm_id + 1,
-                    rearm=False,
+            self.sms = [
+                SMView(self.engine, sm_id)
+                for sm_id in range(config.gpu.num_sms)
+            ]
+        else:
+            self.engine = None
+            self.sms: List[StreamingMultiprocessor] = []
+            for sm_id in range(config.gpu.num_sms):
+                scheduler = (
+                    GatingAwareScheduler()
+                    if gating_aware_scheduler
+                    else GTOScheduler()
                 )
-            )
+                # SPMD: every SM runs the same instruction streams (same
+                # stream seed); only the jitter seed differs per SM.  SMs
+                # do not self-rearm — the GPU launches kernels at global
+                # barriers (below) so phase drift stays bounded.
+                self.sms.append(
+                    StreamingMultiprocessor(
+                        sm_id,
+                        kernel,
+                        self.memory,
+                        power_model=power_model,
+                        seed=seed,
+                        jitter=jitter,
+                        scheduler=scheduler,
+                        jitter_seed=seed * 65_537 + sm_id + 1,
+                        rearm=False,
+                    )
+                )
         self.cycle = 0
         self.kernels_launched = 1
         self.kernel_launch_cycles = [0]
@@ -67,6 +103,7 @@ class GPU:
         # SMs listed here do not block the kernel-launch barrier (used
         # to model halted/powered-off SMs in worst-case experiments).
         self.barrier_exempt: set = set()
+        self._exempt_mask = np.zeros(config.gpu.num_sms, dtype=bool)
 
     @property
     def num_sms(self) -> int:
@@ -81,6 +118,19 @@ class GPU:
         early idle at base power until the barrier (the tail imbalance
         the per-SM jitter models).
         """
+        if self.vectorized:
+            mask = self._exempt_mask
+            mask[:] = False
+            exempt_any = bool(self.barrier_exempt)
+            if exempt_any:
+                mask[list(self.barrier_exempt)] = True
+            powers, launched = self.engine.step(self.cycle, mask, exempt_any)
+            if launched:
+                self._generation = self.engine.generation
+                self.kernels_launched += 1
+                self.kernel_launch_cycles.append(self.cycle)
+            self.cycle += 1
+            return powers
         if all(
             sm.kernel_done or sm.sm_id in self.barrier_exempt
             for sm in self.sms
@@ -109,14 +159,23 @@ class GPU:
     # Actuation fan-out (used by the controller and the hypervisor)
     # ------------------------------------------------------------------
     def set_issue_widths(self, widths: Sequence[float]) -> None:
+        if self.vectorized:
+            self.engine.set_issue_widths(widths)
+            return
         for sm, width in zip(self.sms, widths):
             sm.set_issue_width(width)
 
     def set_fake_rates(self, rates: Sequence[float]) -> None:
+        if self.vectorized:
+            self.engine.set_fake_rates(rates)
+            return
         for sm, rate in zip(self.sms, rates):
             sm.set_fake_rate(rate)
 
     def set_frequency_scales(self, scales: Sequence[float]) -> None:
+        if self.vectorized:
+            self.engine.set_frequency_scales(scales)
+            return
         for sm, scale in zip(self.sms, scales):
             sm.set_frequency_scale(scale)
 
@@ -124,12 +183,18 @@ class GPU:
     # Statistics
     # ------------------------------------------------------------------
     def issue_rates(self) -> np.ndarray:
+        if self.vectorized:
+            return self.engine.issue_rates()
         return np.array([sm.stats.issue_rate for sm in self.sms])
 
     def total_instructions(self) -> int:
+        if self.vectorized:
+            return self.engine.total_instructions
         return sum(sm.stats.instructions_issued for sm in self.sms)
 
     def total_fake_instructions(self) -> int:
+        if self.vectorized:
+            return self.engine.total_fakes
         return sum(sm.stats.fake_instructions for sm in self.sms)
 
     def layer_powers(self, per_sm_power: np.ndarray) -> np.ndarray:

@@ -19,7 +19,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.gpu.isa import Instruction, InstructionClass
+from repro.gpu.isa import (
+    ENERGY,
+    LATENCY,
+    UNIT_FOR_CLASS,
+    ExecUnit,
+    Instruction,
+    InstructionClass,
+)
 from repro.gpu.warp import Warp
 
 # Register file window each warp cycles through; small enough to create
@@ -70,13 +77,14 @@ class KernelSpec:
             raise ValueError(f"body_length must be positive")
 
 
-def _sample_stream(
-    spec: KernelSpec, rng: np.random.Generator, length: int
-) -> List[Instruction]:
-    """Draw one instruction stream from the spec's statistics.
+def _draw_stream_fields(spec: KernelSpec, rng: np.random.Generator, length: int):
+    """The random draws behind one instruction stream, vectorized.
 
-    All random draws are vectorized — streams run to thousands of
-    instructions and this is the hot path of GPU construction.
+    Shared by the per-object stream builder (:func:`_sample_stream`) and
+    the struct-of-arrays builder (:func:`stream_arrays`) so both consume
+    the generator identically — the draws, not the container, define the
+    workload.  Returns ``(classes, op_indices, use_chain, random_src1,
+    add_src2, random_src2)``.
     """
     classes = list(spec.mix.keys())
     weights = np.array([spec.mix[c] for c in classes], dtype=float)
@@ -110,6 +118,20 @@ def _sample_stream(
     random_src1 = rng.integers(0, _NUM_REGS, size=length)
     add_src2 = rng.random(length) < 0.5
     random_src2 = rng.integers(0, _NUM_REGS, size=length)
+    return classes, op_indices, use_chain, random_src1, add_src2, random_src2
+
+
+def _sample_stream(
+    spec: KernelSpec, rng: np.random.Generator, length: int
+) -> List[Instruction]:
+    """Draw one instruction stream from the spec's statistics.
+
+    All random draws are vectorized — streams run to thousands of
+    instructions and this is the hot path of GPU construction.
+    """
+    classes, op_indices, use_chain, random_src1, add_src2, random_src2 = (
+        _draw_stream_fields(spec, rng, length)
+    )
 
     stream: List[Instruction] = []
     last_dest = -1
@@ -203,3 +225,169 @@ def build_warps(
             stream = list(stream)
         warps.append(Warp(warp_id, stream))
     return warps
+
+
+# --------------------------------------------------------------------------
+# Struct-of-arrays stream representation (vectorized GPU engine)
+# --------------------------------------------------------------------------
+
+#: Fixed execution-unit ordering used by all ``(…, 3)`` engine arrays.
+UNIT_ORDER = (ExecUnit.ALU, ExecUnit.SFU, ExecUnit.LSU)
+_UNIT_INDEX = {unit: idx for idx, unit in enumerate(UNIT_ORDER)}
+
+# Energy-smear bounds mirrored from the SM model (kept in sync with
+# repro.gpu.sm; the arrays bake span/share in so the engine's hot loop
+# never touches per-instruction Python objects).
+_SMEAR_LIMIT = 6
+
+
+@dataclass(frozen=True)
+class StreamArrays:
+    """One SM's base instruction streams as ``(num_warps, body)`` arrays.
+
+    Column layout per (warp, position):
+
+    - ``unit``: execution-unit index into :data:`UNIT_ORDER`
+    - ``latency`` / ``energy``: pipeline latency and dynamic energy
+    - ``span`` / ``share``: energy-smear window and per-slot share
+      (``span = clip(latency, 1, 6)``, ``share = energy / span``)
+    - ``is_load``: LOAD-class lanes (resolved by the memory system)
+    - ``dest_col``: scoreboard column of the written register
+      (register id, or the dummy column 16 for dest-less instructions)
+    - ``src1_col`` / ``src2_col``: scoreboard columns of the read
+      registers (column 16 when the second source is absent)
+
+    The dummy column lets readiness be computed as one fancy-indexed
+    ``max`` over a ``(…, 17)`` ready-at table with no masking.
+    """
+
+    num_warps: int
+    body_length: int
+    unit: np.ndarray
+    latency: np.ndarray
+    energy: np.ndarray
+    span: np.ndarray
+    share: np.ndarray
+    is_load: np.ndarray
+    dest: np.ndarray  # register id, -1 for none (STORE/BRANCH)
+    dest_col: np.ndarray
+    src1_col: np.ndarray
+    src2_col: np.ndarray
+
+
+def _stream_fields_to_arrays(
+    spec: KernelSpec, rng: np.random.Generator, length: int
+) -> dict:
+    """One warp's stream directly as column arrays.
+
+    Consumes the generator exactly like :func:`_sample_stream` (both call
+    :func:`_draw_stream_fields`); the sequential dest/chain recurrence is
+    replaced by a running-maximum over writer positions.
+    """
+    classes, op_indices, use_chain, random_src1, add_src2, random_src2 = (
+        _draw_stream_fields(spec, rng, length)
+    )
+    lat_lut = np.array([LATENCY[c] for c in classes], dtype=np.int64)
+    energy_lut = np.array([ENERGY[c] for c in classes], dtype=float)
+    unit_lut = np.array(
+        [_UNIT_INDEX[UNIT_FOR_CLASS[c]] for c in classes], dtype=np.int64
+    )
+    has_dest_lut = np.array(
+        [
+            c is not InstructionClass.STORE and c is not InstructionClass.BRANCH
+            for c in classes
+        ],
+        dtype=bool,
+    )
+    is_load_lut = np.array(
+        [c is InstructionClass.LOAD for c in classes], dtype=bool
+    )
+
+    positions = np.arange(length, dtype=np.int64)
+    has_dest = has_dest_lut[op_indices]
+    dest = np.where(has_dest, positions % _NUM_REGS, -1)
+
+    # src1 chains to the most recent written register strictly before the
+    # current position (the reference's running ``last_dest``).
+    writer_pos = np.where(has_dest, positions, -1)
+    last_writer = np.empty(length, dtype=np.int64)
+    if length:
+        last_writer[0] = -1
+        np.maximum.accumulate(writer_pos[:-1], out=last_writer[1:])
+    src1 = np.where(
+        use_chain & (last_writer >= 0), last_writer % _NUM_REGS, random_src1
+    )
+
+    latency = lat_lut[op_indices]
+    energy = energy_lut[op_indices]
+    span = np.clip(latency, 1, _SMEAR_LIMIT)
+    return {
+        "unit": unit_lut[op_indices],
+        "latency": latency,
+        "energy": energy,
+        "span": span,
+        "share": energy / span,
+        "is_load": is_load_lut[op_indices],
+        "dest": dest,
+        "dest_col": np.where(has_dest, dest, _NUM_REGS),
+        "src1_col": src1.astype(np.int64),
+        "src2_col": np.where(add_src2, random_src2, _NUM_REGS).astype(np.int64),
+    }
+
+
+_ARRAY_CACHE: dict = {}
+
+
+def stream_arrays(spec: KernelSpec, seed: int, count: int) -> StreamArrays:
+    """The kernel's base streams for one SM in struct-of-arrays form.
+
+    Same cache discipline as :func:`_base_streams` (all SMs share the
+    (spec, seed) streams under SPMD), and drawn from an identically
+    consumed generator, so the arrays describe exactly the instructions
+    :func:`build_warps` would materialize as objects.
+    """
+    key = _spec_cache_key(spec, seed, count)
+    cached = _ARRAY_CACHE.get(key)
+    if cached is None:
+        rng = np.random.default_rng(seed)
+        columns = [
+            _stream_fields_to_arrays(spec, rng, spec.body_length)
+            for _ in range(count)
+        ]
+        cached = StreamArrays(
+            num_warps=count,
+            body_length=spec.body_length,
+            **{
+                name: np.stack([c[name] for c in columns])
+                for name in columns[0]
+            },
+        )
+        if len(_ARRAY_CACHE) >= _STREAM_CACHE_LIMIT:
+            _ARRAY_CACHE.clear()
+        _ARRAY_CACHE[key] = cached
+    return cached
+
+
+def jittered_lengths(
+    spec: KernelSpec,
+    count: int,
+    jitter: float,
+    jitter_seed: Optional[int],
+    seed: int,
+) -> np.ndarray:
+    """Per-warp stream lengths exactly as :func:`build_warps` assigns them.
+
+    Replays the same jitter-generator consumption (one scalar draw per
+    warp, only when ``jitter > 0``); lengths beyond ``body_length`` mean
+    the stream wraps around to its own head.
+    """
+    if jitter < 0 or jitter >= 1:
+        raise ValueError(f"jitter must be in [0,1), got {jitter}")
+    if jitter == 0:
+        return np.full(count, spec.body_length, dtype=np.int64)
+    jitter_rng = np.random.default_rng(seed if jitter_seed is None else jitter_seed)
+    lengths = np.empty(count, dtype=np.int64)
+    for warp_id in range(count):
+        scale = 1.0 + jitter * float(jitter_rng.uniform(-1.0, 1.0))
+        lengths[warp_id] = max(1, int(round(spec.body_length * scale)))
+    return lengths

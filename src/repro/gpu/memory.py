@@ -81,6 +81,55 @@ class MemorySystem:
         self.requests_served += 1
         return int(cycle + queue_delay + latency)
 
+    def service_batch(self, cycle: int, latencies: np.ndarray, miss_count: int) -> np.ndarray:
+        """Serve one cycle's loads in arrival order; return completion cycles.
+
+        Batched form of :meth:`request` for the vectorized engine: the
+        caller resolves hit/miss per request (via :meth:`site_miss_table`)
+        and passes the service ``latencies`` in the exact order the
+        reference model would have called :meth:`request`.  The bandwidth
+        recurrence ``start = max(cycle, slot); slot = start + width`` is
+        a running sum once the first start is pinned, so a cumulative sum
+        reproduces it add-for-add (bit-identical floats).
+        """
+        n = len(latencies)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        slot_width = 1.0 / self.timings.requests_per_cycle
+        increments = np.full(n, slot_width)
+        increments[0] = max(float(cycle), self._next_service_slot)
+        starts = np.cumsum(increments)
+        self._next_service_slot = float(starts[-1]) + slot_width
+        queue_delay = starts - float(cycle)
+        completions = ((cycle + queue_delay) + latencies).astype(np.int64)
+        self.requests_served += n
+        self.misses += int(miss_count)
+        return completions
+
+    def site_miss_table(
+        self, num_warps: int, max_pc: int, generation: int
+    ) -> np.ndarray:
+        """Hit/miss for every ``(warp_id, pc, generation)`` access site.
+
+        Precomputes :meth:`_site_hash` over the full (warp, pc) grid of
+        one kernel generation — the site key is SM-independent under
+        SPMD, so one table serves all SMs.  Entry ``[warp_id, pc]`` is
+        True when a load issued from that site misses to DRAM.
+        """
+        mask = (1 << 32) - 1
+        c1, c2 = 0x7F4A7C15, 0x85EBCA6B
+        table = np.empty((num_warps, max_pc), dtype=bool)
+        pcs = np.arange(max_pc, dtype=np.uint64)
+        for warp_id in range(num_warps):
+            # First mixing step in Python ints: the seed product is taken
+            # unreduced in the reference, so it may exceed 64 bits.
+            h1 = ((self._seed * 0x9E3779B1) ^ (warp_id + c1)) * c2 & mask
+            h2 = ((np.uint64(h1) ^ (pcs + np.uint64(c1))) * np.uint64(c2)) & np.uint64(mask)
+            h3 = ((h2 ^ np.uint64((int(generation) + c1) & ((1 << 64) - 1))) * np.uint64(c2)) & np.uint64(mask)
+            draws = h3.astype(float) / float(1 << 32)
+            table[warp_id] = draws < self.miss_ratio
+        return table
+
     def _site_hash(self, key: tuple) -> float:
         """Stable uniform draw in [0, 1) from an access-site key."""
         h = self._seed * 0x9E3779B1

@@ -87,6 +87,10 @@ class CosimConfig:
     # observe / commands_for / throttled_cycles) — used by the
     # prior-art ablation (e.g. GlobalThrottleController).
     controller_object: Optional[object] = field(default=None, compare=False)
+    # GPU engine selection: the vectorized struct-of-arrays engine is
+    # bit-identical to the per-object reference (repro.gpu.engine), so
+    # this only matters when deliberately exercising the reference.
+    vectorized_gpu: bool = True
 
     def __post_init__(self) -> None:
         if self.cycles <= 0:
@@ -237,10 +241,14 @@ def run_cosim(
         gpu = GPU(
             spec.kernel, config=system, seed=config.seed,
             miss_ratio=spec.miss_ratio, jitter=spec.jitter,
+            vectorized=config.vectorized_gpu,
         )
         name = spec.name
     else:
-        gpu = GPU(kernel, config=system, seed=config.seed)
+        gpu = GPU(
+            kernel, config=system, seed=config.seed,
+            vectorized=config.vectorized_gpu,
+        )
         name = kernel.name
 
     pdn = build_stacked_pdn(

@@ -54,6 +54,14 @@ class TestMetricValues:
         assert values["faults.verdict_code"] == 1
         assert values["faults.min_voltage_v"] == 0.82
 
+    def test_flattens_stage_timings(self):
+        doc = manifest(metrics={"pde": 0.9})
+        doc["timings_s"] = {"gpu_model": 0.02, "transient_solve": 0.05}
+        values = metric_values(doc)
+        assert values["timing.gpu_model"] == 0.02
+        assert values["timing.transient_solve"] == 0.05
+        assert "timing.gpu_model" in DEFAULT_THRESHOLDS
+
 
 class TestCompare:
     def test_identical_manifests_zero_regressions(self):
