@@ -22,11 +22,17 @@ from repro.circuits.elements import (
     VoltageSource,
 )
 from repro.circuits.netlist import Circuit, GROUND
-from repro.circuits.transient import SolverStats, TransientResult, TransientSolver
+from repro.circuits.transient import (
+    BatchTransientSolver,
+    SolverStats,
+    TransientResult,
+    TransientSolver,
+)
 from repro.circuits.ac import ACAnalysis
 
 __all__ = [
     "ACAnalysis",
+    "BatchTransientSolver",
     "Capacitor",
     "Circuit",
     "CurrentSource",

@@ -292,6 +292,9 @@ class TransientSolver:
         self._lu = lu_factor(matrix)
         self.stats.factorizations += 1
         self._getrs = get_lapack_funcs(("getrs",), (self._lu[0],))[0]
+        owner = getattr(self, "_batch_owner", None)
+        if owner is not None:
+            owner._lanes_dirty = True
 
     # ------------------------------------------------------------------
     # Initialization
@@ -494,3 +497,310 @@ class TransientSolver:
                 solution[i] if i is not None else 0.0 for i in indices
             ]
         return TransientResult(times, nodes, voltages)
+
+
+class BatchTransientSolver:
+    """Lock-stepped trapezoidal stepping of B same-topology solvers.
+
+    The batched co-simulator advances B independent scenarios per GPU
+    cycle.  Their circuits share one topology family — identical node
+    sets, element sets and step size (the MNA *structure* and scatter
+    index maps are equal) — while element *values*, source waveforms and
+    per-lane fault refactorizations may differ.  This class fuses the
+    per-step NumPy dispatch across lanes: companion currents, the RHS
+    scatter (one flat-index ``np.add.at`` over all lanes) and the
+    companion-state update run on ``(B, ...)`` arrays, while the LAPACK
+    back-substitution stays one ``getrs`` call per lane.
+
+    Why per-lane ``getrs``: a multi-RHS ``getrs`` lets the BLAS kernel
+    reorder its dot-product accumulations (blocked ``trsm``/``gemm``
+    paths for NRHS > 1), which is *not* bit-identical to the serial
+    column-at-a-time solve — and bit-identity against ``run_cosim`` is
+    this engine's correctness oracle.  Per-lane solves also let a fault
+    injector :meth:`TransientSolver.refactor` one lane's matrix without
+    any shared-LU divergence bookkeeping.  The back-substitution is a
+    ~2 µs LAPACK call on these systems; the batching win is the
+    amortized NumPy dispatch around it.
+
+    Each lane's dynamic state (``_react_v`` / ``_react_i`` / ``solution``)
+    is re-homed as a row view of the batch arrays, so per-lane reads
+    (``vsource_current``, ``inductor_current``, telemetry) stay coherent.
+    Do not call ``lane.step()`` directly while a batch owns the lanes.
+
+    ``shared_current_base`` is an optional ``(B, num_sources)`` array
+    whose row i is lane i's bound current buffer (see
+    ``StackedPDN.bind_current_buffer``); when given, all lanes' source
+    currents are gathered with a single 2-D fancy-indexed read per step.
+    """
+
+    def __init__(
+        self,
+        solvers: Sequence[TransientSolver],
+        shared_current_base: Optional[np.ndarray] = None,
+    ) -> None:
+        self.solvers = list(solvers)
+        if not self.solvers:
+            raise ValueError("need at least one lane solver")
+        first = self.solvers[0]
+        for s in self.solvers:
+            if not s.vectorized:
+                raise ValueError(
+                    "batch stepping requires vectorized lane solvers"
+                )
+            if s.dt != first.dt:
+                raise ValueError(
+                    f"lanes must share dt: {s.dt} != {first.dt}"
+                )
+            if s.time != first.time:
+                raise ValueError(
+                    "lanes must be time-aligned before batching "
+                    f"({s.time} != {first.time})"
+                )
+            if s.structure.size != first.structure.size:
+                raise ValueError("lanes must share the MNA system size")
+            for attr in (
+                "_scatter_idx", "_scatter_gain", "_scatter_src",
+                "_vs_row_idx", "_react_pos", "_react_neg",
+                "_react_pos_mask", "_react_neg_mask", "_react_sign",
+            ):
+                if not np.array_equal(getattr(s, attr), getattr(first, attr)):
+                    raise ValueError(
+                        "lanes do not share a topology family "
+                        f"(index map {attr} differs)"
+                    )
+        self.dt = first.dt
+        self.num_nodes = first.structure.num_nodes
+        size = first.structure.size
+        n_lanes = len(self.solvers)
+        self._cs_offset = first._cs_offset
+
+        # Per-lane dynamic state re-homed as rows of batch arrays.
+        # Companion gains are stacked per lane (fault refactorization
+        # keeps them unchanged, but lanes may be built with different
+        # element values).
+        self._react_g_bt = np.stack([s._react_g for s in self.solvers])
+        self._react_v_bt = np.stack([s._react_v for s in self.solvers])
+        self._react_i_bt = np.stack([s._react_i for s in self.solvers])
+        self._sol_bt = np.stack([s.solution for s in self.solvers])
+        self._vs_bt = np.stack([s._vs_values for s in self.solvers])
+        for i, s in enumerate(self.solvers):
+            nc = s._num_cap
+            s._react_g = self._react_g_bt[i]
+            s._g_cap = s._react_g[:nc]
+            s._g_ind = s._react_g[nc:]
+            s._react_v = self._react_v_bt[i]
+            s._react_i = self._react_i_bt[i]
+            s._cap_v = s._react_v[:nc]
+            s._ind_v = s._react_v[nc:]
+            s._cap_i = s._react_i[:nc]
+            s._ind_i = s._react_i[nc:]
+            s.solution = self._sol_bt[i]
+            s._vs_values = self._vs_bt[i]
+
+        self._vals_bt = np.zeros((n_lanes, first._vals.size), dtype=float)
+        self._size = size
+        self._n_lanes = n_lanes
+        self._flat_size = n_lanes * size
+        # Flat-index scatter: view the (B, size) RHS as one vector and
+        # offset each lane's scatter indices by its row start, so a
+        # single bincount covers every lane.  Lanes never collide and
+        # within a lane the triple order is unchanged (bincount, like
+        # np.add.at, accumulates in input order), so the per-index
+        # accumulation order — hence every bit — matches the serial
+        # scatter.
+        self._flat_idx = (
+            np.arange(n_lanes, dtype=np.intp)[:, None] * size
+            + first._scatter_idx[None, :]
+        ).ravel()
+        # Flat-view gather indices: the batch buffers are C-contiguous,
+        # so every per-lane fancy gather collapses to one 1-D fancy
+        # read over the flattened buffer — same elements, same order,
+        # far fewer dispatches than a per-axis fancy index.
+        n_vals = first._vals.size
+        lane_off = np.arange(n_lanes, dtype=np.intp)[:, None]
+        self._vals_flat = self._vals_bt.reshape(-1)
+        self._scatter_src_flat = (
+            lane_off * n_vals + first._scatter_src[None, :]
+        ).ravel()
+        self._gain_flat = np.tile(first._scatter_gain, n_lanes)
+        self._sol_flat = self._sol_bt.reshape(-1)
+        self._react_pos_flat = (
+            lane_off * size + first._react_pos[None, :]
+        ).ravel()
+        self._react_neg_flat = (
+            lane_off * size + first._react_neg[None, :]
+        ).ravel()
+        n_react = first._react_v.size
+        self._n_react = n_react
+        self._ieq_buf = np.empty((n_lanes, n_react))
+        # Per-lane solve cache: (getrs, lu, piv, solution row).  The
+        # refactor() hook below invalidates it when a fault injector
+        # re-factorizes any lane's matrix mid-run.
+        self._lanes_dirty = True
+        self._lane_solve: list = []
+        for s in self.solvers:
+            s._batch_owner = self
+        self._getrs_inplace: Optional[bool] = None
+        self._scatter_gain = first._scatter_gain
+        self._scatter_src = first._scatter_src
+        self._vs_row_idx = first._vs_row_idx
+        self._react_pos = first._react_pos
+        self._react_neg = first._react_neg
+        self._react_pos_mask = first._react_pos_mask
+        self._react_neg_mask = first._react_neg_mask
+        self._react_sign = first._react_sign
+        self._has_vs_callable = any(s._vs_callable for s in self.solvers)
+        self._has_cs_plain = any(s._cs_plain for s in self.solvers)
+        self._branch_rows: Dict[str, int] = {}
+
+        self._shared_cs = None
+        if shared_current_base is not None:
+            base = np.asarray(shared_current_base)
+            if base.shape[0] != n_lanes:
+                raise ValueError(
+                    "shared_current_base must have one row per lane"
+                )
+            ref_batch = first._cs_batches
+            if len(ref_batch) != 1:
+                raise ValueError(
+                    "shared_current_base requires exactly one bound "
+                    "current buffer per lane"
+                )
+            _, ref_slots, ref_gidx = ref_batch[0]
+            for i, s in enumerate(self.solvers):
+                if len(s._cs_batches) != 1:
+                    raise ValueError(
+                        "shared_current_base requires exactly one bound "
+                        "current buffer per lane"
+                    )
+                buf, slots, gidx = s._cs_batches[0]
+                if (
+                    not np.array_equal(slots, ref_slots)
+                    or not np.array_equal(gidx, ref_gidx)
+                    or np.asarray(buf).shape != (base.shape[1],)
+                    or not np.shares_memory(buf, base[i])
+                ):
+                    raise ValueError(
+                        f"lane {i}'s current buffer is not row {i} of "
+                        "shared_current_base"
+                    )
+            self._shared_cs = (base, ref_slots, ref_gidx)
+            # When the shared base is C-contiguous, both sides of the
+            # gather flatten to views, so one 1-D fancy read/write
+            # replaces the 2-D fancy gather (same elements, same
+            # per-element copy — bit-identical, just fewer dispatches).
+            if base.flags["C_CONTIGUOUS"]:
+                n_vals = self._vals_bt.shape[1]
+                lanes_idx = np.arange(n_lanes, dtype=np.intp)[:, None]
+                self._cs_flat_dst = (
+                    lanes_idx * n_vals + np.asarray(ref_slots)[None, :]
+                ).ravel()
+                self._cs_flat_src = (
+                    lanes_idx * base.shape[1]
+                    + np.asarray(ref_gidx)[None, :]
+                ).ravel()
+                self._vals_flat = self._vals_bt.reshape(-1)
+                self._base_flat = base.reshape(-1)
+            else:
+                self._cs_flat_dst = None
+        else:
+            self._cs_flat_dst = None
+
+    # ------------------------------------------------------------------
+    def step(self) -> np.ndarray:
+        """Advance every lane one trapezoidal step in lock-step.
+
+        Returns the ``(B, num_nodes)`` node voltages at the new time (a
+        view into batch state — copy before mutating).
+        """
+        solvers = self.solvers
+        t_next = solvers[0].time + self.dt
+
+        vals = self._vals_bt
+        ieq = self._ieq_buf
+        np.multiply(self._react_g_bt, self._react_v_bt, out=ieq)
+        ieq += self._react_i_bt
+        vals[:, : self._cs_offset] = ieq
+        if self._cs_flat_dst is not None:
+            self._vals_flat[self._cs_flat_dst] = (
+                self._base_flat[self._cs_flat_src]
+            )
+        elif self._shared_cs is not None:
+            base, slots, gidx = self._shared_cs
+            vals[:, slots] = base[:, gidx]
+        else:
+            for i, s in enumerate(solvers):
+                for buffer, slots, gidx in s._cs_batches:
+                    vals[i, slots] = np.asarray(buffer)[gidx]
+        if self._has_cs_plain:
+            for i, s in enumerate(solvers):
+                for slot, source in s._cs_plain:
+                    vals[i, slot] = source.current_at(t_next)
+
+        upd = self._vals_flat[self._scatter_src_flat]
+        upd *= self._gain_flat
+        rhs = np.bincount(
+            self._flat_idx, weights=upd, minlength=self._flat_size,
+        ).reshape(self._n_lanes, self._size)
+        if self._has_vs_callable:
+            for s in solvers:
+                for slot, source in s._vs_callable:
+                    s._vs_values[slot] = source.voltage_at(t_next)
+        rhs[:, self._vs_row_idx] = self._vs_bt
+
+        # Back-substitute each lane in place on its solution row: LAPACK
+        # dgetrs overwrites a contiguous RHS when allowed to, skipping
+        # the copy-back.  The first step probes whether the wrapper
+        # really solved in place (it copies when it must) and the loop
+        # falls back to an explicit copy-back if not.
+        sol = self._sol_bt
+        sol[:] = rhs
+        if self._lanes_dirty:
+            self._lane_solve = [
+                (s._getrs, s._lu[0], s._lu[1], sol[i], s)
+                for i, s in enumerate(solvers)
+            ]
+            self._lanes_dirty = False
+        inplace = self._getrs_inplace
+        for getrs_f, lu, piv, row, s in self._lane_solve:
+            solution, _info = getrs_f(lu, piv, row, overwrite_b=True)
+            if inplace is None:
+                inplace = bool(np.shares_memory(solution, sol))
+                self._getrs_inplace = inplace
+            if not inplace:
+                row[:] = solution
+            s.stats.steps += 1
+            s.time = t_next
+
+        n_react = self._n_react
+        v_new = (
+            self._sol_flat[self._react_pos_flat].reshape(-1, n_react)
+            * self._react_pos_mask
+            - self._sol_flat[self._react_neg_flat].reshape(-1, n_react)
+            * self._react_neg_mask
+        )
+        self._react_i_bt[:] = (
+            self._react_g_bt * v_new + self._react_sign * ieq
+        )
+        self._react_v_bt[:] = v_new
+        return sol[:, : self.num_nodes]
+
+    # ------------------------------------------------------------------
+    def vsource_currents(self, name: str) -> np.ndarray:
+        """Per-lane current delivered by voltage source ``name`` (B,)."""
+        row = self._branch_rows.get(name)
+        if row is None:
+            rows = set()
+            for s in self.solvers:
+                try:
+                    rows.add(s.structure.branch_index[name])
+                except KeyError:
+                    raise KeyError(f"no voltage source named {name!r}")
+            if len(rows) != 1:
+                raise ValueError(
+                    f"voltage source {name!r} maps to different branch "
+                    "rows across lanes"
+                )
+            row = rows.pop()
+            self._branch_rows[name] = row
+        return -self._sol_bt[:, row]

@@ -217,6 +217,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     runner_kwargs = dict(
         max_workers=args.workers,
         chunksize=args.chunksize,
+        batch_size=args.batch_size,
         point_timeout_s=args.timeout or None,
         max_attempts=args.retries + 1,
         retry_backoff_s=args.backoff,
@@ -538,6 +539,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes (default: one per CPU; 1 = inline)")
     p.add_argument("--chunksize", type=int, default=1)
+    p.add_argument("--batch-size", type=int, default=1, metavar="B",
+                   help="co-simulate up to B compatible grid points per "
+                        "task with the lock-stepped batched engine "
+                        "(bit-identical to per-point runs; 1 = off)")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--no-controller", action="store_true")
     p.add_argument("--timeout", type=float, default=0.0, metavar="S",

@@ -309,8 +309,21 @@ class VoltageSmoothingController:
         self._flap_history: Deque[bool] = deque(
             maxlen=config.limit_cycle_window
         )
+        # Incrementally maintained count of adjacent flag flips inside
+        # the history window (O(1) per decision vs re-scanning the
+        # window).
+        self._flap_flips = 0
         self.limit_cycle_events = 0
         self._limit_cycle_flagged = False
+        # Cached "active decision throttles" flag, refreshed whenever a
+        # new decision is popped from the pipeline; commands_for()
+        # consults it instead of re-scanning issue widths every cycle.
+        # Decision arrays are controller-owned and never mutated after
+        # enqueue (callers copy at the boundary — see run_cosim), so the
+        # cache cannot go stale.
+        self._active_throttling = bool(
+            np.any(self.active_decision.issue_widths < self._default_issue_width)
+        )
 
     # ------------------------------------------------------------------
     def _default_decision(self) -> ControlDecision:
@@ -341,13 +354,27 @@ class VoltageSmoothingController:
                 f"expected {self.stack.num_sms} SM voltages, got "
                 f"{sm_voltages.shape}"
             )
+        measured = self._advance_filters(sm_voltages)
+        if cycle - self._last_decision_cycle < self.config.control_period_cycles:
+            return
+        self._last_decision_cycle = cycle
+        self._make_decision(cycle, measured)
+
+    def _advance_filters(self, sm_voltages: np.ndarray) -> np.ndarray:
+        """Advance every SM's RC filter one cycle; return the measurement.
+
+        RC filter + quantization for all SMs at once.  The elementwise
+        float64 ops match RCLowPassFilter.step / VoltageDetector.sample
+        exactly (np.rint is round-half-even, like Python's round), so
+        decisions are bit-identical to the per-object path.  Non-finite
+        samples never enter the filter state.
+
+        Split out of :meth:`observe` so :class:`ControllerBank` can run
+        the same arithmetic batched over lanes (broadcasting over a
+        leading batch axis is elementwise, hence bit-identical per row).
+        """
         cfg = self.config
         finite = np.isfinite(sm_voltages)
-        # RC filter + quantization for all SMs at once.  The elementwise
-        # float64 ops match RCLowPassFilter.step / VoltageDetector.sample
-        # exactly (np.rint is round-half-even, like Python's round), so
-        # decisions are bit-identical to the per-object path.  Non-finite
-        # samples never enter the filter state.
         state = self._filter_state
         alpha = self._filter_alpha
         step = self._resolution_v
@@ -370,9 +397,14 @@ class VoltageSmoothingController:
                 self.sensor_fallback_samples += int(bad.sum())
             else:
                 measured[bad] = np.nan
-        if cycle - self._last_decision_cycle < self.config.control_period_cycles:
-            return
-        self._last_decision_cycle = cycle
+        return measured
+
+    def _make_decision(self, cycle: int, measured: np.ndarray) -> None:
+        """Watchdog, Algorithm 1 body, slew limiting and enqueueing.
+
+        The caller has already updated ``_last_decision_cycle`` — this
+        is the per-decision tail of :meth:`observe`.
+        """
         self._update_watchdog(measured)
         if self.in_safe_state:
             decision = self._safe_decision()
@@ -417,11 +449,14 @@ class VoltageSmoothingController:
         All-NaN measurements (total sensor loss without fallback) leave
         the streaks untouched: no evidence either way.
         """
-        cfg = self.config
         finite = measured[np.isfinite(measured)]
         if finite.size == 0:
             return
-        worst = float(finite.min())
+        self._note_worst_measurement(float(finite.min()))
+
+    def _note_worst_measurement(self, worst: float) -> None:
+        """Advance the watchdog streaks given this decision's worst SM."""
+        cfg = self.config
         if worst < cfg.guardband_v:
             self._subguard_streak += 1
             self._healthy_streak = 0
@@ -460,13 +495,24 @@ class VoltageSmoothingController:
         )
 
     def _track_limit_cycle(self, throttling: bool) -> None:
-        """Flag sustained on/off flapping of the throttle engagement."""
+        """Flag sustained on/off flapping of the throttle engagement.
+
+        The adjacent-flip count is maintained incrementally: appending
+        to the full window evicts ``history[0]`` — removing the
+        ``(history[0], history[1])`` adjacency — and adds the
+        ``(history[-1], new)`` one, so each decision costs O(1) instead
+        of re-scanning the window.
+        """
         cfg = self.config
-        self._flap_history.append(throttling)
-        if len(self._flap_history) < cfg.limit_cycle_window:
+        hist = self._flap_history
+        if len(hist) == cfg.limit_cycle_window and hist[0] != hist[1]:
+            self._flap_flips -= 1
+        if hist and hist[-1] != throttling:
+            self._flap_flips += 1
+        hist.append(throttling)
+        if len(hist) < cfg.limit_cycle_window:
             return
-        history = list(self._flap_history)
-        flips = sum(a != b for a, b in zip(history, history[1:]))
+        flips = self._flap_flips
         if flips >= cfg.limit_cycle_min_flips:
             if not self._limit_cycle_flagged:
                 self._limit_cycle_flagged = True
@@ -474,8 +520,17 @@ class VoltageSmoothingController:
         elif flips <= cfg.limit_cycle_min_flips // 2:
             self._limit_cycle_flagged = False
 
-    def _decide(self, measured: np.ndarray) -> ControlDecision:
+    def _decide(
+        self,
+        measured: np.ndarray,
+        decision: Optional[ControlDecision] = None,
+    ) -> ControlDecision:
         """The Algorithm 1 loop body over all (layer, column) positions.
+
+        ``decision`` lets :class:`ControllerBank` pass a preallocated
+        default decision (rows of a wave-shared array) instead of
+        allocating one per lane; its arrays must hold the default
+        commands on entry.
 
         Two symmetric boundary triggers implement eq. (6)'s
         ``P_i = k V_i`` around the deadband:
@@ -492,7 +547,8 @@ class VoltageSmoothingController:
           threshold.)
         """
         cfg = self.config
-        decision = self._default_decision()
+        if decision is None:
+            decision = self._default_decision()
         for sm in range(self.stack.num_sms):
             v_sm = measured[sm]
             # Sensor-loss fallback widens this SM's thresholds: with a
@@ -551,13 +607,17 @@ class VoltageSmoothingController:
         while self._pipeline and self._pipeline[0][0] <= cycle:
             _, decision = self._pipeline.popleft()
             self.active_decision = decision
+            # Decisions are immutable once enqueued (ownership contract:
+            # actuation consumers copy at the boundary), so the throttle
+            # scan happens once per decision pop, not once per cycle.
+            self._active_throttling = bool(
+                np.any(decision.issue_widths < self._default_issue_width)
+            )
         # Count each simulated cycle at most once, so callers that read
         # the same cycle's commands twice do not double-count.
         if cycle > self._counted_through_cycle:
             self._counted_through_cycle = cycle
-            if np.any(
-                self.active_decision.issue_widths < self._default_issue_width
-            ):
+            if self._active_throttling:
                 self.throttled_cycles += 1
         return self.active_decision
 
@@ -598,3 +658,358 @@ class VoltageSmoothingController:
             "nan_samples_seen": self.nan_samples_seen,
             "limit_cycle_events": self.limit_cycle_events,
         }
+
+
+class ControllerBank:
+    """Lock-stepped sensor/decision front end over B independent lanes.
+
+    The batched co-simulator steps B scenarios per cycle; this bank
+    vectorizes the per-cycle RC filter advance and the per-decision
+    threshold/slew arithmetic of B :class:`VoltageSmoothingController`
+    instances by re-homing each lane's filter/fallback state as one row
+    of shared ``(B, num_sms)`` arrays.  All batched operations are
+    elementwise with per-lane ``(B, 1)`` broadcasts (or row-wise
+    reductions), so each row is bit-identical to the serial controller;
+    everything scalar or rarely taken — the Algorithm 1 per-SM loop of
+    a *triggered* lane, watchdog streaks, pipelines, counters — still
+    runs on the owning controller.  Observable state after
+    ``bank.observe(cycle, voltages)`` is therefore byte-equal to
+    calling ``lane.observe(cycle, voltages[i])`` per lane.
+
+    Lanes may differ in gains, thresholds, detectors, periods and
+    actuation — only ``num_sms`` must match.  The bank takes over the
+    lanes' ``observe`` duty; do not call ``lane.observe`` directly while
+    a bank owns the lane.
+    """
+
+    def __init__(self, controllers: List[VoltageSmoothingController]) -> None:
+        self.controllers = list(controllers)
+        if not self.controllers:
+            raise ValueError("need at least one controller lane")
+        for c in self.controllers:
+            if not isinstance(c, VoltageSmoothingController):
+                raise TypeError(
+                    "ControllerBank requires VoltageSmoothingController "
+                    f"lanes, got {type(c).__name__}"
+                )
+        sizes = {c.stack.num_sms for c in self.controllers}
+        if len(sizes) != 1:
+            raise ValueError(f"lanes must share num_sms, got {sorted(sizes)}")
+        self.num_sms = sizes.pop()
+        ctrls = self.controllers
+        # Re-home per-lane filter/fallback state as rows of batch arrays
+        # (np.stack copies current values; rows stay views so the serial
+        # per-lane code paths keep operating on the same storage).
+        self._state = np.stack([c._filter_state for c in ctrls])
+        self._last_good = np.stack([c._last_good for c in ctrls])
+        self._fallback = np.stack([c._fallback_active for c in ctrls])
+        for i, c in enumerate(ctrls):
+            c._filter_state = self._state[i]
+            c._last_good = self._last_good[i]
+            c._fallback_active = self._fallback[i]
+
+        def col(values) -> np.ndarray:
+            return np.asarray(values, dtype=float).reshape(-1, 1)
+
+        self._alpha = col([c._filter_alpha for c in ctrls])
+        self._step_v = col([c._resolution_v for c in ctrls])
+        self._thr = col([c.config.v_threshold for c in ctrls])
+        self._thr_high = col([c.config.v_high_threshold for c in ctrls])
+        self._widen = col([c.config.fallback_widen_v for c in ctrls])
+        self._default_w = col([c._default_issue_width for c in ctrls])
+        self._slew = {
+            "issue": col([c.config.slew_issue for c in ctrls]),
+            "fake": col([c.config.slew_fake for c in ctrls]),
+            "dcc": col([c.config.slew_dcc_w for c in ctrls]),
+        }
+        self._period = np.array(
+            [c.config.control_period_cycles for c in ctrls], dtype=np.int64
+        )
+        self._last_decision = np.array(
+            [c._last_decision_cycle for c in ctrls], dtype=np.int64
+        )
+        # Uniform-cadence fast path: when every lane shares one control
+        # period and decision phase, the whole bank is due at the same
+        # cycles, so the due test is one integer compare instead of a
+        # (B,) reduction and the wave always covers all lanes.
+        periods = {c.config.control_period_cycles for c in ctrls}
+        lasts = {c._last_decision_cycle for c in ctrls}
+        if len(periods) == 1 and len(lasts) == 1:
+            self._uniform_period: Optional[int] = periods.pop()
+            self._next_due = lasts.pop() + self._uniform_period
+        else:
+            self._uniform_period = None
+            self._next_due = 0
+        self._any_fallback = bool(self._fallback.any())
+        # Full-wave working set: the three actuator command blocks live
+        # side by side in one (B, 3*num_sms) array, so the slew clamp
+        # and its saturation test run as single ufunc calls; each
+        # lane's ControlDecision holds row-slice views of the blocks.
+        n = self.num_sms
+        n_lanes = len(ctrls)
+        self._cat_default = np.zeros((n_lanes, 3 * n))
+        self._cat_default[:, :n] = self._default_w
+        self._slew_cat = np.empty((n_lanes, 3 * n))
+        self._slew_cat[:, :n] = self._slew["issue"]
+        self._slew_cat[:, n:2 * n] = self._slew["fake"]
+        self._slew_cat[:, 2 * n:] = self._slew["dcc"]
+        self._prev_at_default = bool(
+            (self._gather_prev_cat() == self._cat_default).all()
+        )
+
+    # ------------------------------------------------------------------
+    def observe(self, cycle: int, sm_voltages: np.ndarray) -> None:
+        """Batched equivalent of per-lane ``observe`` for one cycle.
+
+        ``sm_voltages`` has shape ``(B, num_sms)`` — row i is lane i's
+        true SM voltages this cycle.
+        """
+        sm_voltages = np.asarray(sm_voltages, dtype=float)
+        expected = (len(self.controllers), self.num_sms)
+        if sm_voltages.shape != expected:
+            raise ValueError(
+                f"expected voltages of shape {expected}, got "
+                f"{sm_voltages.shape}"
+            )
+        if np.isfinite(sm_voltages).all():
+            # The all-finite fast path of _advance_filters, broadcast
+            # over lanes.  Clearing an all-False fallback row is a
+            # no-op, so one global clear matches the per-lane clears.
+            state = self._state
+            state += self._alpha * (sm_voltages - state)
+            measured = np.rint(state / self._step_v) * self._step_v
+            self._last_good[:] = measured
+            if self._any_fallback:
+                self._fallback[:] = False
+                self._any_fallback = False
+            finite = True
+        else:
+            measured = np.empty_like(sm_voltages)
+            for i, c in enumerate(self.controllers):
+                measured[i] = c._advance_filters(sm_voltages[i])
+            self._any_fallback = bool(self._fallback.any())
+            finite = bool(np.isfinite(measured).all())
+        if self._uniform_period is not None:
+            if cycle < self._next_due:
+                return
+            self._next_due = cycle + self._uniform_period
+            self._last_decision[:] = cycle
+            if finite:
+                self._decide_wave_full(cycle, measured)
+            else:
+                self._prev_at_default = False
+                for i, c in enumerate(self.controllers):
+                    c._last_decision_cycle = cycle
+                    c._make_decision(cycle, measured[i])
+            return
+        due = np.nonzero(cycle - self._last_decision >= self._period)[0]
+        if due.size == 0:
+            return
+        self._last_decision[due] = cycle
+        self._prev_at_default = False
+        if finite:
+            self._decide_wave(cycle, due, measured)
+        else:
+            # Sensor dropout without fallback leaves NaN in measured;
+            # replicate the serial decision path exactly for this wave.
+            for i in due:
+                c = self.controllers[i]
+                c._last_decision_cycle = cycle
+                c._make_decision(cycle, measured[i])
+
+    # ------------------------------------------------------------------
+    def _gather_prev_cat(self) -> np.ndarray:
+        """Previous enqueued commands as one (B, 3*num_sms) array.
+
+        Decisions produced by full waves carry their concatenated row
+        (``_cat``), so the usual gather is a single ``np.stack``; any
+        other decision (the initial default, a serial-path decision) is
+        concatenated on the fly.
+        """
+        prevs = []
+        for c in self.controllers:
+            d = c._last_enqueued
+            pcat = getattr(d, "_cat", None)
+            if pcat is None:
+                pcat = np.concatenate(
+                    (d.issue_widths, d.fake_rates, d.dcc_powers_w)
+                )
+            prevs.append(pcat)
+        return np.stack(prevs)
+
+    # ------------------------------------------------------------------
+    def _decide_wave_full(self, cycle: int, measured: np.ndarray) -> None:
+        """A decision wave covering every lane (uniform cadence path).
+
+        Semantically identical to :meth:`_decide_wave` with all lanes
+        due, with two extra amortizations: the three actuator command
+        blocks share one ``(B, 3*num_sms)`` array so the slew clamp and
+        saturation test are single ufunc calls, and a wave where no
+        lane triggered while every previous command sat exactly at the
+        default decision skips the clamp entirely (a no-op clamp of the
+        default against itself).
+        """
+        ctrls = self.controllers
+        m = measured
+        worst = m.min(axis=1).tolist()
+        for i, c in enumerate(ctrls):
+            c._last_decision_cycle = cycle
+            c._note_worst_measurement(worst[i])
+        n = self.num_sms
+        if self._any_fallback:
+            widen = np.where(self._fallback, self._widen, 0.0)
+            trig = (
+                (m < self._thr + widen) | (m > self._thr_high + widen)
+            ).any(axis=1).tolist()
+        else:
+            trig = ((m < self._thr) | (m > self._thr_high)).any(
+                axis=1
+            ).tolist()
+        active = any(trig) or any(c.in_safe_state for c in ctrls)
+        if not active and self._prev_at_default:
+            # Idle wave: every previous command sits exactly at the
+            # default and nothing triggered, so the new command is
+            # value-identical to the previous one.  Re-enqueue the same
+            # decision object — downstream consumers can then skip
+            # actuation entirely on an identity check.
+            for c in ctrls:
+                c.decisions_made += 1
+                c._track_limit_cycle(False)
+                c._pipeline.append(
+                    (cycle + c.config.total_latency_cycles, c._last_enqueued)
+                )
+            return
+        cat = self._cat_default.copy()
+        widths = cat[:, :n]
+        fakes = cat[:, n:2 * n]
+        dcc = cat[:, 2 * n:]
+        decisions = []
+        for j in range(len(ctrls)):
+            d = ControlDecision(
+                issue_widths=widths[j], fake_rates=fakes[j],
+                dcc_powers_w=dcc[j],
+            )
+            d._cat = cat[j]
+            decisions.append(d)
+        for j, c in enumerate(ctrls):
+            if c.in_safe_state:
+                widths[j] = float(c.config.safe_issue_width)
+                c.safe_state_decisions += 1
+            elif trig[j]:
+                c._decide(m[j], decision=decisions[j])
+        prev_cat = self._gather_prev_cat()
+        clamped = np.clip(
+            cat, prev_cat - self._slew_cat, prev_cat + self._slew_cat
+        )
+        changed = clamped != cat
+        cat[:] = clamped
+        sat_i = changed[:, :n].any(axis=1).tolist()
+        sat_f = changed[:, n:2 * n].any(axis=1).tolist()
+        sat_d = changed[:, 2 * n:].any(axis=1).tolist()
+        throttling = (widths < self._default_w).any(axis=1).tolist()
+        fii_active = (fakes > 0.0).any(axis=1).tolist()
+        dcc_active = (dcc > 0.0).any(axis=1).tolist()
+        self._prev_at_default = bool((cat == self._cat_default).all())
+        for j, c in enumerate(ctrls):
+            d = decisions[j]
+            if sat_i[j]:
+                c.slew_saturations["issue"] += 1
+            if sat_f[j]:
+                c.slew_saturations["fake"] += 1
+            if sat_d[j]:
+                c.slew_saturations["dcc"] += 1
+            c._last_enqueued = d
+            c.decisions_made += 1
+            if d.triggered_sms:
+                c.triggers += 1
+            throttled = throttling[j]
+            c._track_limit_cycle(throttled)
+            if throttled:
+                c.throttle_decisions += 1
+                c.actuator_decisions["diws"] += 1
+            if fii_active[j]:
+                c.actuator_decisions["fii"] += 1
+            if dcc_active[j]:
+                c.actuator_decisions["dcc"] += 1
+            if fii_active[j] or dcc_active[j]:
+                c.boost_decisions += 1
+            c._pipeline.append((cycle + c.config.total_latency_cycles, d))
+
+    # ------------------------------------------------------------------
+    def _decide_wave(self, cycle: int, due: np.ndarray, measured) -> None:
+        """One decision wave over the due lanes (all measurements finite)."""
+        ctrls = self.controllers
+        m = measured[due]
+        n_due, n_sms = m.shape
+        worst = m.min(axis=1)
+        for j, i in enumerate(due):
+            c = ctrls[i]
+            c._last_decision_cycle = cycle
+            c._note_worst_measurement(float(worst[j]))
+        # Wave-owned decision arrays: each lane's decision holds row
+        # views of arrays allocated for this wave only, so decisions
+        # stay immutable after enqueue (the commands_for cache relies
+        # on that) without per-lane allocations.
+        widths = np.empty((n_due, n_sms))
+        widths[:] = self._default_w[due]
+        fakes = np.zeros((n_due, n_sms))
+        dcc = np.zeros((n_due, n_sms))
+        decisions = [
+            ControlDecision(
+                issue_widths=widths[j], fake_rates=fakes[j],
+                dcc_powers_w=dcc[j],
+            )
+            for j in range(n_due)
+        ]
+        # Trigger pre-check: a lane enters the per-SM Algorithm 1 loop
+        # only if some SM crosses a (possibly fallback-widened)
+        # threshold — the exact condition under which the serial
+        # _decide deviates from the default decision.
+        widen = np.where(self._fallback[due], self._widen[due], 0.0)
+        trig = (
+            (m < self._thr[due] + widen) | (m > self._thr_high[due] + widen)
+        ).any(axis=1)
+        for j, i in enumerate(due):
+            c = ctrls[i]
+            if c.in_safe_state:
+                widths[j] = float(c.config.safe_issue_width)
+                c.safe_state_decisions += 1
+            elif trig[j]:
+                c._decide(m[j], decision=decisions[j])
+        # Batched per-actuator slew limiting: same np.clip ufunc, with
+        # per-lane previous commands and (B, 1) slew limits.
+        for key, values, prev in (
+            ("issue", widths,
+             np.stack([ctrls[i]._last_enqueued.issue_widths for i in due])),
+            ("fake", fakes,
+             np.stack([ctrls[i]._last_enqueued.fake_rates for i in due])),
+            ("dcc", dcc,
+             np.stack([ctrls[i]._last_enqueued.dcc_powers_w for i in due])),
+        ):
+            slew = self._slew[key][due]
+            clamped = np.clip(values, prev - slew, prev + slew)
+            saturated = (clamped != values).any(axis=1)
+            values[:] = clamped
+            for j in np.nonzero(saturated)[0]:
+                ctrls[due[j]].slew_saturations[key] += 1
+        throttling = (widths < self._default_w[due]).any(axis=1)
+        fii_active = (fakes > 0.0).any(axis=1)
+        dcc_active = (dcc > 0.0).any(axis=1)
+        for j, i in enumerate(due):
+            c = ctrls[i]
+            d = decisions[j]
+            c._last_enqueued = d
+            c.decisions_made += 1
+            if d.triggered_sms:
+                c.triggers += 1
+            c._track_limit_cycle(bool(throttling[j]))
+            if throttling[j]:
+                c.throttle_decisions += 1
+                c.actuator_decisions["diws"] += 1
+            if fii_active[j]:
+                c.actuator_decisions["fii"] += 1
+            if dcc_active[j]:
+                c.actuator_decisions["dcc"] += 1
+            if fii_active[j] or dcc_active[j]:
+                c.boost_decisions += 1
+            c._pipeline.append((cycle + c.config.total_latency_cycles, d))

@@ -1,0 +1,64 @@
+"""Lock-stepped batch facade over B independent GPU instances.
+
+The batched co-simulator (``repro.sim.cosim.run_cosim_batch``) steps B
+scenarios per cycle.  The GPU timing model is already vectorized *within*
+one GPU (PR 5's struct-of-arrays engine), and its per-step cost is a
+small slice of the cycle budget, so batching across scenarios lands as B
+independent engines behind one facade: per-lane state (kernels, RNG
+streams, barrier bookkeeping) stays exactly the serial model's, which is
+what keeps the batch bit-identical to B serial runs.
+
+The facade's contribution is lock-step stepping into a caller-owned
+``(B, num_sms)`` power array plus per-lane access for actuation — and a
+single place to swap in a cross-lane vectorized engine later without
+touching the co-sim loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.gpu.gpu import GPU
+
+
+class GPUBatch:
+    """B independent :class:`GPU` instances stepped in lock-step."""
+
+    def __init__(self, gpus: Sequence[GPU]) -> None:
+        self.gpus: List[GPU] = list(gpus)
+        if not self.gpus:
+            raise ValueError("need at least one GPU lane")
+        sizes = {gpu.num_sms for gpu in self.gpus}
+        if len(sizes) != 1:
+            raise ValueError(f"lanes must share num_sms, got {sorted(sizes)}")
+        self.num_sms = sizes.pop()
+
+    def __len__(self) -> int:
+        return len(self.gpus)
+
+    def __getitem__(self, lane: int) -> GPU:
+        return self.gpus[lane]
+
+    def __iter__(self) -> Iterator[GPU]:
+        return iter(self.gpus)
+
+    def step_into(self, out: np.ndarray) -> np.ndarray:
+        """Advance every lane one cycle; write per-SM powers into ``out``.
+
+        ``out`` has shape ``(B, num_sms)``; row i receives lane i's
+        emitted powers (a copy — callers may mutate rows freely, e.g.
+        for fault power scaling).
+        """
+        for i, gpu in enumerate(self.gpus):
+            gpu.step_into(out[i])
+        return out
+
+    def total_instructions(self) -> int:
+        """Aggregate real instructions across all lanes."""
+        return sum(gpu.total_instructions() for gpu in self.gpus)
+
+    def total_fake_instructions(self) -> int:
+        """Aggregate injected fake instructions across all lanes."""
+        return sum(gpu.total_fake_instructions() for gpu in self.gpus)

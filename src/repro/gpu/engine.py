@@ -426,20 +426,33 @@ class VectorizedGPUEngine:
         return np.all(self._warp_done & (self._outstanding == 0), axis=1)
 
     def step(
-        self, cycle: int, exempt: np.ndarray, exempt_any: bool = False
+        self,
+        cycle: int,
+        exempt: np.ndarray,
+        exempt_any: bool = False,
+        out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, bool]:
         """Advance all SMs one nominal clock.
 
-        Returns ``(powers, launched)`` — the per-SM power vector (a
-        fresh array each cycle) and whether the kernel-launch barrier
-        fired before stepping.
+        Returns ``(powers, launched)`` — the per-SM power vector and
+        whether the kernel-launch barrier fired before stepping.  With
+        ``out`` the powers are written into the caller's buffer (no
+        allocation); otherwise a fresh array is returned each cycle.
         """
         if self.backend == "c":
-            return self._step_c(cycle, exempt, exempt_any)
-        return self._step_numpy(cycle, exempt)
+            return self._step_c(cycle, exempt, exempt_any, out)
+        powers, launched = self._step_numpy(cycle, exempt)
+        if out is None:
+            return powers, launched
+        np.copyto(out, powers)
+        return out, launched
 
     def _step_c(
-        self, cycle: int, exempt: np.ndarray, exempt_any: bool
+        self,
+        cycle: int,
+        exempt: np.ndarray,
+        exempt_any: bool,
+        out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, bool]:
         launched = False
         if exempt_any:
@@ -462,7 +475,10 @@ class VectorizedGPUEngine:
             mem.requests_served += int(served)
             mem.misses += int(misses)
             self._mem_counters[:] = 0
-        return self._powers_buf.copy(), launched
+        if out is None:
+            return self._powers_buf.copy(), launched
+        np.copyto(out, self._powers_buf)
+        return out, launched
 
     def _step_numpy(
         self, cycle: int, exempt: np.ndarray

@@ -104,6 +104,10 @@ class GPU:
         # to model halted/powered-off SMs in worst-case experiments).
         self.barrier_exempt: set = set()
         self._exempt_mask = np.zeros(config.gpu.num_sms, dtype=bool)
+        # True while _exempt_mask may hold stale True entries from a
+        # previous cycle's barrier_exempt set; lets the common no-exempt
+        # case skip the per-cycle mask clear.
+        self._mask_dirty = False
 
     @property
     def num_sms(self) -> int:
@@ -119,12 +123,9 @@ class GPU:
         the per-SM jitter models).
         """
         if self.vectorized:
-            mask = self._exempt_mask
-            mask[:] = False
-            exempt_any = bool(self.barrier_exempt)
-            if exempt_any:
-                mask[list(self.barrier_exempt)] = True
-            powers, launched = self.engine.step(self.cycle, mask, exempt_any)
+            powers, launched = self.engine.step(
+                self.cycle, self._refresh_exempt_mask(), bool(self.barrier_exempt)
+            )
             if launched:
                 self._generation = self.engine.generation
                 self.kernels_launched += 1
@@ -145,6 +146,41 @@ class GPU:
             powers[k] = sm.step(self.cycle)
         self.cycle += 1
         return powers
+
+    def _refresh_exempt_mask(self) -> np.ndarray:
+        """Sync ``_exempt_mask`` with ``barrier_exempt``, lazily."""
+        mask = self._exempt_mask
+        if self.barrier_exempt:
+            mask[:] = False
+            mask[list(self.barrier_exempt)] = True
+            self._mask_dirty = True
+        elif self._mask_dirty:
+            mask[:] = False
+            self._mask_dirty = False
+        return mask
+
+    def step_into(self, out: np.ndarray) -> np.ndarray:
+        """Advance one clock, writing per-SM powers into ``out``.
+
+        Identical semantics to :meth:`step`, but the powers land in the
+        caller's buffer (one copy instead of copy-then-assign) — the hot
+        path for the batched co-simulator's ``(B, num_sms)`` stepping.
+        """
+        if not self.vectorized:
+            out[:] = self.step()
+            return out
+        _, launched = self.engine.step(
+            self.cycle,
+            self._refresh_exempt_mask(),
+            bool(self.barrier_exempt),
+            out=out,
+        )
+        if launched:
+            self._generation = self.engine.generation
+            self.kernels_launched += 1
+            self.kernel_launch_cycles.append(self.cycle)
+        self.cycle += 1
+        return out
 
     def run(self, cycles: int) -> np.ndarray:
         """Advance ``cycles`` clocks; return the (cycles, num_sms) trace."""

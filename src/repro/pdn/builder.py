@@ -75,15 +75,32 @@ class StackedPDN:
             for c in range(self.stack.num_columns)
         ]
 
-    def bind_current_buffer(self) -> np.ndarray:
-        """Allocate the shared amps buffer and batch-bind every SM source.
+    def bind_current_buffer(
+        self, buffer: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Bind every SM source to a shared amps buffer.
 
         After binding, :meth:`set_sm_currents` is a single NumPy copy and
         the transient solver gathers all SM draws with one fancy-indexed
         read per step.  Called by the builder; safe to call again after
         appending sources.
+
+        ``buffer`` re-binds the sources to an externally owned
+        ``(num_sms,)`` array instead of allocating one — the batched
+        co-simulator passes row i of its ``(B, num_sms)`` current array
+        so ``sm_current_values`` gains a batch axis one level up.
+        Re-binding must happen *before* a :class:`TransientSolver` is
+        constructed on :attr:`circuit` (the solver caches the bound
+        buffer in its gather maps).
         """
-        self.sm_current_values = np.zeros(len(self.sm_sources), dtype=float)
+        if buffer is None:
+            buffer = np.zeros(len(self.sm_sources), dtype=float)
+        elif buffer.shape != (len(self.sm_sources),):
+            raise ValueError(
+                f"current buffer must have shape ({len(self.sm_sources)},), "
+                f"got {buffer.shape}"
+            )
+        self.sm_current_values = buffer
         for k, source in enumerate(self.sm_sources):
             source.bind_batch(self.sm_current_values, k)
         return self.sm_current_values
@@ -121,9 +138,23 @@ class ConventionalPDN:
     def sm_waveform(self, result: TransientResult, sm: int):
         return result.voltage(sm_node(sm))
 
-    def bind_current_buffer(self) -> np.ndarray:
-        """Allocate the shared amps buffer and batch-bind every SM source."""
-        self.sm_current_values = np.zeros(len(self.sm_sources), dtype=float)
+    def bind_current_buffer(
+        self, buffer: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Bind every SM source to a shared amps buffer.
+
+        ``buffer`` re-binds to an externally owned ``(num_sms,)`` array
+        (e.g. one batch lane's row); see
+        :meth:`StackedPDN.bind_current_buffer`.
+        """
+        if buffer is None:
+            buffer = np.zeros(len(self.sm_sources), dtype=float)
+        elif buffer.shape != (len(self.sm_sources),):
+            raise ValueError(
+                f"current buffer must have shape ({len(self.sm_sources)},), "
+                f"got {buffer.shape}"
+            )
+        self.sm_current_values = buffer
         for k, source in enumerate(self.sm_sources):
             source.bind_batch(self.sm_current_values, k)
         return self.sm_current_values

@@ -28,10 +28,14 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
-from repro.circuits import TransientSolver
+from repro.circuits import BatchTransientSolver, TransientSolver
 from repro.config import StackConfig, SystemConfig
 from repro.core.actuators import WeightedActuation
-from repro.core.controller import ControllerConfig, VoltageSmoothingController
+from repro.core.controller import (
+    ControllerBank,
+    ControllerConfig,
+    VoltageSmoothingController,
+)
 from repro.gpu.gpu import GPU
 from repro.gpu.kernels import KernelSpec
 from repro.pdn.builder import StackedPDN, build_stacked_pdn
@@ -184,7 +188,7 @@ class CosimResult:
         completion time; throttling on the critical SM does.  Requires
         at least one completed kernel in the measured window.
         """
-        if self.kernels_completed <= 0 or len(self.kernel_durations) == 0:
+        if len(self.kernel_durations) == 0:
             raise ValueError(
                 "no kernel completed in the measurement window; run longer"
             )
@@ -325,7 +329,6 @@ def run_cosim(
     instructions_at_start = 0
     fakes_at_start = 0
     throttled_at_start = 0
-    kernels_at_start = gpu.kernels_launched
     # Telemetry: stage accumulators.  ``timing`` gates five perf_counter
     # reads per cycle; with telemetry off the loop body is branch-only.
     timing = tele is not None
@@ -342,7 +345,6 @@ def run_cosim(
         if cycle == config.warmup_cycles:
             instructions_at_start = gpu.total_instructions()
             fakes_at_start = gpu.total_fake_instructions()
-            kernels_at_start = gpu.kernels_launched
             if controller is not None:
                 throttled_at_start = controller.throttled_cycles
 
@@ -377,6 +379,13 @@ def run_cosim(
         # the total SM draw equal to P / V_nominal.
         currents = (powers + dcc_powers) / stack.sm_voltage - conductance_bias
         pdn.set_sm_currents(np.maximum(currents, 0.0))
+        if recording:
+            # The DCC power *applied* this cycle (last decision's
+            # command, just injected as current above).  Captured before
+            # the controller updates dcc_powers for the next cycle, so
+            # mean_dcc_power_w ledgers what the PDN actually saw — not
+            # the final cycle's never-applied command.
+            dcc_applied_w = float(dcc_powers.sum())
 
         # 3. Circuit transient over one clock period.
         for _ in range(config.circuit_substeps):
@@ -399,6 +408,14 @@ def run_cosim(
         halted_idx = sorted(halted)
 
         # 4. Detection + control (commands apply after the loop latency).
+        # Ownership contract: decision arrays belong to the controller
+        # and are immutable once enqueued (commands_for caches a
+        # throttle flag on that assumption) — every value retained or
+        # mutated here is copied at this boundary.  widths is mutated
+        # (halted SMs) so it is always copied; fakes is consumed
+        # synchronously by set_fake_rates (which copies into the
+        # engine); dcc is retained across cycles in dcc_powers, so it
+        # is copied into the loop-owned buffer rather than aliased.
         if controller is not None:
             if injector is None:
                 controller.observe(cycle, voltages_now)
@@ -429,7 +446,7 @@ def run_cosim(
                 widths[halted_idx] = 0.0
             gpu.set_issue_widths(widths)
             gpu.set_fake_rates(fakes)
-            dcc_powers = dcc
+            np.copyto(dcc_powers, dcc)
         elif config.shutoff is not None or injector is not None:
             widths = np.full(num, 2.0)
             if halted_idx:
@@ -444,11 +461,11 @@ def run_cosim(
             powers_rec[k] = powers
             sm_voltages[k] = voltages_now
             supply_current[k] = solver.vsource_current("vdd")
-            dcc_energy_accum += float(dcc_powers.sum())
+            dcc_energy_accum += dcc_applied_w
             if timing:
                 v_chan.record(k, voltages_now.min())
                 p_chan.record(k, powers.sum())
-                d_chan.record(k, dcc_powers.sum())
+                d_chan.record(k, dcc_applied_w)
                 layer_powers = powers.reshape(
                     stack.num_layers, stack.num_columns
                 ).sum(axis=1)
@@ -475,6 +492,13 @@ def run_cosim(
     trace = PowerTrace(
         powers_rec, frequency_hz=system.gpu.sm_clock_hz, name=name
     )
+    # Kernel accounting: a kernel is *completed* in the window when both
+    # its launch and the next launch fall at or after the warmup
+    # boundary, i.e. one completed-kernel interval per np.diff entry.
+    # kernels_completed counts exactly those intervals, so it always
+    # agrees with kernel_durations (a bare launch count would disagree
+    # by one for the still-running kernel, and cycles_per_kernel()'s
+    # guard would check the wrong population).
     launches = np.asarray(gpu.kernel_launch_cycles)
     durations = np.diff(launches[launches >= config.warmup_cycles])
     result = CosimResult(
@@ -491,7 +515,7 @@ def run_cosim(
             else 0
         ),
         controller_power_w=controller_power,
-        kernels_completed=gpu.kernels_launched - kernels_at_start,
+        kernels_completed=len(durations),
         mean_dcc_power_w=dcc_energy_accum / config.cycles,
     )
     result.kernel_durations = durations
@@ -577,3 +601,503 @@ def run_crosslayer_cosim(
     return run_cosim(
         benchmark=benchmark, config=CosimConfig(cycles=cycles, **kwargs)
     )
+
+
+# ---------------------------------------------------------------------------
+# Batched struct-of-scenarios engine
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CosimLane:
+    """One scenario of a batched co-simulation.
+
+    Lanes in a batch must share a *topology family* — identical
+    ``cycles``, ``warmup_cycles``, ``circuit_substeps`` and
+    ``cr_ivr_area_mm2`` (the knobs that shape the netlist and the
+    lock-stepped timeline) — while benchmark/kernel, seed, controller
+    gains, actuation weights, shutoff events and fault schedules may
+    vary freely per lane.
+    """
+
+    benchmark: str = "hotspot"
+    config: CosimConfig = field(default_factory=CosimConfig)
+    kernel: Optional[KernelSpec] = None
+
+
+_LANE_SHARED_FIELDS = (
+    "cycles", "warmup_cycles", "circuit_substeps", "cr_ivr_area_mm2"
+)
+
+
+class _BatchLaneState:
+    """Internal per-lane simulation state of ``run_cosim_batch``."""
+
+    __slots__ = (
+        "index", "name", "config", "gpu", "pdn", "solver", "injector",
+        "controller", "controller_power", "in_bank", "shutoff_sms",
+        "instructions_at_start", "fakes_at_start", "throttled_at_start",
+        "applied_decision", "applied_halted", "halted_idx",
+        "count_from", "active_throttling",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.injector = None
+        self.controller = None
+        self.controller_power = 0.0
+        self.in_bank = False
+        self.shutoff_sms: List[int] = []
+        self.instructions_at_start = 0
+        self.fakes_at_start = 0
+        self.throttled_at_start = 0
+        # Actuation gating: the last applied (decision, halted set).
+        # GPU setters are idempotent for identical values, so re-applying
+        # an unchanged decision is skipped; holding a strong reference to
+        # the applied decision keeps the identity check sound.
+        self.applied_decision = None
+        self.applied_halted: tuple = ()
+        self.halted_idx: List[int] = []
+        # Event-driven throttle accounting (fast lanes): the active
+        # decision's throttle flag covers the half-open cycle span
+        # [count_from, next pop); the span length is credited to
+        # throttled_cycles at the next pop/flush, replicating the
+        # serial one-count-per-cycle commands_for bookkeeping.
+        self.count_from = 0
+        self.active_throttling = False
+
+
+def run_cosim_batch(
+    lanes: List[CosimLane],
+    system: SystemConfig = SystemConfig(),
+    params: PDNParameters = DEFAULT_PDN,
+    telemetry: Optional["Telemetry"] = None,
+) -> List[CosimResult]:
+    """Run B co-simulation scenarios lock-stepped as one batch.
+
+    Semantically equivalent to ``[run_cosim(l.benchmark, l.config, ...)
+    for l in lanes]`` — and *bit-identical* to it: every array op that
+    crosses the batch axis is elementwise with per-lane broadcasts (or a
+    row-wise reduction), the circuit back-substitution stays one LAPACK
+    call per lane, and everything data-dependent (kernel scheduling,
+    fault RNG, triggered controller decisions) runs on per-lane objects.
+    The serial path is the correctness oracle; the batch exists for
+    throughput (one NumPy dispatch per array op instead of B).
+
+    All lanes must share the topology-family fields of
+    :class:`CosimLane`.  ``telemetry`` records batch-level stage timings
+    and events only; per-lane manifest sections (noise report, decimated
+    channels) remain a ``run_cosim`` feature.
+    """
+    if not lanes:
+        raise ValueError("need at least one lane")
+    first_cfg = lanes[0].config
+    for lane in lanes[1:]:
+        for field_name in _LANE_SHARED_FIELDS:
+            a = getattr(first_cfg, field_name)
+            b = getattr(lane.config, field_name)
+            if a != b:
+                raise ValueError(
+                    "lanes do not share a topology family: "
+                    f"{field_name} differs ({a} != {b}); run incompatible "
+                    "scenarios in separate batches"
+                )
+
+    tele = telemetry if telemetry is not None and telemetry.enabled else None
+    setup_start = perf_counter()
+    num_lanes = len(lanes)
+    stack = system.stack
+    num = stack.num_sms
+    cycle_s = system.gpu.cycle_time_s
+    conductance_bias = params.sm_conductance * stack.sm_voltage
+    nominal_current = system.power.sm_peak_power_w * 0.5 / stack.sm_voltage
+    warmup = first_cfg.warmup_cycles
+    cycles = first_cfg.cycles
+    substeps = first_cfg.circuit_substeps
+    total_cycles = warmup + cycles
+    if tele is not None:
+        tele.event(
+            "cosim_batch_start", lanes=num_lanes, cycles=cycles,
+            warmup_cycles=warmup,
+            benchmarks=[lane.benchmark for lane in lanes],
+        )
+
+    # The batch axis: row i of this array is lane i's bound SM current
+    # buffer (the PDN sources read it directly; see bind_current_buffer).
+    batch_currents = np.zeros((num_lanes, num), dtype=float)
+
+    states: List[_BatchLaneState] = []
+    for i, lane in enumerate(lanes):
+        config = lane.config
+        ln = _BatchLaneState(i)
+        ln.config = config
+        if lane.kernel is None:
+            spec = get_benchmark(lane.benchmark)
+            ln.gpu = GPU(
+                spec.kernel, config=system, seed=config.seed,
+                miss_ratio=spec.miss_ratio, jitter=spec.jitter,
+                vectorized=config.vectorized_gpu,
+            )
+            ln.name = spec.name
+        else:
+            ln.gpu = GPU(
+                lane.kernel, config=system, seed=config.seed,
+                vectorized=config.vectorized_gpu,
+            )
+            ln.name = lane.kernel.name
+        ln.pdn = build_stacked_pdn(
+            stack=stack, params=params, cr_ivr_area_mm2=config.cr_ivr_area_mm2
+        )
+        # Re-bind the lane's current sources onto its batch row *before*
+        # the solver caches its gather maps.
+        ln.pdn.bind_current_buffer(batch_currents[i])
+        ln.solver = TransientSolver(ln.pdn.circuit, dt=cycle_s / substeps)
+        ln.pdn.set_sm_currents(np.full(num, nominal_current))
+        ln.solver.initialize_dc()
+        if config.faults is not None:
+            from repro.faults.injector import FaultInjector
+
+            ln.injector = FaultInjector(
+                config.faults, stack, pdn=ln.pdn, solver=ln.solver
+            )
+        if config.use_controller:
+            if config.controller_object is not None:
+                ln.controller = config.controller_object
+            else:
+                ln.controller = VoltageSmoothingController(
+                    stack=stack,
+                    config=config.controller,
+                    actuation=config.actuation,
+                    dt_s=cycle_s,
+                )
+            from repro.core.overheads import ControllerOverheads
+
+            ln.controller_power = ControllerOverheads().power_w
+        ln.shutoff_sms = (
+            stack.sms_in_layer(config.shutoff.layer) if config.shutoff else []
+        )
+        states.append(ln)
+
+    batch_solver = BatchTransientSolver(
+        [ln.solver for ln in states], shared_current_base=batch_currents
+    )
+    from repro.gpu.batch import GPUBatch
+
+    gpu_batch = GPUBatch([ln.gpu for ln in states])
+
+    # Batched sensor/decision front end for the "fast" lanes: the stock
+    # controller with an uncorrupted sensor path.  Lanes with injectors
+    # (corrupted/delayed observations) or duck-typed controller objects
+    # keep the serial per-lane code path.
+    bank = None
+    bank_rows: List[int] = []
+    for ln in states:
+        if (
+            ln.injector is None
+            and isinstance(ln.controller, VoltageSmoothingController)
+        ):
+            ln.in_bank = True
+            bank_rows.append(ln.index)
+    if bank_rows:
+        bank = ControllerBank([states[i].controller for i in bank_rows])
+    bank_rows_arr = np.array(bank_rows, dtype=np.intp)
+
+    # Per-SM voltage readout indices — identical across lanes (same
+    # netlist builder); verified against lane 0 at setup.
+    s0 = states[0]
+    top_idx = np.empty(num, dtype=int)
+    bot_idx = np.empty(num, dtype=int)
+    bot_is_ground = np.zeros(num, dtype=bool)
+    for sm in range(num):
+        top, bottom = s0.pdn.sm_terminals(sm)
+        top_idx[sm] = s0.solver.structure.node(top)
+        if bottom == "0":
+            bot_is_ground[sm] = True
+            bot_idx[sm] = 0
+        else:
+            bot_idx[sm] = s0.solver.structure.node(bottom)
+    for ln in states[1:]:
+        for sm in (0, num - 1):
+            if ln.pdn.sm_terminals(sm) != s0.pdn.sm_terminals(sm):
+                raise ValueError(
+                    "lanes do not share a topology family (SM terminal "
+                    "naming differs)"
+                )
+
+    powers_bt = np.empty((num_lanes, num))
+    dcc_bt = np.zeros((num_lanes, num))
+    voltages_bt = np.full((num_lanes, num), stack.sm_voltage)
+    powers_rec_bt = np.empty((num_lanes, cycles, num))
+    sm_voltages_bt = np.empty((num_lanes, cycles, num))
+    supply_bt = np.empty((num_lanes, cycles))
+    dcc_accum = np.zeros(num_lanes)
+    dcc_applied = np.zeros(num_lanes)
+    event_lanes = [
+        ln for ln in states
+        if ln.injector is not None or ln.config.shutoff is not None
+    ]
+    injector_lanes = [ln for ln in states if ln.injector is not None]
+    # Fast lanes — bank-controlled, never halted — apply actuation only
+    # when a decision pops out of the latency pipeline (decisions are
+    # immutable once enqueued, so nothing can change between pops); the
+    # rest replicate the serial per-cycle commands_for path.
+    # (A pre-used controller object that already counted cycles keeps
+    # the serial per-cycle path: its commands_for skips cycles at or
+    # below _counted_through_cycle, which span accounting cannot see.)
+    fast_lanes = [
+        ln for ln in states
+        if ln.in_bank
+        and ln.config.shutoff is None
+        and ln.controller._counted_through_cycle < 0
+    ]
+    slow_ctrl_lanes = [
+        ln for ln in states
+        if ln.controller is not None and ln not in fast_lanes
+    ]
+    for ln in fast_lanes:
+        ln.active_throttling = bool(
+            np.any(
+                ln.controller.active_decision.issue_widths
+                < ln.controller._default_issue_width
+            )
+        )
+    # Skip the per-cycle applied-DCC reduction when no lane can ever
+    # command nonzero DCC power (w3 == 0 and no actuation-distorting
+    # faults): the serial ledger accumulates exact 0.0 adds, which is
+    # bitwise what an untouched accumulator holds.
+    def _lane_dcc_possible(ln: _BatchLaneState) -> bool:
+        if ln.injector is not None and ln.injector.touches_actuation:
+            return True
+        if ln.controller is None:
+            return False
+        if ln.config.controller_object is not None:
+            return True
+        actuation = getattr(ln.controller, "actuation", None)
+        w3 = getattr(actuation, "w3", None)
+        return w3 is None or w3 != 0.0
+
+    dcc_possible = any(_lane_dcc_possible(ln) for ln in states)
+    all_banked = len(bank_rows) == num_lanes
+
+    if tele is not None:
+        tele.add_time("setup", perf_counter() - setup_start)
+    loop_start = perf_counter()
+    for cycle in range(total_cycles):
+        recording = cycle >= warmup
+        if cycle == warmup:
+            # Settle the event-driven throttle spans through warmup-1
+            # before snapshotting (serial counts those cycles one by
+            # one before its warmup-boundary read).
+            for ln in fast_lanes:
+                if ln.active_throttling:
+                    ln.controller.throttled_cycles += cycle - ln.count_from
+                ln.count_from = cycle
+            for ln in states:
+                ln.instructions_at_start = ln.gpu.total_instructions()
+                ln.fakes_at_start = ln.gpu.total_fake_instructions()
+                if ln.controller is not None:
+                    ln.throttled_at_start = ln.controller.throttled_cycles
+        recorded_cycle = cycle - warmup
+
+        # 1. GPU cycle per lane (independent engines, lock-stepped).
+        gpu_batch.step_into(powers_bt)
+        for ln in injector_lanes:
+            ln.injector.apply_circuit_faults(recorded_cycle)
+            powers_bt[ln.index] = ln.injector.scale_powers(
+                recorded_cycle, powers_bt[ln.index]
+            )
+            scales = ln.injector.frequency_scales(recorded_cycle)
+            if scales is not None:
+                ln.gpu.set_frequency_scales(scales)
+
+        # 2. Powers -> PDN currents, all lanes at once (the op sequence
+        # matches run_cosim elementwise; see its convention note).
+        currents_bt = (powers_bt + dcc_bt) / stack.sm_voltage - conductance_bias
+        np.maximum(currents_bt, 0.0, out=batch_currents)
+        if recording and dcc_possible:
+            # Bugfix parity with run_cosim: ledger the *applied* DCC.
+            dcc_applied = dcc_bt.sum(axis=1)
+
+        # 3. Circuit transient over one clock period, batched.
+        for _ in range(substeps):
+            node_bt = batch_solver.step()
+        bottoms = np.where(bot_is_ground, 0.0, node_bt[:, bot_idx])
+        voltages_bt = node_bt[:, top_idx] - bottoms
+
+        # Halted SMs per lane (shutoff events + fault-scheduled halts).
+        for ln in event_lanes:
+            halted: set = set()
+            shutoff = ln.config.shutoff
+            if shutoff is not None and shutoff.active(recorded_cycle):
+                halted.update(ln.shutoff_sms)
+            if ln.injector is not None:
+                halted.update(ln.injector.halted_sms(recorded_cycle))
+            ln.gpu.barrier_exempt = halted
+            ln.halted_idx = sorted(halted)
+
+        # 4. Detection + control.  Bank lanes advance their RC filters
+        # and decision waves batched; the rest replicate the serial
+        # paths verbatim.  Actuation application is gated on decision
+        # identity (setters are idempotent; decisions are immutable
+        # once enqueued), except under actuation-distorting faults
+        # which may perturb every cycle.
+        if bank is not None:
+            if all_banked:
+                bank.observe(cycle, voltages_bt)
+            else:
+                bank.observe(cycle, voltages_bt[bank_rows_arr])
+        for ln in fast_lanes:
+            controller = ln.controller
+            pipeline = controller._pipeline
+            if pipeline and pipeline[0][0] <= cycle:
+                while pipeline and pipeline[0][0] <= cycle:
+                    _, decision = pipeline.popleft()
+                if decision is ln.applied_decision:
+                    # An idle wave re-enqueued the object already
+                    # applied: same values, same throttle flag — the
+                    # open span simply continues.
+                    continue
+                throttling = bool(
+                    np.any(
+                        decision.issue_widths
+                        < controller._default_issue_width
+                    )
+                )
+                controller.active_decision = decision
+                controller._active_throttling = throttling
+                if ln.active_throttling:
+                    controller.throttled_cycles += cycle - ln.count_from
+                ln.count_from = cycle
+                ln.active_throttling = throttling
+                if decision is not ln.applied_decision:
+                    # Never halted, so the decision arrays pass through
+                    # unmutated (the engine setters copy internally).
+                    ln.gpu.set_issue_widths(decision.issue_widths)
+                    ln.gpu.set_fake_rates(decision.fake_rates)
+                    np.copyto(dcc_bt[ln.index], decision.dcc_powers_w)
+                    ln.applied_decision = decision
+            elif ln.applied_decision is None:
+                # First cycles before any pop: the initial active
+                # decision (what serial commands_for returns) applies.
+                decision = controller.active_decision
+                ln.gpu.set_issue_widths(decision.issue_widths)
+                ln.gpu.set_fake_rates(decision.fake_rates)
+                np.copyto(dcc_bt[ln.index], decision.dcc_powers_w)
+                ln.applied_decision = decision
+        for ln in slow_ctrl_lanes:
+            controller = ln.controller
+            if ln.in_bank:
+                decision = controller.commands_for(cycle)
+            elif ln.injector is None:
+                controller.observe(cycle, voltages_bt[ln.index])
+                decision = controller.commands_for(cycle)
+            else:
+                seen = ln.injector.corrupt_sensors(
+                    recorded_cycle, voltages_bt[ln.index]
+                )
+                if ln.injector.observation_allowed(recorded_cycle):
+                    controller.observe(cycle, seen)
+                decision = controller.commands_for(
+                    cycle - ln.injector.extra_latency(recorded_cycle)
+                )
+            if ln.injector is not None and ln.injector.touches_actuation:
+                widths = decision.issue_widths.copy()
+                fakes = decision.fake_rates.copy()
+                dcc = decision.dcc_powers_w.copy()
+                ln.injector.distort_actuation(
+                    recorded_cycle, widths, fakes, dcc
+                )
+                if ln.halted_idx:
+                    widths[ln.halted_idx] = 0.0
+                ln.gpu.set_issue_widths(widths)
+                ln.gpu.set_fake_rates(fakes)
+                np.copyto(dcc_bt[ln.index], dcc)
+            else:
+                halted_sig = tuple(ln.halted_idx)
+                if (
+                    decision is not ln.applied_decision
+                    or halted_sig != ln.applied_halted
+                ):
+                    widths = decision.issue_widths.copy()
+                    if ln.halted_idx:
+                        widths[ln.halted_idx] = 0.0
+                    ln.gpu.set_issue_widths(widths)
+                    ln.gpu.set_fake_rates(decision.fake_rates)
+                    np.copyto(dcc_bt[ln.index], decision.dcc_powers_w)
+                    ln.applied_decision = decision
+                    ln.applied_halted = halted_sig
+        for ln in event_lanes:
+            if ln.controller is None:
+                halted_sig = tuple(ln.halted_idx)
+                if ln.applied_decision is None or halted_sig != ln.applied_halted:
+                    widths = np.full(num, 2.0)
+                    if ln.halted_idx:
+                        widths[ln.halted_idx] = 0.0
+                    ln.gpu.set_issue_widths(widths)
+                    ln.applied_decision = widths
+                    ln.applied_halted = halted_sig
+
+        if recording:
+            k = recorded_cycle
+            powers_rec_bt[:, k, :] = powers_bt
+            sm_voltages_bt[:, k, :] = voltages_bt
+            supply_bt[:, k] = batch_solver.vsource_currents("vdd")
+            if dcc_possible:
+                dcc_accum += dcc_applied
+    # Settle the remaining event-driven throttle spans so lane
+    # controllers end bit-equal to serial post-run state.
+    for ln in fast_lanes:
+        if ln.active_throttling:
+            ln.controller.throttled_cycles += total_cycles - ln.count_from
+        ln.controller._counted_through_cycle = total_cycles - 1
+    if tele is not None:
+        tele.add_time("batch_loop", perf_counter() - loop_start)
+
+    finalize_start = perf_counter()
+    results: List[CosimResult] = []
+    for ln in states:
+        trace = PowerTrace(
+            powers_rec_bt[ln.index],
+            frequency_hz=system.gpu.sm_clock_hz,
+            name=ln.name,
+        )
+        launches = np.asarray(ln.gpu.kernel_launch_cycles)
+        durations = np.diff(launches[launches >= warmup])
+        result = CosimResult(
+            benchmark=ln.name,
+            power_trace=trace,
+            sm_voltages=sm_voltages_bt[ln.index],
+            supply_current=supply_bt[ln.index],
+            stack=stack,
+            instructions=(
+                ln.gpu.total_instructions() - ln.instructions_at_start
+            ),
+            fake_instructions=(
+                ln.gpu.total_fake_instructions() - ln.fakes_at_start
+            ),
+            throttled_cycles=(
+                ln.controller.throttled_cycles - ln.throttled_at_start
+                if ln.controller is not None
+                else 0
+            ),
+            controller_power_w=ln.controller_power,
+            kernels_completed=len(durations),
+            mean_dcc_power_w=float(dcc_accum[ln.index]) / cycles,
+        )
+        result.kernel_durations = durations
+        if ln.injector is not None:
+            from repro.faults.injector import build_fault_report
+
+            result.fault_report = build_fault_report(
+                ln.injector, result, ln.controller
+            )
+        results.append(result)
+    if tele is not None:
+        tele.add_time("finalize", perf_counter() - finalize_start)
+        for ln, result in zip(states, results):
+            tele.event(
+                "cosim_batch_lane_done", lane=ln.index,
+                benchmark=result.benchmark,
+                min_voltage_v=result.min_voltage,
+                throughput_ipc=result.throughput(),
+            )
+        tele.event("cosim_batch_done", lanes=num_lanes)
+    return results

@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.cosim import CosimConfig
+from repro.sim.cosim import _LANE_SHARED_FIELDS as _BATCH_COMPAT_FIELDS
 from repro.telemetry import Telemetry, config_hash, to_jsonable
 
 # Seed derivation: a fixed odd multiplier keeps per-point seeds distinct
@@ -343,6 +344,87 @@ def _run_point_to_queue(runner, payload, queue) -> None:
     queue.put(runner(payload))
 
 
+@dataclass
+class _Task:
+    """One unit of worker execution: a point, or a compatible batch.
+
+    ``runner(payload)`` returns one :class:`SweepPointResult` (per-point
+    task) or a list of them (batch task); ``points`` enumerates the grid
+    points the task covers so path-level failures (broken pool, kill at
+    deadline, worker crash) can be attributed to every affected point.
+    """
+
+    runner: object
+    payload: object
+    points: Tuple[SweepPoint, ...]
+
+    def failure(self, error: str, error_type: str, **kwargs) -> List[SweepPointResult]:
+        return [
+            SweepPointResult(
+                point=p, ok=False, error=error, error_type=error_type,
+                **kwargs,
+            )
+            for p in self.points
+        ]
+
+
+def _run_task(task: _Task) -> List[SweepPointResult]:
+    """Process-pool entry: run a task, normalizing to a result list."""
+    result = task.runner(task.payload)
+    return result if isinstance(result, list) else [result]
+
+
+def _run_point_batch(
+    payload: Tuple[Tuple[SweepPoint, ...], CosimConfig],
+) -> List[SweepPointResult]:
+    """Run one compatible batch of grid points through the lock-stepped
+    batched co-simulator; never raises.
+
+    The batch is bit-identical to running each point serially, so the
+    per-point metrics are interchangeable with :func:`_run_point`'s;
+    only ``elapsed_s`` differs in meaning (the batch wall time split
+    evenly across its lanes).  If the batch run fails as a whole, every
+    point falls back to an independent serial run so a single diverging
+    point cannot take its batch-mates down with it.
+    """
+    points, base = payload
+    start = time.perf_counter()
+    try:
+        from repro.sim.cosim import CosimLane, run_cosim_batch
+
+        lanes = [
+            CosimLane(benchmark=p.benchmark, config=p.config(base))
+            for p in points
+        ]
+        results = run_cosim_batch(lanes)
+    except Exception:  # noqa: BLE001 — per-point serial fallback
+        return [_run_point((p, base)) for p in points]
+    per_lane = (time.perf_counter() - start) / len(points)
+    out: List[SweepPointResult] = []
+    for point, result in zip(points, results):
+        try:
+            metrics, note = _point_metrics(result)
+            out.append(
+                SweepPointResult(
+                    point=point, ok=True, metrics=metrics, note=note,
+                    elapsed_s=per_lane,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 — structured capture
+            out.append(
+                SweepPointResult(
+                    point=point, ok=False,
+                    error=(
+                        f"{type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc()}"
+                    ),
+                    error_type=type(exc).__name__,
+                    elapsed_s=per_lane,
+                )
+            )
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Runner
 # ---------------------------------------------------------------------------
@@ -353,8 +435,17 @@ class SweepRunner:
     otherwise points fan out across processes — a
     :class:`~concurrent.futures.ProcessPoolExecutor` in ``chunksize``
     batches, or (with ``point_timeout_s`` set) one killable process per
-    point so a hung point can be terminated at its deadline.  Results
+    task so a hung task can be terminated at its deadline.  Results
     always come back in grid order, independent of worker scheduling.
+
+    ``batch_size > 1`` groups compatible points (same cycle counts,
+    circuit substeps and CR-IVR area — the topology-family contract of
+    :func:`repro.sim.cosim.run_cosim_batch`) into lock-stepped batched
+    co-simulations, which amortize the per-cycle Python overhead across
+    lanes while staying bit-identical to per-point runs.  A batch that
+    fails as a whole falls back to independent serial runs of its
+    points; an injected ``point_runner`` disables batching (tasks stay
+    one point each so the injected runner actually runs).
 
     ``max_attempts > 1`` re-runs retryable failures in waves separated
     by ``retry_backoff_s * 2**(wave-1)`` seconds.  ``checkpoint_path``
@@ -379,11 +470,14 @@ class SweepRunner:
         checkpoint_path=None,
         checkpoint_every: int = 1,
         point_runner=None,
+        batch_size: int = 1,
     ) -> None:
         if not points:
             raise ValueError("sweep needs at least one point")
         if chunksize <= 0:
             raise ValueError(f"chunksize must be positive, got {chunksize}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         if point_timeout_s is not None and point_timeout_s <= 0:
             raise ValueError(
                 f"point_timeout_s must be positive, got {point_timeout_s}"
@@ -411,6 +505,11 @@ class SweepRunner:
         )
         self.checkpoint_every = checkpoint_every
         self._point_runner = point_runner or _run_point
+        # Batched execution rides the bit-identical run_cosim_batch
+        # engine, so an injected point_runner (tests substitute hanging
+        # or crashing stand-ins per point) keeps the one-point-per-task
+        # shape: batching would silently bypass it.
+        self.batch_size = batch_size if point_runner is None else 1
         # index -> result preloaded from a checkpoint (resume).
         self._preloaded: Dict[int, SweepPointResult] = {}
         self._completed_since_checkpoint = 0
@@ -515,6 +614,7 @@ class SweepRunner:
             tele.event(
                 "sweep_start", num_points=len(self.points), workers=workers,
                 chunksize=self.chunksize,
+                batch_size=self.batch_size,
                 resumed_points=len(self._preloaded),
                 point_timeout_s=self.point_timeout_s,
                 max_attempts=self.max_attempts,
@@ -562,6 +662,7 @@ class SweepRunner:
                 "num_timed_out": sum(1 for r in results if r.timed_out),
                 "num_resumed": len(self._preloaded),
                 "workers": workers,
+                "batch_size": self.batch_size,
                 # Fraction of the worker pool's wall-clock capacity spent
                 # inside points; low values localize a slow sweep to
                 # scheduling/serialization rather than the points.
@@ -580,20 +681,62 @@ class SweepRunner:
             elapsed_s=elapsed,
         )
 
-    def _call_runner(
-        self, payload: Tuple[SweepPoint, CosimConfig]
-    ) -> SweepPointResult:
-        """Invoke the point runner, structuring any exception it leaks.
+    def _group_batches(
+        self, points: Sequence[SweepPoint]
+    ) -> List[Tuple[SweepPoint, ...]]:
+        """Partition ``points`` into batches the lock-stepped engine can
+        co-simulate: lanes of one batch must agree on the topology-family
+        fields ``run_cosim_batch`` validates (cycle counts, substeps,
+        CR-IVR area).  Grouping is stable — batches come out in first-seen
+        order and points keep their grid order within a batch."""
+        buckets: Dict[Tuple, List[SweepPoint]] = {}
+        batches: List[Tuple[SweepPoint, ...]] = []
+        for point in points:
+            config = point.config(self.base_config)
+            key = tuple(
+                getattr(config, name) for name in _BATCH_COMPAT_FIELDS
+            )
+            bucket = buckets.setdefault(key, [])
+            bucket.append(point)
+            if len(bucket) >= self.batch_size:
+                batches.append(tuple(bucket))
+                bucket.clear()
+        for bucket in buckets.values():
+            if bucket:
+                batches.append(tuple(bucket))
+        return batches
 
-        The built-in runner captures its own failures; this guard keeps
-        an injected ``point_runner`` that raises from aborting the whole
-        sweep (and losing the checkpoint progress of finished points).
+    def _make_tasks(self, points: Sequence[SweepPoint]) -> List[_Task]:
+        if self.batch_size > 1:
+            return [
+                _Task(
+                    runner=_run_point_batch,
+                    payload=(batch, self.base_config),
+                    points=batch,
+                )
+                for batch in self._group_batches(points)
+            ]
+        return [
+            _Task(
+                runner=self._point_runner,
+                payload=(p, self.base_config),
+                points=(p,),
+            )
+            for p in points
+        ]
+
+    def _call_task(self, task: _Task) -> List[SweepPointResult]:
+        """Invoke a task inline, structuring any exception it leaks.
+
+        The built-in runners capture their own failures; this guard
+        keeps an injected ``point_runner`` that raises from aborting the
+        whole sweep (and losing the checkpoint progress of finished
+        points).
         """
         try:
-            return self._point_runner(payload)
+            return _run_task(task)
         except Exception as exc:
-            return SweepPointResult(
-                point=payload[0], ok=False,
+            return task.failure(
                 error=f"{type(exc).__name__}: {exc}",
                 error_type=type(exc).__name__,
             )
@@ -604,28 +747,27 @@ class SweepRunner:
         """One attempt over ``points``, yielding each result as it
         completes (completion order, not grid order) so the caller can
         checkpoint incrementally; never raises."""
-        payloads = [(p, self.base_config) for p in points]
+        tasks = self._make_tasks(points)
         if self.point_timeout_s is not None:
-            yield from self._run_wave_killable(payloads, workers)
+            yield from self._run_wave_killable(tasks, workers)
             return
         if inline:
-            for payload in payloads:
-                yield self._call_runner(payload)
+            for task in tasks:
+                yield from self._call_task(task)
             return
         done = 0
         try:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                for result in pool.map(
-                    self._point_runner, payloads, chunksize=self.chunksize
+                for results in pool.map(
+                    _run_task, tasks, chunksize=self.chunksize
                 ):
                     done += 1
-                    yield result
+                    yield from results
         except BrokenProcessPool:
             # A worker died hard (OOM kill, segfault).  Points without a
             # result get a structured, retryable failure.
-            for point, _ in payloads[done:]:
-                yield SweepPointResult(
-                    point=point, ok=False,
+            for task in tasks[done:]:
+                yield from task.failure(
                     error="worker process pool broke before this point "
                           "completed",
                     error_type="BrokenProcessPool",
@@ -633,23 +775,24 @@ class SweepRunner:
         except Exception as exc:
             # A custom point runner raised inside the pool; ``map``
             # re-raises on iteration and drops the rest of the wave.
-            for point, _ in payloads[done:]:
-                yield SweepPointResult(
-                    point=point, ok=False,
+            for task in tasks[done:]:
+                yield from task.failure(
                     error=f"{type(exc).__name__}: {exc}",
                     error_type=type(exc).__name__,
                 )
 
     def _run_wave_killable(
-        self, payloads: List[Tuple[SweepPoint, CosimConfig]], workers: int
+        self, tasks: List[_Task], workers: int
     ) -> Iterator[SweepPointResult]:
-        """Process-per-point execution with a wall-clock deadline each.
+        """Process-per-task execution with a wall-clock deadline each.
 
         ``ProcessPoolExecutor`` cannot kill a hung task, so the timeout
         path manages its own worker processes: up to ``workers`` run at
-        once, each with a private result queue; a point that misses its
+        once, each with a private result queue; a task that misses its
         deadline is terminated (then killed) and captured as a
-        structured timeout.
+        structured timeout.  A batch task covers several points' worth
+        of work, so its deadline is ``point_timeout_s`` per covered
+        point — and a kill or crash is attributed to every point in it.
         """
         import multiprocessing as mp
         import queue as queue_mod
@@ -658,11 +801,10 @@ class SweepRunner:
             ctx = mp.get_context("fork")
         except ValueError:  # pragma: no cover — non-POSIX fallback
             ctx = mp.get_context()
-        pending = list(payloads)
-        running: List[Tuple[object, object, Tuple[SweepPoint, CosimConfig], float]] = []
-        deadline = self.point_timeout_s
+        pending = list(tasks)
+        running: List[Tuple[object, object, _Task, float]] = []
 
-        def harvest(proc, result_queue, payload, started) -> Optional[SweepPointResult]:
+        def harvest(proc, result_queue, task, started) -> Optional[List[SweepPointResult]]:
             now = time.monotonic()
             try:
                 result = result_queue.get_nowait()
@@ -679,8 +821,7 @@ class SweepRunner:
                     return result
                 except queue_mod.Empty:
                     proc.join()
-                    return SweepPointResult(
-                        point=payload[0], ok=False,
+                    return task.failure(
                         error=(
                             "worker process died without a result "
                             f"(exit code {proc.exitcode})"
@@ -688,42 +829,46 @@ class SweepRunner:
                         error_type="WorkerCrash",
                         elapsed_s=now - started,
                     )
+            deadline = self.point_timeout_s * len(task.points)
             if now - started > deadline:
                 proc.terminate()
                 proc.join(timeout=2.0)
                 if proc.is_alive():  # pragma: no cover — SIGTERM ignored
                     proc.kill()
                     proc.join()
-                return SweepPointResult(
-                    point=payload[0], ok=False,
+                return task.failure(
                     error=(
-                        f"point exceeded its {deadline:g} s wall-clock "
+                        f"task exceeded its {deadline:g} s wall-clock "
                         "timeout and was killed"
                     ),
                     error_type="TimeoutError",
                     timed_out=True,
-                    elapsed_s=now - started,
+                    elapsed_s=(now - started) / len(task.points),
                 )
             return None
 
         while pending or running:
             while pending and len(running) < workers:
-                payload = pending.pop(0)
+                task = pending.pop(0)
                 result_queue = ctx.Queue(maxsize=1)
                 proc = ctx.Process(
                     target=_run_point_to_queue,
-                    args=(self._point_runner, payload, result_queue),
+                    args=(_run_task, task, result_queue),
                     daemon=True,
                 )
                 proc.start()
-                running.append((proc, result_queue, payload, time.monotonic()))
+                running.append((proc, result_queue, task, time.monotonic()))
             still_running = []
             for entry in running:
                 outcome = harvest(*entry)
                 if outcome is None:
                     still_running.append(entry)
                 else:
-                    yield outcome
+                    yield from (
+                        outcome
+                        if isinstance(outcome, list)
+                        else [outcome]
+                    )
             running = still_running
             if running:
                 time.sleep(0.02)
@@ -765,9 +910,9 @@ def run_sweep(
 ) -> SweepResult:
     """Convenience wrapper: expand the grid and run it.
 
-    Extra keyword arguments (``point_timeout_s``, ``max_attempts``,
-    ``retry_backoff_s``, ``checkpoint_path``, ...) pass through to
-    :class:`SweepRunner`.
+    Extra keyword arguments (``batch_size``, ``point_timeout_s``,
+    ``max_attempts``, ``retry_backoff_s``, ``checkpoint_path``, ...)
+    pass through to :class:`SweepRunner`.
     """
     points = expand_grid(benchmarks, axes, base_seed=base_seed)
     runner = SweepRunner(
