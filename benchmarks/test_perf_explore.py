@@ -1,0 +1,100 @@
+"""Exploration-service efficiency: halving + caching vs exhaustive.
+
+The exploration service earns its keep two ways, and this driver gates
+both on a small reference grid:
+
+* **Successive halving** must full-length-simulate at most half the
+  grid (screening happens at a quarter of the run length, so the
+  cycle-weighted work is well below an exhaustive sweep's), and
+* **the config-hash store** must make a repeat exploration free: the
+  second run serves every point from cache and simulates nothing.
+
+Writes ``benchmarks/results/perf_explore.json`` (simulated/served
+counts, cycle-weighted work ratio, wall times) so CI can track the
+service's efficiency as an artifact.
+"""
+
+import json
+import time
+
+from conftest import RESULTS_DIR, emit
+from repro.analysis.report import format_table
+from repro.sim.cosim import CosimConfig
+from repro.sim.explore import run_exploration
+
+BENCHMARKS = ("hotspot", "bfs")
+AXES = {
+    "cr_ivr_area_mm2": [52.9, 105.8, 211.6],
+    "seed": [3, 7],
+}
+BASE = CosimConfig(cycles=800, warmup_cycles=100)
+SCREEN_CYCLES = 200
+GRID_SIZE = len(BENCHMARKS) * len(AXES["cr_ivr_area_mm2"]) * len(AXES["seed"])
+
+
+def _explore(store_path):
+    start = time.perf_counter()
+    result = run_exploration(
+        BENCHMARKS, AXES, BASE, store_path=store_path,
+        rounds=2, eta=2, screen_cycles=SCREEN_CYCLES, max_workers=1,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_exploration_halves_work_and_caches_the_rest(tmp_path):
+    store = tmp_path / "store.jsonl"
+    cold, cold_s = _explore(store)
+    warm, warm_s = _explore(store)
+
+    # Halving: the final (full-length) round covers at most half the grid.
+    final = cold.rounds[-1]
+    assert final.cycles == BASE.cycles
+    full_length_points = final.simulated + final.served_from_cache
+    assert full_length_points <= GRID_SIZE // 2
+
+    # Cycle-weighted work vs an exhaustive full-length sweep of the grid.
+    explored_cycles = sum(r.simulated * r.cycles for r in cold.rounds)
+    exhaustive_cycles = GRID_SIZE * BASE.cycles
+    work_ratio = explored_cycles / exhaustive_cycles
+    assert work_ratio < 1.0
+
+    # Caching: the repeat run is pure cache service.
+    assert warm.num_simulated == 0
+    assert warm.num_served == cold.num_simulated
+    assert warm.front == cold.front
+
+    rows = [
+        ["grid points", str(GRID_SIZE), ""],
+        ["cold: simulated", str(cold.num_simulated),
+         f"{cold_s:.1f}s wall"],
+        ["cold: full-length points", str(full_length_points),
+         f"<= {GRID_SIZE // 2} (halving gate)"],
+        ["cold: cycle-weighted work", f"{work_ratio:.0%}",
+         "of exhaustive sweep"],
+        ["warm: simulated", str(warm.num_simulated), "(cache gate: 0)"],
+        ["warm: served from cache", str(warm.num_served),
+         f"{warm_s:.2f}s wall"],
+        ["frontier size", str(len(cold.front)), ""],
+    ]
+    table = format_table(
+        ["quantity", "value", "note"], rows,
+        title="Exploration service efficiency",
+    )
+    emit("perf_explore", table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "perf_explore.json", "w") as handle:
+        json.dump({
+            "grid_points": GRID_SIZE,
+            "full_cycles": BASE.cycles,
+            "screen_cycles": SCREEN_CYCLES,
+            "cold_simulated": cold.num_simulated,
+            "cold_full_length_points": full_length_points,
+            "cold_work_ratio_vs_exhaustive": work_ratio,
+            "cold_wall_s": cold_s,
+            "warm_simulated": warm.num_simulated,
+            "warm_served": warm.num_served,
+            "warm_wall_s": warm_s,
+            "front_size": len(cold.front),
+        }, handle, indent=2)
+        handle.write("\n")

@@ -17,6 +17,7 @@ exactly what the gate exists to catch).
 from __future__ import annotations
 
 import json
+import math
 import numbers
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -175,6 +176,12 @@ def _judge(
     tol = threshold.tolerance(base)
     if candidate is None:
         return MetricDelta(name, base, candidate, tol, MISSING)
+    # A NaN (or infinite) gated value makes every `<`/`>` comparison
+    # below False, which used to fall through to ``ok`` — a run whose
+    # physics produced NaN would sail through the CI gate.  Losing a
+    # finite value is exactly what the gate exists to catch.
+    if not (math.isfinite(base) and math.isfinite(candidate)):
+        return MetricDelta(name, base, candidate, tol, REGRESSED)
     delta = candidate - base
     if threshold.better == HIGHER:
         worse, better = delta < -tol, delta > tol

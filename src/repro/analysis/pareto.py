@@ -1,0 +1,157 @@
+"""Pareto dominance over design-space exploration results.
+
+The paper's headline design-space claim is a trade-off surface: how
+much CR-IVR die area buys how much power delivery efficiency at what
+guardband risk.  No single scalar ranks that; the honest artifact is
+the Pareto frontier — the set of evaluated points no other point beats
+on *every* objective.  This module computes it.
+
+Objectives are declared with a direction (:data:`MIN`/:data:`MAX`), and
+the default triple mirrors the paper's axes: CR-IVR area (smaller is
+cheaper), PDE (higher is the point of the whole exercise), and
+guardband violation depth (how far the worst SM sank below the 0.8 V
+guardband; 0 for a compliant run).
+
+The frontier of a fixed point set is *set-unique* — independent of the
+order points were evaluated or fed in — and :func:`pareto_front`
+guarantees a deterministic output order on top (sorted by the
+objective tuple, then the row's ``benchmark``/``index`` identity), so
+two explorations of the same grid emit byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: Objective directions.
+MIN, MAX = "min", "max"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One Pareto axis: a row key and whether smaller or larger wins."""
+
+    name: str
+    sense: str = MIN
+
+    def __post_init__(self) -> None:
+        if self.sense not in (MIN, MAX):
+            raise ValueError(
+                f"sense must be {MIN!r} or {MAX!r}, got {self.sense!r}"
+            )
+
+    def ascending(self, value: float) -> float:
+        """Map the value so *smaller is always better*."""
+        return float(value) if self.sense == MIN else -float(value)
+
+
+#: The paper's design-space axes (see module docstring).
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("cr_ivr_area_mm2", MIN),
+    Objective("pde", MAX),
+    Objective("guardband_violation_v", MIN),
+)
+
+
+def _vector(
+    row: Mapping[str, object], objectives: Sequence[Objective]
+) -> Tuple[float, ...]:
+    try:
+        return tuple(obj.ascending(row[obj.name]) for obj in objectives)
+    except KeyError as exc:
+        raise ValueError(
+            f"row is missing objective {exc.args[0]!r}: "
+            f"has {sorted(row)}"
+        ) from None
+
+
+def dominates(
+    a: Mapping[str, object],
+    b: Mapping[str, object],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> bool:
+    """Whether ``a`` is at least as good as ``b`` everywhere and
+    strictly better somewhere."""
+    va, vb = _vector(a, objectives), _vector(b, objectives)
+    return all(x <= y for x, y in zip(va, vb)) and va != vb
+
+
+def pareto_front(
+    rows: Sequence[Mapping[str, object]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> List[Dict[str, object]]:
+    """The non-dominated subset of ``rows``, deterministically ordered.
+
+    Rows with identical objective vectors are *both* kept (neither
+    strictly dominates the other): distinct designs that tie on every
+    objective are distinct frontier answers.  The result is invariant
+    to the input order of ``rows``.
+    """
+    vectors = [_vector(row, objectives) for row in rows]
+    front: List[Dict[str, object]] = []
+    keys: List[Tuple] = []
+    for row, vec in zip(rows, vectors):
+        if any(
+            all(x <= y for x, y in zip(other, vec)) and other != vec
+            for other in vectors
+        ):
+            continue
+        front.append(dict(row))
+        keys.append((vec, str(row.get("benchmark", "")), row.get("index", 0)))
+    order = sorted(range(len(front)), key=lambda i: keys[i])
+    return [front[i] for i in order]
+
+
+def pareto_ranks(
+    rows: Sequence[Mapping[str, object]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> List[int]:
+    """Non-dominated rank of every row (0 = frontier).
+
+    Successive-halving promotion uses these: strip the frontier, rank
+    the remainder, repeat.  Aligned with ``rows``; order-invariant in
+    the same sense as :func:`pareto_front`.
+    """
+    vectors = [_vector(row, objectives) for row in rows]
+    ranks = [-1] * len(rows)
+    remaining = list(range(len(rows)))
+    rank = 0
+    while remaining:
+        layer = [
+            i for i in remaining
+            if not any(
+                all(x <= y for x, y in zip(vectors[j], vectors[i]))
+                and vectors[j] != vectors[i]
+                for j in remaining
+            )
+        ]
+        for i in layer:
+            ranks[i] = rank
+        remaining = [i for i in remaining if ranks[i] < 0]
+        rank += 1
+    return ranks
+
+
+def render_pareto(
+    front: Sequence[Mapping[str, object]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+    title: str = "Pareto frontier",
+) -> str:
+    """Human-readable frontier table (``repro explore`` output)."""
+    from repro.analysis.report import format_table
+
+    headers = ["benchmark"] + [
+        f"{obj.name} ({obj.sense})" for obj in objectives
+    ] + ["knobs"]
+    rows = []
+    for row in front:
+        knobs = ", ".join(
+            f"{k}={v}" for k, v in sorted(dict(row.get("overrides") or {}).items())
+        )
+        rows.append(
+            [str(row.get("benchmark", "?"))]
+            + [f"{float(row[obj.name]):.6g}" for obj in objectives]
+            + [knobs or "-"]
+        )
+    return format_table(headers, rows, title=f"{title} ({len(front)} points)")

@@ -9,6 +9,10 @@ Subcommands mirror the library's main workflows:
   matches);
 * ``sweep``     — parallel co-simulation grid (area x benchmark x ...)
   with per-point timeouts, bounded retries and checkpoint/resume;
+* ``explore``   — design-space exploration service: successive-halving
+  search over the grid with a persistent config-hash result cache,
+  emitting the PDE-vs-area-vs-guardband Pareto frontier
+  (``pareto.json``);
 * ``trace``     — summarize a telemetry manifest written by the above;
 * ``observe``   — render a run's noise-observatory report (band
   decomposition, droop events, PDE loss ledger, layer imbalance);
@@ -293,6 +297,97 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if sweep.successes() else 1
 
 
+def _parse_axis_value(text: str):
+    """One axis value: JSON scalar when it parses, bare string otherwise."""
+    import json
+
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sim.cosim import CosimConfig
+    from repro.sim.explore import run_exploration
+    from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+    if args.benchmarks.strip().lower() == "all":
+        benchmarks = list(BENCHMARK_NAMES)
+    else:
+        benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    axes = {}
+    if args.areas.strip():
+        axes["cr_ivr_area_mm2"] = [
+            float(a) for a in args.areas.split(",") if a.strip()
+        ]
+    for spec in args.axis:
+        name, sep, values = spec.partition("=")
+        if not sep or not name.strip() or not values.strip():
+            print(f"bad --axis {spec!r}: expected FIELD=V1,V2,...",
+                  file=sys.stderr)
+            return 2
+        axes[name.strip()] = [
+            _parse_axis_value(v.strip()) for v in values.split(",") if v.strip()
+        ]
+    base = CosimConfig(
+        cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        use_controller=not args.no_controller,
+    )
+
+    def progress(result) -> None:
+        status = "cached" if result.cached else ("ok" if result.ok else "FAILED")
+        print(f"  {result.point.describe():<48s} {status} "
+              f"({result.elapsed_s:.1f}s)", flush=True)
+
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(run_id="explore")
+    try:
+        result = run_exploration(
+            benchmarks,
+            axes,
+            base,
+            store_path=args.store,
+            rounds=args.rounds,
+            eta=args.eta,
+            screen_cycles=args.screen_cycles or None,
+            guardband_v=args.guardband,
+            base_seed=args.seed,
+            max_workers=args.workers,
+            batch_size=args.batch_size,
+            point_timeout_s=args.timeout or None,
+            max_attempts=args.retries + 1,
+            progress=progress if args.verbose else None,
+            telemetry=telemetry,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print(f"exploration failed: {exc}", file=sys.stderr)
+        return 2
+    if telemetry is not None:
+        from repro.telemetry import write_run
+
+        manifest = write_run(
+            telemetry, args.telemetry, config=base,
+            extra={
+                "command": "explore",
+                "benchmarks": benchmarks,
+                "axes": {k: list(v) for k, v in axes.items()},
+            },
+        )
+        print(f"telemetry written to {manifest}")
+    print(result.render())
+    if args.output:
+        path = result.write_json(Path(args.output))
+        print(f"pareto artifact written to {path}")
+    return 0 if result.front else 1
+
+
 def _cmd_impedance(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_series
     from repro.circuits.ac import log_frequency_grid
@@ -563,6 +658,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", default="", metavar="DIR",
                    help="write a run manifest + JSONL event log here")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "explore",
+        help="cached successive-halving exploration of the design space; "
+             "emits the Pareto-frontier artifact (pareto.json)",
+    )
+    p.add_argument("--benchmarks", default="hotspot,heartwall,fastwalsh,bfs",
+                   help="comma-separated benchmark names, or 'all'")
+    p.add_argument("--areas", default="52.9,105.8,211.6",
+                   help="CR-IVR area axis in mm^2 ('' to drop the axis)")
+    p.add_argument(
+        "--axis", action="append", default=[], metavar="FIELD=V1,V2",
+        help="extra grid axis over a CosimConfig field; dotted names "
+             "reach nested configs (e.g. controller.k2=4,8,16); values "
+             "are parsed as JSON scalars when possible",
+    )
+    p.add_argument("--cycles", type=int, default=1000,
+                   help="full-length run cycles (the final round)")
+    p.add_argument("--warmup", type=int, default=200)
+    p.add_argument("--rounds", type=int, default=2,
+                   help="successive-halving rounds (1 = exhaustive)")
+    p.add_argument("--eta", type=int, default=2,
+                   help="keep ~1/eta of the candidates per round")
+    p.add_argument("--screen-cycles", type=int, default=0, metavar="N",
+                   help="round-1 screening run length (0 = cycles/4)")
+    p.add_argument("--guardband", type=float, default=0.8, metavar="V",
+                   help="guardband voltage for the violation objective")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--no-controller", action="store_true")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: one per CPU; 1 = inline)")
+    p.add_argument("--batch-size", type=int, default=1, metavar="B",
+                   help="batched co-sim lanes per task (1 = off)")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="S",
+                   help="per-point wall-clock timeout (0 = none)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts for retryable failures")
+    p.add_argument("--store", default="explore_store.jsonl", metavar="FILE",
+                   help="persistent config-hash result cache (JSONL); "
+                        "reused across runs, shards and refinements")
+    p.add_argument("--output", default="pareto.json", metavar="FILE",
+                   help="Pareto artifact path ('' to skip writing)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-point progress lines")
+    p.add_argument("--telemetry", default="", metavar="DIR",
+                   help="write a run manifest + JSONL event log here")
+    p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
         "trace", help="summarize a telemetry manifest (dir or file)"

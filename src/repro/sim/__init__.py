@@ -15,6 +15,12 @@ from repro.sim.cosim import (
     run_cosim,
     run_crosslayer_cosim,
 )
+from repro.sim.explore import (
+    ExploreResult,
+    ExploreRound,
+    round_schedule,
+    run_exploration,
+)
 from repro.sim.pds_configs import PDS_CONFIGS, PDSKind
 from repro.sim.power_experiments import (
     run_baseline,
@@ -29,6 +35,7 @@ from repro.sim.sweep import (
     expand_grid,
     run_sweep,
 )
+from repro.sim.store import ResultStore, point_key
 from repro.sim.trace_cosim import (
     apply_actuation_replay,
     replay_trace,
@@ -38,21 +45,27 @@ from repro.sim.trace_cosim import (
 __all__ = [
     "CosimConfig",
     "CosimResult",
+    "ExploreResult",
+    "ExploreRound",
     "LayerShutoffEvent",
     "PDSKind",
     "PDS_CONFIGS",
+    "ResultStore",
     "SweepPoint",
     "SweepPointResult",
     "SweepResult",
     "SweepRunner",
     "apply_actuation_replay",
     "expand_grid",
+    "point_key",
     "replay_trace",
+    "round_schedule",
     "run_baseline",
     "run_cosim",
     "run_crosslayer_cosim",
     "run_current_pattern",
     "run_dfs_experiment",
+    "run_exploration",
     "run_pg_experiment",
     "run_sweep",
 ]

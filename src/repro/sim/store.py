@@ -1,0 +1,152 @@
+"""Persistent, config-hash-keyed cache of sweep point results.
+
+The exploration service (:mod:`repro.sim.explore`) revisits the same
+design points over and over: successive-halving rounds promote a point
+from short screening runs to full-length runs, shards of a long sweep
+overlap, and a re-launched exploration starts from the grid's origin
+again.  Simulating a point twice is pure waste — a co-simulation is
+deterministic in its ``(benchmark, CosimConfig)`` pair, so its metrics
+can be served from disk.
+
+:class:`ResultStore` is that disk: an append-only JSONL file where each
+line holds one completed :class:`~repro.sim.sweep.SweepPointResult`
+record under its cache key
+
+``config_hash(point.config(base)) + ":" + benchmark``
+
+(the same stable hash the telemetry manifest stamps on runs, so a store
+entry is traceable to any manifest with the matching hash).  The hash
+covers *every* config field — cycles, seed, gains, area — which is what
+makes serving safe: a screening run and a full-length run of the same
+knobs are different keys.
+
+Robustness contract: the store is best-effort by design.  A truncated
+or corrupt line (a writer killed mid-append, a partial copy) degrades
+to a cache *miss* for that entry, never a crash; duplicate keys keep
+the last writer.  Only successful results are cached — failures must
+re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from repro.sim.cosim import CosimConfig
+from repro.sim.sweep import SweepPoint, SweepPointResult
+from repro.telemetry import config_hash, to_jsonable
+
+
+def point_key(point: SweepPoint, base: CosimConfig) -> str:
+    """Cache key of ``point`` under ``base``: full-config hash + benchmark."""
+    return f"{config_hash(point.config(base))}:{point.benchmark}"
+
+
+class ResultStore:
+    """JSONL-backed map from cache key to a sweep point's result record.
+
+    ``get``/``serve`` hits and misses are counted (``stats()``) so the
+    exploration telemetry can report cache effectiveness per round.
+    The constructor loads the whole file tolerantly; ``put`` appends
+    one line and flushes, so concurrent *readers* of the file see only
+    whole lines or a tolerated partial tail.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self.corrupt_lines = 0
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path) as handle:
+            for line in handle.read().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    record = entry["record"]
+                    if not isinstance(key, str) or not isinstance(record, dict):
+                        raise ValueError("malformed store entry")
+                    # Probe that the record rebuilds; a record that
+                    # cannot is as useless as a torn line.
+                    SweepPointResult.from_record(record)
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                self._entries[key] = record
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored record under ``key``, counting the hit or miss."""
+        record = self._entries.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def serve(self, key: str, point: SweepPoint) -> Optional[SweepPointResult]:
+        """Rebuild the cached result of ``point``, or ``None`` on miss.
+
+        The result is re-attached to the live ``point`` (the stored
+        grid index may come from a different shard's numbering) and
+        flagged ``cached``; its metrics are byte-identical to what the
+        original simulation recorded.
+        """
+        record = self.get(key)
+        if record is None:
+            return None
+        result = SweepPointResult.from_record(record)
+        result.point = point
+        result.cached = True
+        return result
+
+    def put(self, key: str, result: SweepPointResult) -> bool:
+        """Persist a *successful* result under ``key``.
+
+        Failures are not cached (they must re-run); re-putting an
+        existing key is a no-op so refinement rounds do not bloat the
+        file.  Returns whether a line was written.
+        """
+        if not result.ok or key in self._entries:
+            return False
+        record = to_jsonable(result.to_record())
+        self._entries[key] = record
+        line = json.dumps(
+            {"key": key, "record": record}, separators=(",", ":")
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.puts += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Mapping[str, object]:
+        lookups = self.hits + self.misses
+        return {
+            "path": str(self.path),
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "corrupt_lines": self.corrupt_lines,
+        }

@@ -73,7 +73,13 @@ def point_seed(base_seed: int, index: int) -> int:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid point: a benchmark plus ``CosimConfig`` field overrides."""
+    """One grid point: a benchmark plus ``CosimConfig`` field overrides.
+
+    Override names may be dotted (``controller.k2``) to reach one level
+    into a nested config dataclass — the axis syntax that lets sweeps
+    and the exploration service vary controller gains without shipping
+    whole ``ControllerConfig`` objects through JSON checkpoints.
+    """
 
     index: int
     benchmark: str
@@ -85,7 +91,16 @@ class SweepPoint:
 
         An explicit ``seed`` axis wins over the derived per-point seed.
         """
-        fields = dict(self.overrides)
+        fields: Dict[str, object] = {}
+        nested: Dict[str, Dict[str, object]] = {}
+        for name, value in self.overrides:
+            if "." in name:
+                head, tail = name.split(".", 1)
+                nested.setdefault(head, {})[tail] = value
+            else:
+                fields[name] = value
+        for head, sub in nested.items():
+            fields[head] = replace(getattr(base, head), **sub)
         fields.setdefault("seed", self.seed)
         return replace(base, **fields)
 
@@ -102,7 +117,9 @@ class SweepPointResult:
     (e.g. ``cycles_per_kernel`` unavailable on a short run) so they
     surface in ``repro trace`` / the results JSON instead of being
     silently swallowed.  ``attempts``/``timed_out`` record the retry
-    history under the hardened runner.
+    history under the hardened runner.  ``cached`` marks a result
+    served from a :class:`~repro.sim.store.ResultStore` instead of a
+    fresh simulation (its ``elapsed_s`` is the original run's).
     """
 
     point: SweepPoint
@@ -114,6 +131,7 @@ class SweepPointResult:
     attempts: int = 1
     timed_out: bool = False
     note: Optional[str] = None
+    cached: bool = False
 
     @property
     def retryable(self) -> bool:
@@ -137,6 +155,7 @@ class SweepPointResult:
             "attempts": self.attempts,
             "timed_out": self.timed_out,
             "note": self.note,
+            "cached": self.cached,
         }
 
     @classmethod
@@ -158,6 +177,7 @@ class SweepPointResult:
             attempts=int(record.get("attempts", 1)),
             timed_out=bool(record.get("timed_out", False)),
             note=record.get("note"),
+            cached=bool(record.get("cached", False)),
         )
 
 
@@ -242,19 +262,31 @@ def expand_grid(
     """Cartesian product of ``benchmarks`` x every axis of ``axes``.
 
     ``axes`` maps :class:`CosimConfig` field names to value lists, e.g.
-    ``{"cr_ivr_area_mm2": [52.9, 105.8, 211.6]}``.  Unknown field names
-    fail fast here rather than inside a worker process.
+    ``{"cr_ivr_area_mm2": [52.9, 105.8, 211.6]}``.  A dotted name like
+    ``controller.k2`` reaches one level into a nested config dataclass
+    (controller gains, actuation weights).  Unknown field names fail
+    fast here rather than inside a worker process.
     """
     if not benchmarks:
         raise ValueError("need at least one benchmark")
     axes = dict(axes or {})
     config_fields = set(CosimConfig.__dataclass_fields__)
+    reference = CosimConfig()
     for name in axes:
-        if name not in config_fields:
+        head, _, tail = name.partition(".")
+        if head not in config_fields:
             raise ValueError(
-                f"unknown CosimConfig field {name!r}; "
+                f"unknown CosimConfig field {head!r}; "
                 f"valid axes: {sorted(config_fields)}"
             )
+        if tail:
+            nested = getattr(reference, head)
+            nested_fields = getattr(nested, "__dataclass_fields__", {})
+            if tail not in nested_fields:
+                raise ValueError(
+                    f"unknown nested field {name!r}; valid "
+                    f"{head}.* axes: {sorted(nested_fields)}"
+                )
         if len(axes[name]) == 0:
             raise ValueError(f"axis {name!r} has no values")
     keys = list(axes)
@@ -512,6 +544,11 @@ class SweepRunner:
         self.batch_size = batch_size if point_runner is None else 1
         # index -> result preloaded from a checkpoint (resume).
         self._preloaded: Dict[int, SweepPointResult] = {}
+        # index -> last recorded failure from the checkpoint.  Its
+        # ``attempts`` seeds the retry budget so a resumed sweep cannot
+        # grant a failing point a fresh ``max_attempts`` every resume;
+        # a point whose budget is already spent keeps this result.
+        self._prior_failures: Dict[int, SweepPointResult] = {}
         self._completed_since_checkpoint = 0
 
     # ------------------------------------------------------------------
@@ -556,10 +593,14 @@ class SweepRunner:
         """Rebuild a runner from a checkpoint written by a killed sweep.
 
         Points whose successful results are recorded in the checkpoint
-        are *not* re-run; recorded failures are retried.  The checkpoint
-        must describe the same sweep: identical base config and grid
-        (both hashed), otherwise resuming would silently mix results
-        from different experiments.
+        are *not* re-run; recorded failures are retried while attempt
+        budget remains — their recorded ``attempts`` carry over, so the
+        total attempts a point receives across any number of resumes
+        never exceed ``max_attempts``.  A point that already spent its
+        budget keeps its recorded failure.  The checkpoint must
+        describe the same sweep: identical base config and grid (both
+        hashed), otherwise resuming would silently mix results from
+        different experiments.
         """
         checkpoint_path = Path(checkpoint_path)
         with open(checkpoint_path) as handle:
@@ -585,6 +626,8 @@ class SweepRunner:
             result.point = point
             if result.ok:
                 runner._preloaded[point.index] = result
+            else:
+                runner._prior_failures[point.index] = result
         return runner
 
     # ------------------------------------------------------------------
@@ -620,8 +663,19 @@ class SweepRunner:
                 max_attempts=self.max_attempts,
             )
         results_by_index: Dict[int, SweepPointResult] = dict(self._preloaded)
-        pending = [p for p in self.points if p.index not in results_by_index]
+        # Failed points resume with their recorded attempt count; one
+        # whose budget is already spent keeps its checkpointed failure
+        # instead of being granted a fresh ``max_attempts`` per resume.
         attempts: Dict[int, int] = {p.index: 0 for p in self.points}
+        for index, failure in self._prior_failures.items():
+            if index in attempts:
+                attempts[index] = failure.attempts
+                if failure.attempts >= self.max_attempts:
+                    results_by_index.setdefault(index, failure)
+        pending = [p for p in self.points if p.index not in results_by_index]
+        # Results carried over from a checkpoint spent their wall time
+        # in a *previous* run; utilization below measures this run only.
+        carried = frozenset(results_by_index)
         start = time.perf_counter()
         wave = 0
         while pending:
@@ -654,7 +708,9 @@ class SweepRunner:
         elapsed = time.perf_counter() - start
         results = [results_by_index[p.index] for p in self.points]
         if tele is not None:
-            busy = sum(r.elapsed_s for r in results)
+            busy = sum(
+                r.elapsed_s for r in results if r.point.index not in carried
+            )
             tele.add_time("sweep", elapsed)
             tele.set_metrics({
                 "num_points": len(results),
@@ -821,13 +877,16 @@ class SweepRunner:
                     return result
                 except queue_mod.Empty:
                     proc.join()
+                    # Like the timeout branch: the batch's wall time is
+                    # split across its points, not charged in full to
+                    # every one of them.
                     return task.failure(
                         error=(
                             "worker process died without a result "
                             f"(exit code {proc.exitcode})"
                         ),
                         error_type="WorkerCrash",
-                        elapsed_s=now - started,
+                        elapsed_s=(now - started) / len(task.points),
                     )
             deadline = self.point_timeout_s * len(task.points)
             if now - started > deadline:

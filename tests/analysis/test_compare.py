@@ -157,6 +157,47 @@ class TestCompare:
         assert "faults.min_voltage_v" in names
         assert compare_manifests(bad, good).ok
 
+    def test_nan_candidate_regresses_every_gated_metric(self):
+        """A NaN compares False against everything, which used to fall
+        through every gate to 'ok' — a broken run must fail the gate."""
+        nan = float("nan")
+        broken = manifest(
+            metrics={
+                **BASE["metrics"],
+                "min_voltage_v": nan, "pde": nan, "throughput_ipc": nan,
+            },
+            noise_summary=BASE["noise"]["summary"],
+        )
+        report = compare_manifests(BASE, broken)
+        assert not report.ok
+        regressed = {r.name for r in report.regressions}
+        assert {"min_voltage_v", "pde", "throughput_ipc"} <= regressed
+
+    def test_nan_base_regresses_too(self):
+        broken_base = manifest(
+            metrics={**BASE["metrics"], "min_voltage_v": float("nan")},
+            noise_summary=BASE["noise"]["summary"],
+        )
+        report = compare_manifests(broken_base, BASE)
+        row = next(r for r in report.rows if r.name == "min_voltage_v")
+        assert row.status == "REGRESSED"
+        assert not report.ok
+
+    def test_infinite_gated_value_regresses(self):
+        inf = manifest(
+            metrics={**BASE["metrics"], "throughput_ipc": float("inf")},
+            noise_summary=BASE["noise"]["summary"],
+        )
+        report = compare_manifests(BASE, inf)
+        assert [r.name for r in report.regressions] == ["throughput_ipc"]
+
+    def test_nan_on_untracked_metric_does_not_gate(self):
+        base = manifest(metrics={"weird_metric": 1.0})
+        cand = manifest(metrics={"weird_metric": float("nan")})
+        report = compare_manifests(base, cand)
+        assert report.ok
+        assert report.rows[0].status == "untracked"
+
     def test_stable_direction_flags_both_ways(self):
         gates = {"mean_power_w": Threshold("stable", rel_tol=0.05)}
         base = manifest(metrics={"mean_power_w": 60.0})

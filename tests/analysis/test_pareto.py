@@ -1,0 +1,155 @@
+"""Tests for Pareto dominance, fronts and ranks (repro.analysis.pareto).
+
+The frontier of a fixed point set is a *set* property — independent of
+how the points were ordered or discovered — and the exploration service
+leans on that for artifact determinism.  The hypothesis test pins it.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pareto import (
+    DEFAULT_OBJECTIVES,
+    MAX,
+    MIN,
+    Objective,
+    dominates,
+    pareto_front,
+    pareto_ranks,
+    render_pareto,
+)
+
+
+def row(area, pde, viol, benchmark="bfs", index=0):
+    return {
+        "benchmark": benchmark,
+        "index": index,
+        "cr_ivr_area_mm2": area,
+        "pde": pde,
+        "guardband_violation_v": viol,
+    }
+
+
+class TestObjective:
+    def test_rejects_unknown_sense(self):
+        with pytest.raises(ValueError, match="sense"):
+            Objective("pde", "sideways")
+
+    def test_ascending_flips_max_objectives(self):
+        assert Objective("pde", MAX).ascending(0.9) == -0.9
+        assert Objective("area", MIN).ascending(0.9) == 0.9
+
+    def test_default_objectives_match_paper_axes(self):
+        names = {o.name: o.sense for o in DEFAULT_OBJECTIVES}
+        assert names == {
+            "cr_ivr_area_mm2": MIN,
+            "pde": MAX,
+            "guardband_violation_v": MIN,
+        }
+
+
+class TestDominates:
+    def test_better_everywhere_dominates(self):
+        assert dominates(row(50, 0.95, 0.0), row(200, 0.90, 0.01))
+
+    def test_tie_does_not_dominate(self):
+        a, b = row(50, 0.95, 0.0), row(50, 0.95, 0.0)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_tradeoff_is_incomparable(self):
+        cheap = row(50, 0.90, 0.0)
+        efficient = row(200, 0.95, 0.0)
+        assert not dominates(cheap, efficient)
+        assert not dominates(efficient, cheap)
+
+    def test_missing_objective_is_an_error(self):
+        with pytest.raises(ValueError, match="missing objective"):
+            dominates({"pde": 1.0}, row(50, 0.9, 0.0))
+
+
+class TestParetoFront:
+    def test_dominated_rows_are_dropped(self):
+        rows = [
+            row(50, 0.95, 0.0, index=0),
+            row(200, 0.95, 0.0, index=1),   # strictly worse area
+            row(200, 0.97, 0.0, index=2),   # pays area for pde: kept
+        ]
+        front = pareto_front(rows)
+        assert [r["index"] for r in front] == [0, 2]
+
+    def test_objective_ties_are_both_kept(self):
+        rows = [row(50, 0.95, 0.0, index=0), row(50, 0.95, 0.0, index=1)]
+        assert len(pareto_front(rows)) == 2
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_output_rows_are_copies(self):
+        rows = [row(50, 0.95, 0.0)]
+        front = pareto_front(rows)
+        front[0]["pde"] = -1
+        assert rows[0]["pde"] == 0.95
+
+
+class TestParetoRanks:
+    def test_layered_ranks(self):
+        rows = [
+            row(50, 0.95, 0.0, index=0),   # frontier
+            row(60, 0.90, 0.0, index=1),   # dominated by 0 only
+            row(70, 0.85, 0.0, index=2),   # dominated by 0 and 1
+        ]
+        assert pareto_ranks(rows) == [0, 1, 2]
+
+    def test_rank_zero_is_exactly_the_front(self):
+        rows = [
+            row(50, 0.90, 0.0, index=0),
+            row(200, 0.95, 0.0, index=1),
+            row(210, 0.94, 0.0, index=2),
+        ]
+        ranks = pareto_ranks(rows)
+        front_ids = {r["index"] for r in pareto_front(rows)}
+        assert {
+            r["index"] for r, k in zip(rows, ranks) if k == 0
+        } == front_ids
+
+
+# Small float grids keep duplicate objective vectors likely, which is
+# exactly the tie-handling corner worth fuzzing.
+_VALUES = st.sampled_from([0.0, 0.5, 1.0, 2.0])
+_ROWS = st.lists(
+    st.tuples(_VALUES, _VALUES, _VALUES), min_size=1, max_size=12
+).map(
+    lambda triples: [
+        row(a, p, v, index=i) for i, (a, p, v) in enumerate(triples)
+    ]
+)
+
+
+class TestOrderInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=_ROWS, seed=st.integers(0, 2**16))
+    def test_front_is_invariant_to_evaluation_order(self, rows, seed):
+        import random
+
+        shuffled = list(rows)
+        random.Random(seed).shuffle(shuffled)
+        assert pareto_front(shuffled) == pareto_front(rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows=_ROWS)
+    def test_front_members_are_mutually_non_dominated(self, rows):
+        front = pareto_front(rows)
+        assert front  # a non-empty finite set always has a frontier
+        for a in front:
+            assert not any(dominates(b, a) for b in rows)
+
+
+class TestRender:
+    def test_render_lists_objectives_and_knobs(self):
+        front = [dict(row(50, 0.95, 0.0), overrides={"seed": 7})]
+        text = render_pareto(front)
+        assert "cr_ivr_area_mm2 (min)" in text
+        assert "pde (max)" in text
+        assert "seed=7" in text
+        assert "(1 points)" in text

@@ -1,0 +1,338 @@
+"""Tests for the design-space exploration service (repro.sim.explore).
+
+The acceptance contract from the issue is pinned end to end on a
+reference grid: successive halving must recover the *identical* Pareto
+frontier an exhaustive full-length sweep finds, while running at most
+half the grid at full length; and a repeat exploration against the same
+store must simulate nothing at all.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.pareto import DEFAULT_OBJECTIVES, pareto_front
+from repro.sim.cosim import CosimConfig
+from repro.sim.explore import (
+    DEFAULT_GUARDBAND_V,
+    ExploreRound,
+    _objective_row,
+    _promote,
+    round_schedule,
+    run_exploration,
+)
+from repro.sim.store import ResultStore
+from repro.sim.sweep import SweepPoint, SweepPointResult, run_sweep
+from repro.telemetry import Telemetry
+
+# Reference grid: the warmup-cycle knob is run-length stable (its
+# ranking at 120 screening cycles matches 300 full cycles for both
+# benchmarks and areas), so halving provably converges to the
+# exhaustive frontier while full-length-simulating only the survivors.
+BENCHMARKS = ["hotspot", "bfs"]
+AXES = {
+    "cr_ivr_area_mm2": [52.9, 211.6],
+    "warmup_cycles": [60, 0],
+    "seed": [42],
+}
+BASE = CosimConfig(cycles=300, warmup_cycles=60)
+SCREEN_CYCLES = 120
+
+# A small config for behavioral tests that exercise accounting, not
+# frontier recovery.
+FAST = CosimConfig(cycles=40, warmup_cycles=10)
+
+
+def benchmark_front(rows, objectives=DEFAULT_OBJECTIVES):
+    """Per-benchmark frontier union, exactly as the service defines it."""
+    front = []
+    for benchmark in sorted({str(r["benchmark"]) for r in rows}):
+        front.extend(
+            pareto_front(
+                [r for r in rows if r["benchmark"] == benchmark], objectives
+            )
+        )
+    return front
+
+
+class TestRoundSchedule:
+    def test_single_round_is_full_length_only(self):
+        assert round_schedule(1000, 250, 1) == [1000]
+
+    def test_two_rounds(self):
+        assert round_schedule(300, 120, 2) == [120, 300]
+
+    def test_geometric_interpolation_ends_exactly_at_full(self):
+        schedule = round_schedule(1000, 100, 3)
+        assert schedule[0] == 100
+        assert schedule[-1] == 1000
+        assert schedule == sorted(schedule)
+        assert 100 < schedule[1] < 1000
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="rounds"):
+            round_schedule(1000, 100, 0)
+        with pytest.raises(ValueError, match="screen_cycles"):
+            round_schedule(1000, 1000, 2)
+        with pytest.raises(ValueError, match="screen_cycles"):
+            round_schedule(1000, 0, 2)
+
+
+class TestObjectiveRow:
+    def _result(self, min_v):
+        point = SweepPoint(
+            index=0, benchmark="bfs",
+            overrides=(("cr_ivr_area_mm2", 52.9),), seed=7,
+        )
+        return SweepPointResult(
+            point=point, ok=True,
+            metrics={
+                "pde": 0.9, "min_voltage_v": min_v, "throughput_ipc": 100.0
+            },
+        )
+
+    def test_violation_depth_below_guardband(self):
+        row = _objective_row(self._result(0.76), BASE, DEFAULT_GUARDBAND_V)
+        assert row["guardband_violation_v"] == pytest.approx(0.04)
+        assert row["cr_ivr_area_mm2"] == 52.9
+
+    def test_compliant_run_has_zero_violation(self):
+        row = _objective_row(self._result(0.85), BASE, DEFAULT_GUARDBAND_V)
+        assert row["guardband_violation_v"] == 0.0
+
+    def test_rows_carry_no_provenance_fields(self):
+        """cached/elapsed_s must not leak into the artifact rows, or a
+        cached re-run would emit a different pareto.json."""
+        row = _objective_row(self._result(0.85), BASE, DEFAULT_GUARDBAND_V)
+        assert "cached" not in row
+        assert "elapsed_s" not in row
+
+
+class TestPromote:
+    def _row(self, index, area, pde, benchmark="bfs"):
+        return {
+            "benchmark": benchmark, "index": index,
+            "cr_ivr_area_mm2": area, "pde": pde,
+            "guardband_violation_v": 0.0,
+        }
+
+    def test_keeps_quota_by_rank(self):
+        rows = [
+            self._row(0, 50, 0.95),   # frontier
+            self._row(1, 60, 0.90),   # rank 1
+            self._row(2, 70, 0.85),   # rank 2
+            self._row(3, 80, 0.80),   # rank 3
+        ]
+        assert _promote(rows, eta=2, objectives=DEFAULT_OBJECTIVES) == [0, 1]
+
+    def test_frontier_is_never_cut(self):
+        # Three mutually non-dominated points, quota of 2: all survive.
+        rows = [
+            self._row(0, 50, 0.90),
+            self._row(1, 100, 0.93),
+            self._row(2, 200, 0.95),
+            self._row(3, 210, 0.80),
+        ]
+        survivors = _promote(rows, eta=2, objectives=DEFAULT_OBJECTIVES)
+        assert survivors == [0, 1, 2]
+
+    def test_promotion_is_per_benchmark(self):
+        rows = [
+            self._row(0, 50, 0.95, "bfs"),
+            self._row(1, 60, 0.90, "bfs"),
+            self._row(2, 50, 0.10, "hotspot"),  # weak, but its own race
+            self._row(3, 60, 0.05, "hotspot"),
+        ]
+        survivors = _promote(rows, eta=2, objectives=DEFAULT_OBJECTIVES)
+        assert survivors == [0, 2]
+
+
+@pytest.fixture(scope="module")
+def reference_exploration(tmp_path_factory):
+    """The reference grid explored twice against one store, plus the
+    exhaustive sweep of the same grid."""
+    scratch = tmp_path_factory.mktemp("explore")
+    store = scratch / "store.jsonl"
+    kwargs = dict(
+        axes=AXES, base_config=BASE, store_path=store,
+        rounds=2, eta=2, screen_cycles=SCREEN_CYCLES, max_workers=1,
+    )
+    first = run_exploration(BENCHMARKS, **kwargs)
+    second = run_exploration(BENCHMARKS, **kwargs)
+    exhaustive = run_sweep(
+        BENCHMARKS, AXES, base_config=BASE, max_workers=1
+    )
+    return first, second, exhaustive, scratch
+
+
+class TestAcceptance:
+    """The issue's acceptance criteria on the reference grid."""
+
+    def test_recovers_the_exhaustive_pareto_front(self, reference_exploration):
+        first, _, exhaustive, _ = reference_exploration
+        rows = [
+            _objective_row(r, BASE, DEFAULT_GUARDBAND_V)
+            for r in exhaustive.points
+            if r.ok
+        ]
+        assert len(rows) == len(exhaustive.points)  # nothing failed
+        assert first.front == benchmark_front(rows)
+        assert first.front  # non-trivial frontier
+
+    def test_simulates_at_most_half_the_grid_at_full_length(
+        self, reference_exploration
+    ):
+        first, _, exhaustive, _ = reference_exploration
+        grid_size = len(exhaustive.points)
+        final = first.rounds[-1]
+        assert final.cycles == BASE.cycles
+        assert final.simulated + final.served_from_cache <= grid_size // 2
+
+    def test_screening_runs_the_whole_grid_short(self, reference_exploration):
+        first, _, exhaustive, _ = reference_exploration
+        screening = first.rounds[0]
+        assert screening.cycles == SCREEN_CYCLES
+        assert screening.candidates == len(exhaustive.points)
+        assert screening.simulated == len(exhaustive.points)
+
+    def test_rerun_simulates_nothing(self, reference_exploration):
+        _, second, _, _ = reference_exploration
+        assert second.num_simulated == 0
+        assert second.num_served > 0
+        assert all(r.cache_hit_rate == 1.0 for r in second.rounds)
+
+    def test_rerun_front_and_artifact_are_identical(
+        self, reference_exploration
+    ):
+        first, second, _, scratch = reference_exploration
+        assert second.front == first.front
+        assert second.evaluated == first.evaluated
+        a = first.write_json(scratch / "pareto_a.json").read_bytes()
+        b = second.write_json(scratch / "pareto_b.json").read_bytes()
+        # Normalize run-local accounting; everything else must match
+        # byte for byte (the artifact is deterministic by construction).
+        da, db = json.loads(a), json.loads(b)
+        for doc in (da, db):
+            doc.pop("elapsed_s")
+            doc.pop("rounds")
+            doc.pop("cache")
+            doc["points_simulated"] = None
+            doc["points_served_from_cache"] = None
+        assert json.dumps(da, sort_keys=True) == json.dumps(db, sort_keys=True)
+
+    def test_artifact_schema(self, reference_exploration):
+        first, _, _, _ = reference_exploration
+        doc = first.to_dict()
+        assert doc["artifact"] == "pareto"
+        assert doc["config_hash"]
+        assert doc["guardband_v"] == DEFAULT_GUARDBAND_V
+        assert [o["name"] for o in doc["objectives"]] == [
+            "cr_ivr_area_mm2", "pde", "guardband_violation_v"
+        ]
+        assert doc["front_size"] == len(doc["front"])
+        assert len(doc["rounds"]) == 2
+        for row in doc["front"]:
+            assert set(row) >= {
+                "benchmark", "index", "overrides", "seed",
+                "cr_ivr_area_mm2", "pde", "min_voltage_v",
+                "guardband_violation_v", "throughput_ipc",
+            }
+
+    def test_render_reports_accounting(self, reference_exploration):
+        first, second, _, _ = reference_exploration
+        text = second.render()
+        assert "Pareto frontier" in text
+        assert "100% hit rate" in text
+        assert "0 simulated" in text
+
+
+class TestBehavior:
+    def test_validation_errors(self, tmp_path):
+        with pytest.raises(ValueError, match="eta"):
+            run_exploration(
+                ["hotspot"], {"seed": [1]}, FAST,
+                store_path=tmp_path / "s.jsonl", eta=1,
+            )
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            run_exploration(
+                ["hotspot"], {"seed": [1]}, FAST,
+                store_path=tmp_path / "s.jsonl",
+                checkpoint_path=tmp_path / "ckpt.json",
+            )
+
+    def test_all_points_failing_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="eliminated every candidate"):
+            run_exploration(
+                ["__no_such_benchmark__"], {"seed": [1, 2]}, FAST,
+                store_path=tmp_path / "s.jsonl",
+                rounds=2, screen_cycles=10, max_workers=1,
+            )
+
+    def test_shards_dedup_through_a_shared_store(self, tmp_path):
+        """Two explorations over overlapping slices share one store: the
+        second shard re-simulates none of the overlap."""
+        store = tmp_path / "store.jsonl"
+        kwargs = dict(
+            axes={"seed": [1, 2]}, base_config=FAST, store_path=store,
+            rounds=2, screen_cycles=10, max_workers=1,
+        )
+        shard1 = run_exploration(["hotspot"], **kwargs)
+        assert shard1.num_served == 0
+        shard2 = run_exploration(["hotspot", "bfs"], **kwargs)
+        # Every hotspot evaluation in shard 2 came from shard 1's work.
+        served = shard2.num_served
+        assert served == shard1.num_simulated
+        assert shard2.num_simulated == shard1.num_simulated  # the bfs half
+
+    def test_failed_points_are_not_cached_and_rerun(self, tmp_path):
+        store_path = tmp_path / "store.jsonl"
+        with pytest.raises(RuntimeError):
+            run_exploration(
+                ["__no_such_benchmark__"], {"seed": [1]}, FAST,
+                store_path=store_path, rounds=2, screen_cycles=10,
+                max_workers=1,
+            )
+        assert len(ResultStore(store_path)) == 0
+
+    def test_telemetry_records_rounds_and_cache_rates(self, tmp_path):
+        tele = Telemetry(run_id="explore-test")
+        result = run_exploration(
+            ["hotspot"], {"seed": [1, 2]}, FAST,
+            store_path=tmp_path / "s.jsonl",
+            rounds=2, screen_cycles=10, max_workers=1, telemetry=tele,
+        )
+        kinds = [e["kind"] for e in tele.events]
+        assert "explore_start" in kinds
+        assert kinds.count("explore_round_start") == 2
+        assert kinds.count("explore_round_done") == 2
+        assert "explore_done" in kinds
+        done = [e for e in tele.events if e["kind"] == "explore_round_done"]
+        assert all("cache_hit_rate" in e for e in done)
+        assert tele.metrics["points_simulated"] == result.num_simulated
+        assert tele.metrics["front_size"] == len(result.front)
+        assert tele.metrics["cache_hit_rate"] == 0.0
+
+    def test_progress_sees_cached_and_fresh_results(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        kwargs = dict(
+            axes={"seed": [1]}, base_config=FAST, store_path=store,
+            rounds=1, max_workers=1,
+        )
+        run_exploration(["hotspot"], **kwargs)
+        seen = []
+        run_exploration(["hotspot"], progress=seen.append, **kwargs)
+        assert len(seen) == 1
+        assert seen[0].cached
+
+    def test_round_stats_shape(self):
+        rnd = ExploreRound(
+            number=1, cycles=100, warmup_cycles=20, candidates=8,
+            served_from_cache=2, simulated=6, promoted=4,
+        )
+        assert rnd.cache_hit_rate == 0.25
+        doc = rnd.to_dict()
+        assert doc["round"] == 1
+        assert doc["cache_hit_rate"] == 0.25
+        assert ExploreRound(
+            number=1, cycles=1, warmup_cycles=0, candidates=0
+        ).cache_hit_rate == 0.0

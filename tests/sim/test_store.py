@@ -1,0 +1,183 @@
+"""Tests for the config-hash result store (repro.sim.store).
+
+The store's contract: a key hit serves metrics bit-identical to the
+original simulation, any corruption degrades to a miss (never a crash),
+and keys distinguish every config field — run length and seed included —
+so a screening-round result can never masquerade as a full-length one.
+"""
+
+import json
+
+from repro.sim.cosim import CosimConfig
+from repro.sim.store import ResultStore, point_key
+from repro.sim.sweep import SweepPointResult, SweepRunner, expand_grid
+
+FAST = CosimConfig(cycles=40, warmup_cycles=10)
+
+
+def one_point(seed=1):
+    return expand_grid(["hotspot"], {"seed": [seed]})[0]
+
+
+def ok_result(point, metrics=None):
+    return SweepPointResult(
+        point=point, ok=True,
+        metrics=metrics or {"pde": 0.9, "min_voltage_v": 0.82},
+        elapsed_s=0.5,
+    )
+
+
+class TestPointKey:
+    def test_key_is_hash_plus_benchmark(self):
+        key = point_key(one_point(), FAST)
+        digest, _, benchmark = key.partition(":")
+        assert benchmark == "hotspot"
+        assert len(digest) > 8
+
+    def test_same_config_same_key(self):
+        assert point_key(one_point(), FAST) == point_key(one_point(), FAST)
+
+    def test_key_distinguishes_run_length(self):
+        longer = CosimConfig(cycles=400, warmup_cycles=10)
+        assert point_key(one_point(), FAST) != point_key(one_point(), longer)
+
+    def test_key_distinguishes_seed_and_benchmark(self):
+        assert point_key(one_point(1), FAST) != point_key(one_point(2), FAST)
+        bfs = expand_grid(["bfs"], {"seed": [1]})[0]
+        assert point_key(one_point(1), FAST) != point_key(bfs, FAST)
+
+
+class TestHitMiss:
+    def test_miss_on_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        assert store.serve("nope:hotspot", one_point()) is None
+        assert store.stats()["misses"] == 1
+        assert store.stats()["hit_rate"] == 0.0
+
+    def test_put_then_serve_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        point = one_point()
+        key = point_key(point, FAST)
+        assert store.put(key, ok_result(point))
+        served = store.serve(key, point)
+        assert served is not None
+        assert served.ok
+        assert served.cached
+        assert served.point is point
+        assert store.stats()["hits"] == 1
+
+    def test_failures_are_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        point = one_point()
+        failed = SweepPointResult(point=point, ok=False, error="boom")
+        assert not store.put(point_key(point, FAST), failed)
+        assert len(store) == 0
+        assert not (tmp_path / "store.jsonl").exists()
+
+    def test_duplicate_put_is_a_no_op(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        point = one_point()
+        key = point_key(point, FAST)
+        assert store.put(key, ok_result(point))
+        assert not store.put(key, ok_result(point, metrics={"pde": 0.1}))
+        assert len(path.read_text().splitlines()) == 1
+        assert store.serve(key, point).metrics["pde"] == 0.9
+
+
+class TestPersistence:
+    def test_cross_instance_reuse(self, tmp_path):
+        """A fresh process (new ResultStore) sees the prior run's entries."""
+        path = tmp_path / "store.jsonl"
+        point = one_point()
+        key = point_key(point, FAST)
+        ResultStore(path).put(key, ok_result(point))
+
+        reopened = ResultStore(path)
+        assert key in reopened
+        served = reopened.serve(key, point)
+        assert served.cached
+        assert served.metrics == {"pde": 0.9, "min_voltage_v": 0.82}
+
+    def test_served_metrics_bit_identical_to_fresh_simulation(self, tmp_path):
+        """Cache round-trip must not perturb a single metric bit."""
+        path = tmp_path / "store.jsonl"
+        point = one_point()
+        fresh = SweepRunner([point], FAST, max_workers=1).run().points[0]
+        assert fresh.ok
+        store = ResultStore(path)
+        key = point_key(point, FAST)
+        store.put(key, fresh)
+
+        served = ResultStore(path).serve(key, point)
+        assert served.metrics == fresh.metrics
+        # Float equality above is exact; belt-and-braces on the repr too.
+        assert json.dumps(served.metrics, sort_keys=True) == json.dumps(
+            fresh.metrics, sort_keys=True
+        )
+
+    def test_last_writer_wins_on_duplicate_lines(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        point = one_point()
+        key = point_key(point, FAST)
+        first = json.dumps(
+            {"key": key, "record": ok_result(point).to_record()}
+        )
+        second = json.dumps(
+            {"key": key, "record": ok_result(point, {"pde": 0.5}).to_record()}
+        )
+        path.write_text(first + "\n" + second + "\n")
+        assert ResultStore(path).serve(key, point).metrics == {"pde": 0.5}
+
+
+class TestCorruptionTolerance:
+    def _good_line(self, point):
+        return json.dumps(
+            {"key": point_key(point, FAST), "record": ok_result(point).to_record()}
+        )
+
+    def test_truncated_tail_is_a_miss_not_a_crash(self, tmp_path):
+        """A writer killed mid-append leaves a torn last line."""
+        path = tmp_path / "store.jsonl"
+        good = self._good_line(one_point(1))
+        torn = self._good_line(one_point(2))[:25]
+        path.write_text(good + "\n" + torn)
+
+        store = ResultStore(path)
+        assert store.corrupt_lines == 1
+        assert store.serve(point_key(one_point(1), FAST), one_point(1)) is not None
+        assert store.serve(point_key(one_point(2), FAST), one_point(2)) is None
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            "not json at all\n"
+            + json.dumps(["wrong", "shape"]) + "\n"
+            + json.dumps({"key": 42, "record": {}}) + "\n"
+            + json.dumps({"key": "k", "record": "not a dict"}) + "\n"
+            + self._good_line(one_point()) + "\n"
+            + "\n"  # blank lines are fine, not corruption
+        )
+        store = ResultStore(path)
+        assert store.corrupt_lines == 4
+        assert len(store) == 1
+        assert store.stats()["corrupt_lines"] == 4
+
+    def test_record_that_cannot_rebuild_is_corrupt(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            json.dumps({"key": "k:hotspot", "record": {"ok": True}}) + "\n"
+        )
+        store = ResultStore(path)
+        assert store.corrupt_lines == 1
+        assert "k:hotspot" not in store
+
+    def test_appends_still_work_after_tolerated_corruption(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text("garbage\n")
+        store = ResultStore(path)
+        point = one_point()
+        assert store.put(point_key(point, FAST), ok_result(point))
+        reopened = ResultStore(path)
+        assert reopened.corrupt_lines == 1
+        assert len(reopened) == 1

@@ -56,6 +56,47 @@ class TestGridExpansion:
         assert config.cr_ivr_area_mm2 == 211.6
         assert config.cycles == FAST.cycles
 
+    def test_dotted_axis_reaches_nested_config(self):
+        """Dotted names sweep nested dataclass knobs (controller gains)
+        while keeping the override values JSON-scalar — checkpoints and
+        the result store never have to serialize a ControllerConfig."""
+        points = expand_grid(["hotspot"], {"controller.k2": [0.05, 0.2]})
+        assert [dict(p.overrides)["controller.k2"] for p in points] == [
+            0.05, 0.2
+        ]
+        config = points[1].config(FAST)
+        assert config.controller.k2 == 0.2
+        # Untouched sibling fields come from the base controller config.
+        assert config.controller.k1 == FAST.controller.k1
+        assert config.cycles == FAST.cycles
+
+    def test_dotted_axis_combines_with_flat_axes(self):
+        points = expand_grid(
+            ["hotspot"],
+            {"cr_ivr_area_mm2": [52.9], "controller.k3": [0.0, 0.4]},
+        )
+        assert len(points) == 2
+        config = points[0].config(FAST)
+        assert config.cr_ivr_area_mm2 == 52.9
+        assert config.controller.k3 == 0.0
+
+    def test_dotted_axis_unknown_head_or_leaf_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown CosimConfig field"):
+            expand_grid(["hotspot"], {"nope.k2": [1]})
+        with pytest.raises(ValueError, match="unknown"):
+            expand_grid(["hotspot"], {"controller.not_a_gain": [1]})
+        with pytest.raises(ValueError, match="not a nested config|unknown"):
+            expand_grid(["hotspot"], {"cycles.k2": [1]})
+
+    def test_dotted_point_round_trips_through_records(self):
+        point = expand_grid(["hotspot"], {"controller.k2": [0.2]})[0]
+        result = SweepPointResult(point=point, ok=True, metrics={})
+        rebuilt = SweepPointResult.from_record(
+            json.loads(json.dumps(result.to_record()))
+        )
+        assert rebuilt.point == point
+        assert rebuilt.point.config(FAST).controller.k2 == 0.2
+
 
 class TestSeeding:
     def test_deterministic_across_expansions(self):

@@ -66,6 +66,20 @@ def _flaky_runner(payload):
     return _ok_runner(payload)
 
 
+def _slow_metric_runner(payload):
+    """Succeeds instantly but reports one second of (fake) wall time."""
+    point, _ = payload
+    return SweepPointResult(
+        point=point, ok=True, metrics={"index": point.index}, elapsed_s=1.0
+    )
+
+
+def _sleep_then_crash_batch(payload):
+    """Batch runner that burns real wall time, then dies hard."""
+    time.sleep(0.5)
+    os._exit(3)
+
+
 def two_points():
     return expand_grid(["hotspot"], {"seed": [1, 2]})
 
@@ -94,6 +108,31 @@ class TestTimeouts:
         assert result.num_failed == 2
         assert all(p.error_type == "WorkerCrash" for p in result.points)
         assert all("exit code" in p.error for p in result.points)
+
+    def test_batch_crash_splits_wall_time_across_points(self, monkeypatch):
+        """A dead batch worker's wall time is divided over the batch's
+        points (like the timeout branch), not charged in full to every
+        one — else utilization over-counts by the batch width."""
+        import time as time_mod
+
+        monkeypatch.setattr(
+            "repro.sim.sweep._run_point_batch", _sleep_then_crash_batch
+        )
+        start = time_mod.monotonic()
+        result = SweepRunner(
+            two_points(), FAST, max_workers=1, point_timeout_s=30.0,
+            batch_size=2,
+        ).run()
+        wall = time_mod.monotonic() - start
+        assert result.num_failed == 2
+        a, b = result.points
+        assert a.error_type == b.error_type == "WorkerCrash"
+        # Both points of the one batch share the same split charge, and
+        # each gets at most half the run's wall clock (the un-split bug
+        # charged each point the full >=0.5 s batch duration).
+        assert a.elapsed_s == b.elapsed_s
+        assert 0 < a.elapsed_s <= wall / 1.9
+        assert a.elapsed_s + b.elapsed_s <= wall
 
     def test_timeout_must_be_positive(self):
         with pytest.raises(ValueError, match="point_timeout_s"):
@@ -176,11 +215,14 @@ class TestCheckpointResume:
             return _ok_runner(payload)
 
         result = SweepRunner.resume(
-            ckpt, points, FAST, max_workers=1, point_runner=counting_runner
+            ckpt, points, FAST, max_workers=1, max_attempts=2,
+            point_runner=counting_runner,
         ).run()
-        # Point 0 failed in the first run (even index) and re-ran.
+        # Point 0 failed in the first run (even index, 1 of 2 attempts
+        # spent) and re-ran; the success was served from the checkpoint.
         assert calls == [0]
         assert all(p.ok for p in result.points)
+        assert result.points[0].attempts == 2
 
     def test_mid_run_kill_then_resume(self, tmp_path):
         """The acceptance flow: a sweep dies partway, the checkpoint has
@@ -214,10 +256,92 @@ class TestCheckpointResume:
             return _ok_runner(payload)
 
         resumed = SweepRunner.resume(
-            ckpt, points, FAST, max_workers=1, point_runner=counting_runner
+            ckpt, points, FAST, max_workers=1, max_attempts=2,
+            point_runner=counting_runner,
         ).run()
         assert sorted(calls) == [2, 3]  # completed points NOT re-run
         assert all(p.ok for p in resumed.points)
+
+    def test_resume_does_not_reset_the_retry_budget(self, tmp_path):
+        """Attempts carry over from the checkpoint: a point that spent
+        its whole budget failing is NOT granted a fresh ``max_attempts``
+        by every resume — total attempts across resumes stay bounded."""
+        ckpt = tmp_path / "ckpt.json"
+        points = two_points()
+        first = SweepRunner(
+            points, FAST, max_workers=2, point_timeout_s=30.0,
+            max_attempts=2, retry_backoff_s=0.01, checkpoint_path=ckpt,
+            point_runner=_crash_runner,
+        ).run()
+        assert all(p.attempts == 2 for p in first.points)
+
+        calls = []
+
+        def counting_runner(payload):
+            calls.append(payload[0].index)
+            return _ok_runner(payload)
+
+        resumed = SweepRunner.resume(
+            ckpt, points, FAST, max_workers=1, max_attempts=2,
+            point_runner=counting_runner,
+        ).run()
+        # Budget exhausted in run 1: nothing re-ran, the recorded
+        # failures (with their true attempt counts) are served back.
+        assert calls == []
+        assert all(not p.ok for p in resumed.points)
+        assert all(p.attempts == 2 for p in resumed.points)
+        assert all(p.error_type == "WorkerCrash" for p in resumed.points)
+
+    def test_resume_grants_only_the_remaining_attempts(self, tmp_path):
+        """One attempt spent before the crash + a budget of two leaves
+        exactly one more try, not two."""
+        ckpt = tmp_path / "ckpt.json"
+        points = two_points()
+        SweepRunner(
+            points, FAST, max_workers=1, checkpoint_path=ckpt,
+            point_runner=_fail_value_error_runner,
+        ).run()
+
+        calls = []
+
+        def still_failing(payload):
+            point, _ = payload
+            calls.append(point.index)
+            return SweepPointResult(
+                point=point, ok=False, error="timeout", timed_out=True,
+                error_type="TimeoutError",
+            )
+
+        result = SweepRunner.resume(
+            ckpt, points, FAST, max_workers=1, max_attempts=2,
+            retry_backoff_s=0.01, point_runner=still_failing,
+        ).run()
+        # Point 0 carried attempts=1 into the resume; even though the
+        # new failure is retryable, only one more attempt fits.
+        assert calls == [0]
+        assert result.points[0].attempts == 2
+
+    def test_resumed_utilization_excludes_preloaded_wall_time(self, tmp_path):
+        """Checkpointed results spent their wall time in a previous run;
+        counting it against this run's tiny wall clock used to report
+        utilizations far above 1."""
+        from repro.telemetry import Telemetry
+
+        ckpt = tmp_path / "ckpt.json"
+        points = two_points()
+        SweepRunner(
+            points, FAST, max_workers=1, checkpoint_path=ckpt,
+            point_runner=_slow_metric_runner,
+        ).run()
+
+        tele = Telemetry(run_id="resume-util")
+        SweepRunner.resume(
+            ckpt, points, FAST, max_workers=1,
+            point_runner=_slow_metric_runner,
+        ).run(telemetry=tele)
+        # Everything was preloaded: zero busy time this run.
+        assert tele.metrics["num_resumed"] == 2
+        assert tele.metrics["worker_utilization"] == 0.0
 
     def test_resume_rejects_different_config(self, tmp_path):
         ckpt = tmp_path / "ckpt.json"

@@ -79,6 +79,32 @@ class TestParser:
         assert args.list
         assert args.scenario == ""
 
+    def test_explore_options(self):
+        args = build_parser().parse_args(
+            ["explore", "--benchmarks", "hotspot", "--areas", "52.9,211.6",
+             "--axis", "warmup_cycles=60,0", "--axis", "controller.k2=0.1",
+             "--rounds", "3", "--eta", "4", "--screen-cycles", "120",
+             "--guardband", "0.75", "--store", "s.jsonl",
+             "--output", "p.json"]
+        )
+        assert args.benchmarks == "hotspot"
+        assert args.axis == ["warmup_cycles=60,0", "controller.k2=0.1"]
+        assert args.rounds == 3
+        assert args.eta == 4
+        assert args.screen_cycles == 120
+        assert args.guardband == 0.75
+        assert args.store == "s.jsonl"
+        assert args.output == "p.json"
+        assert callable(args.func)
+
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.rounds == 2
+        assert args.eta == 2
+        assert args.screen_cycles == 0  # 0 -> cycles/4 at runtime
+        assert args.store == "explore_store.jsonl"
+        assert args.output == "pareto.json"
+
     def test_sweep_hardening_options(self):
         args = build_parser().parse_args(
             ["sweep", "--timeout", "30", "--retries", "2",
@@ -146,6 +172,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "1 failed" in out
         assert "FAILED" in out and "__nope__" in out
+
+    def test_explore_end_to_end_then_fully_cached(self, capsys, tmp_path):
+        """``repro explore`` twice against one store: the repeat serves
+        everything from cache and emits an identical frontier."""
+        store = tmp_path / "store.jsonl"
+        out1, out2 = tmp_path / "p1.json", tmp_path / "p2.json"
+        argv = ["explore", "--benchmarks", "hotspot", "--areas", "105.8",
+                "--axis", "seed=1,2", "--cycles", "60", "--warmup", "10",
+                "--screen-cycles", "20", "--workers", "1",
+                "--store", str(store)]
+        assert main(argv + ["--output", str(out1)]) == 0
+        first = capsys.readouterr().out
+        assert "Pareto frontier" in first
+        assert "pareto artifact written to" in first
+
+        assert main(argv + ["--output", str(out2)]) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated" in second
+
+        doc1 = json.loads(out1.read_text())
+        doc2 = json.loads(out2.read_text())
+        assert doc1["artifact"] == "pareto"
+        assert doc2["points_simulated"] == 0
+        assert all(r["cache_hit_rate"] == 1.0 for r in doc2["rounds"])
+        assert doc2["front"] == doc1["front"]
+
+    def test_explore_bad_axis_spec_errors(self, capsys):
+        assert main(["explore", "--axis", "nonsense"]) == 2
+        assert "bad --axis" in capsys.readouterr().err
+
+    def test_explore_unknown_axis_field_errors(self, capsys):
+        assert main(["explore", "--axis", "no_such_knob=1,2",
+                     "--cycles", "40", "--warmup", "10"]) == 2
+        assert "exploration failed" in capsys.readouterr().err
 
     def test_size_uses_shared_die_area(self, capsys):
         from repro.pdn.parameters import GPU_DIE_AREA_MM2
