@@ -1,0 +1,106 @@
+"""Observability hot-loop overhead gate.
+
+The droop flight recorder rides inside the per-cycle co-simulation
+loop on every telemetry-enabled run, so its ``observe()`` must be an
+O(num_sms) row copy and its scan must amortize to nothing.  This
+benchmark times the same co-simulation with and without a flight
+recorder attached (no ``Telemetry``, so the recorder is the *only*
+difference between the legs) and gates the overhead.
+
+Writes ``benchmarks/results/perf_observability.json`` so CI can track
+the number over time.
+"""
+
+import json
+import time
+
+from conftest import RESULTS_DIR, emit
+from repro.analysis.report import format_seconds, format_table
+from repro.config import StackConfig
+from repro.sim.cosim import CosimConfig, run_cosim
+from repro.telemetry.flight import FlightRecorder
+
+BENCHMARK = "hotspot"
+CYCLES = 2500
+WARMUP = 250
+# The live plane must be cheap enough to leave on for every run: the
+# flight recorder's per-cycle cost is gated at 2% of the plain loop.
+MAX_OVERHEAD = 0.02
+# Best-of-N repeats for each timed leg: scheduler noise on shared CI
+# cores would otherwise dominate a single-shot 2% gate.
+TIMING_ROUNDS = 3
+
+
+def _run(flight=False):
+    config = CosimConfig(cycles=CYCLES, warmup_cycles=WARMUP, seed=11)
+    stack = StackConfig()
+    recorder = None
+    if flight:
+        recorder = FlightRecorder(
+            num_sms=stack.num_sms,
+            guardband_v=stack.min_safe_voltage,
+            cycle_offset=-WARMUP,
+        )
+    start = time.perf_counter()
+    result = run_cosim(BENCHMARK, config, flight=recorder or False)
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def test_flight_recorder_overhead():
+    _run()  # warm caches / allocator
+    plain_s = min(_run()[0] for _ in range(TIMING_ROUNDS))
+    flight_s = float("inf")
+    flight_result = None
+    for _ in range(TIMING_ROUNDS):
+        elapsed, result = _run(flight=True)
+        if elapsed < flight_s:
+            flight_s = elapsed
+            flight_result = result
+    # Both legs are best-of-N minima of identical work, so the ratio is
+    # a noise-resistant overhead estimate; clamp at zero because the
+    # true overhead cannot be negative.
+    overhead = max(0.0, flight_s / plain_s - 1.0)
+    summary = flight_result.flight.summary()
+
+    cycles_total = CYCLES + WARMUP
+    rows = [
+        ["plain loop", format_seconds(plain_s),
+         f"{cycles_total / plain_s:,.0f} cyc/s"],
+        ["with flight recorder", format_seconds(flight_s),
+         f"{cycles_total / flight_s:,.0f} cyc/s"],
+        ["overhead", f"{overhead:+.2%}", f"gate {MAX_OVERHEAD:.0%}"],
+    ]
+    emit(
+        "Flight recorder hot-loop overhead",
+        format_table(
+            ["leg", "time", "rate"], rows,
+            title=(
+                f"{BENCHMARK}, {CYCLES}+{WARMUP} cycles, best of "
+                f"{TIMING_ROUNDS} ({summary['onsets']} onset(s) observed)"
+            ),
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "perf_observability.json", "w") as handle:
+        json.dump(
+            {
+                "benchmark": BENCHMARK,
+                "cycles": CYCLES,
+                "warmup_cycles": WARMUP,
+                "timing_rounds": TIMING_ROUNDS,
+                "plain_s": plain_s,
+                "flight_s": flight_s,
+                "overhead": overhead,
+                "max_overhead": MAX_OVERHEAD,
+                "flight_summary": summary,
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"flight recorder costs {overhead:.2%} of the plain co-sim loop "
+        f"(gate {MAX_OVERHEAD:.0%}); observe()/scan() must stay O(num_sms)"
+    )

@@ -51,6 +51,24 @@ def _cmd_benchmarks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_flight(result, telemetry_dir) -> None:
+    """Persist a run's flight-recorder dumps under ``<dir>/flight/``."""
+    from pathlib import Path
+
+    from repro.telemetry.flight import FLIGHT_DIR
+
+    flight = getattr(result, "flight", None)
+    if flight is None:
+        return
+    paths = flight.write(Path(telemetry_dir) / FLIGHT_DIR)
+    summary = flight.summary()
+    print(
+        f"flight recorder: {summary['onsets']} guardband onset(s), "
+        f"{summary['safe_state_edges']} safe-state edge(s), "
+        f"{len(paths)} dump(s) in {Path(telemetry_dir) / FLIGHT_DIR}"
+    )
+
+
 def _cmd_cosim(args: argparse.Namespace) -> int:
     from repro.analysis.metrics import noise_box_stats
     from repro.sim.cosim import CosimConfig, run_cosim
@@ -76,6 +94,7 @@ def _cmd_cosim(args: argparse.Namespace) -> int:
             extra={"command": "cosim", "benchmark": args.benchmark},
         )
         print(f"telemetry written to {manifest}")
+        _write_flight(result, args.telemetry)
     print(result.summary())
     box = noise_box_stats(result.sm_voltages)
     print(
@@ -152,6 +171,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             },
         )
         print(f"telemetry written to {manifest}")
+        _write_flight(result, args.telemetry)
     report = result.fault_report
     assert report is not None  # faults were scheduled
     summary = report["summary"]
@@ -211,10 +231,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"({result.elapsed_s:.1f}s{retry})", flush=True)
 
     telemetry = None
+    live = None
     if args.telemetry:
-        from repro.telemetry import Telemetry
+        from repro.telemetry import LiveRun, Telemetry
 
         telemetry = Telemetry(run_id="sweep")
+        # The live plane shares the telemetry directory: status.json +
+        # heartbeats/ appear as the sweep runs (watch with `repro top`),
+        # and events stream into events.jsonl before write_run rewrites
+        # the final, identical log.
+        live = LiveRun(args.telemetry)
+        live.attach(telemetry)
     points = expand_grid(
         benchmarks, axes={"cr_ivr_area_mm2": areas}, base_seed=args.seed
     )
@@ -245,10 +272,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               "already complete")
     else:
         runner = SweepRunner(points, base, **runner_kwargs)
-    sweep = runner.run(progress=progress, telemetry=telemetry)
+    sweep = runner.run(progress=progress, telemetry=telemetry, live=live)
     if telemetry is not None:
         from repro.telemetry import write_run
 
+        if live is not None:
+            live.close()
         manifest = write_run(
             telemetry, args.telemetry, config=base,
             extra={
@@ -344,10 +373,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
               f"({result.elapsed_s:.1f}s)", flush=True)
 
     telemetry = None
+    live = None
     if args.telemetry:
-        from repro.telemetry import Telemetry
+        from repro.telemetry import LiveRun, Telemetry
 
         telemetry = Telemetry(run_id="explore")
+        live = LiveRun(args.telemetry)
+        live.attach(telemetry)
     try:
         result = run_exploration(
             benchmarks,
@@ -365,6 +397,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_attempts=args.retries + 1,
             progress=progress if args.verbose else None,
             telemetry=telemetry,
+            live=live,
         )
     except (ValueError, RuntimeError) as exc:
         print(f"exploration failed: {exc}", file=sys.stderr)
@@ -372,6 +405,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if telemetry is not None:
         from repro.telemetry import write_run
 
+        if live is not None:
+            live.close()
         manifest = write_run(
             telemetry, args.telemetry, config=base,
             extra={
@@ -519,14 +554,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_observe(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.analysis.observatory import render_noise_report
-    from repro.telemetry import load_manifest
+    from repro.telemetry import load_manifest, read_flight_dir, render_flight
 
     try:
         manifest = load_manifest(args.manifest)
     except FileNotFoundError as exc:
         print(exc, file=sys.stderr)
         return 1
+    run_dir = Path(args.manifest)
+    if not run_dir.is_dir():
+        run_dir = run_dir.parent
+    flight_dumps = read_flight_dir(run_dir)
     noise = manifest.get("noise")
     if not noise:
         print(
@@ -535,9 +576,66 @@ def _cmd_observe(args: argparse.Namespace) -> int:
             "with --telemetry)",
             file=sys.stderr,
         )
-        return 1
+        if not flight_dumps:
+            return 1
+        # The flight recorder may still have caught something the
+        # aggregate observatory could not summarize — show it.
+        print(f"run {manifest.get('run_id', '?')}")
+        print(render_flight(flight_dumps, _flight_guardband(manifest)))
+        return 0
     print(f"run {manifest.get('run_id', '?')}")
     print(render_noise_report(noise))
+    if flight_dumps:
+        print()
+        print(render_flight(flight_dumps, _flight_guardband(manifest)))
+    return 0
+
+
+def _flight_guardband(manifest) -> Optional[float]:
+    flight = manifest.get("flight")
+    if isinstance(flight, dict) and flight.get("guardband_v") is not None:
+        return float(flight["guardband_v"])
+    return None
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.top import render_top
+
+    now_fn = (lambda: args.now) if args.now is not None else time.time
+    frame = render_top(
+        args.directory, now_unix=now_fn(), stale_after_s=args.stale_after
+    )
+    print(frame)
+    if args.once:
+        return 0
+    try:
+        while True:
+            time.sleep(args.interval)
+            frame = render_top(
+                args.directory, now_unix=now_fn(),
+                stale_after_s=args.stale_after,
+            )
+            # Clear + home keeps the dashboard in place without pulling
+            # in curses; plain reprint when stdout is not a terminal.
+            if sys.stdout.isatty():
+                print("\033[2J\033[H", end="")
+            print(frame, flush=True)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_status, render_prometheus
+
+    status = read_status(args.directory)
+    if status is None:
+        print(f"no status.json under {args.directory} (is the live plane "
+              "on? runs write it when --telemetry DIR is set)",
+              file=sys.stderr)
+        return 1
+    print(render_prometheus(status), end="")
     return 0
 
 
@@ -718,6 +816,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("manifest", help="telemetry directory or manifest.json")
     p.set_defaults(func=_cmd_observe)
+
+    p = sub.add_parser(
+        "top",
+        help="live dashboard of a running sweep/exploration directory "
+             "(status, worker heartbeats, recent events, flight dumps)",
+    )
+    p.add_argument("directory", help="run directory (the --telemetry DIR)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (scripting/CI)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="refresh period in seconds")
+    p.add_argument("--stale-after", type=float, default=15.0, metavar="S",
+                   help="mark a worker [STALE] when its heartbeat is older")
+    p.add_argument("--now", type=float, default=None, metavar="UNIX",
+                   help="render against this clock instead of wall time "
+                        "(deterministic output for tests)")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "metrics",
+        help="print a run directory's live metrics in Prometheus text "
+             "exposition format",
+    )
+    p.add_argument("directory", help="run directory (the --telemetry DIR)")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser(
         "compare",

@@ -194,6 +194,27 @@ class FaultInjector:
             "latency_jitter_cycles": 0,
         }
 
+        # Active-kind signature cache for the flight recorder: event
+        # windows are fixed, so the kinds tuple only changes at edges.
+        self._kinds_sig: Optional[Tuple[bool, ...]] = None
+        self._kinds_active: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    def active_kinds(self, cycle: int) -> Tuple[str, ...]:
+        """The kinds of every event active this recorded cycle.
+
+        Cheap enough for per-cycle sampling (the droop flight recorder
+        stores it alongside each ring row): the tuple is rebuilt only
+        when the activation signature changes.
+        """
+        sig = tuple(e.active(cycle) for e in self.schedule.events)
+        if sig != self._kinds_sig:
+            self._kinds_sig = sig
+            self._kinds_active = tuple(
+                e.kind for e, on in zip(self.schedule.events, sig) if on
+            )
+        return self._kinds_active
+
     # ------------------------------------------------------------------
     @staticmethod
     def _event_sms(event: FaultEvent, default=None):

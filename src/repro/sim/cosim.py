@@ -144,6 +144,10 @@ class CosimResult:
         # Filled by run_cosim when a FaultSchedule was injected: the
         # manifest's ``faults`` section (events, counters, verdict).
         self.fault_report: Optional[Dict[str, object]] = None
+        # The droop flight recorder that rode along, when one did
+        # (always with telemetry, or passed explicitly): full-resolution
+        # windows around every guardband onset / safe-state edge.
+        self.flight = None
 
     # ------------------------------------------------------------------
     @property
@@ -221,6 +225,7 @@ def run_cosim(
     params: PDNParameters = DEFAULT_PDN,
     kernel: Optional[KernelSpec] = None,
     telemetry: Optional["Telemetry"] = None,
+    flight=None,
 ) -> CosimResult:
     """Run one coupled GPU/PDN/controller simulation.
 
@@ -232,6 +237,13 @@ def run_cosim(
     controller), solver and controller work counters, decimated
     per-cycle voltage/power channels, and headline metrics.  ``None``
     (the default) leaves the hot loop on its untimed fast path.
+
+    ``flight`` (a :class:`repro.telemetry.FlightRecorder`) rides the
+    loop and captures full-resolution windows around guardband onsets
+    and safe-state edges.  One is created automatically whenever
+    telemetry is enabled; pass ``False`` to suppress that, or your own
+    recorder to control the window geometry.  The finalized recorder is
+    attached as ``result.flight``.
     """
     tele = telemetry if telemetry is not None and telemetry.enabled else None
     setup_start = perf_counter()
@@ -297,6 +309,22 @@ def run_cosim(
         controller_power = ControllerOverheads().power_w
 
     num = stack.num_sms
+    # The droop flight recorder: always-on alongside telemetry (cost
+    # gated by benchmarks/test_perf_observability.py), opt-in otherwise.
+    if flight is None and tele is not None:
+        from repro.telemetry.flight import FlightRecorder
+
+        flight = FlightRecorder(
+            num_sms=num,
+            guardband_v=stack.min_safe_voltage,
+            cycle_offset=-config.warmup_cycles,
+        )
+    elif flight is False:
+        flight = None
+    # Whether the controller exposes the safe-state flag the recorder
+    # samples (duck-typed alternatives may not).
+    flight_safe = flight is not None and hasattr(controller, "in_safe_state")
+
     # Vectorized SM-voltage readout: (top, bottom) node indices per SM.
     top_idx = np.empty(num, dtype=int)
     bot_idx = np.empty(num, dtype=int)
@@ -332,6 +360,7 @@ def run_cosim(
     # Telemetry: stage accumulators.  ``timing`` gates five perf_counter
     # reads per cycle; with telemetry off the loop body is branch-only.
     timing = tele is not None
+    decision = None  # last controller decision (flight recorder sample)
     t_gpu = t_circuit = t_controller = t_record = 0.0
     if timing:
         tele.add_time("setup", perf_counter() - setup_start)
@@ -456,6 +485,16 @@ def run_cosim(
             t3 = perf_counter()
             t_controller += t3 - t2
 
+        if flight is not None:
+            flight.observe(
+                voltages_now,
+                decision,
+                injector.active_kinds(recorded_cycle)
+                if injector is not None
+                else None,
+                controller.in_safe_state if flight_safe else False,
+            )
+
         if recording:
             k = cycle - config.warmup_cycles
             powers_rec[k] = powers
@@ -523,6 +562,11 @@ def run_cosim(
         from repro.faults.injector import build_fault_report
 
         result.fault_report = build_fault_report(injector, result, controller)
+    if flight is not None:
+        flight.finalize()
+        result.flight = flight
+        if tele is not None:
+            tele.set_section("flight", flight.summary())
     if tele is not None:
         with tele.timer("finalize"):
             _record_cosim_telemetry(tele, config, result, solver, controller)
@@ -637,6 +681,7 @@ class _BatchLaneState:
         "instructions_at_start", "fakes_at_start", "throttled_at_start",
         "applied_decision", "applied_halted", "halted_idx",
         "count_from", "active_throttling",
+        "in_fast", "last_decision", "flight", "flight_safe",
     )
 
     def __init__(self, index: int) -> None:
@@ -645,6 +690,13 @@ class _BatchLaneState:
         self.controller = None
         self.controller_power = 0.0
         self.in_bank = False
+        # Flight-recorder sampling state: fast lanes read the bank's
+        # active decision; slow lanes record the last commands_for
+        # return here (what serial run_cosim sees each cycle).
+        self.in_fast = False
+        self.last_decision = None
+        self.flight = None
+        self.flight_safe = False
         self.shutoff_sms: List[int] = []
         self.instructions_at_start = 0
         self.fakes_at_start = 0
@@ -670,6 +722,7 @@ def run_cosim_batch(
     system: SystemConfig = SystemConfig(),
     params: PDNParameters = DEFAULT_PDN,
     telemetry: Optional["Telemetry"] = None,
+    flights=None,
 ) -> List[CosimResult]:
     """Run B co-simulation scenarios lock-stepped as one batch.
 
@@ -686,6 +739,13 @@ def run_cosim_batch(
     :class:`CosimLane`.  ``telemetry`` records batch-level stage timings
     and events only; per-lane manifest sections (noise report, decimated
     channels) remain a ``run_cosim`` feature.
+
+    ``flights`` is a per-lane list of
+    :class:`repro.telemetry.FlightRecorder` (``None`` entries skip a
+    lane).  As in ``run_cosim``, recorders are created automatically
+    for every lane when telemetry is enabled (``False`` suppresses
+    that) and attached as ``result.flight``; recording is observation
+    only, so lanes stay bit-identical to their serial runs.
     """
     if not lanes:
         raise ValueError("need at least one lane")
@@ -877,6 +937,36 @@ def run_cosim_batch(
     dcc_possible = any(_lane_dcc_possible(ln) for ln in states)
     all_banked = len(bank_rows) == num_lanes
 
+    # Droop flight recorders: one per lane alongside telemetry (or as
+    # passed), observation-only so bit-identity with serial runs holds.
+    for ln in fast_lanes:
+        ln.in_fast = True
+    if flights is None and tele is not None:
+        from repro.telemetry.flight import FlightRecorder
+
+        flights = [
+            FlightRecorder(
+                num_sms=num,
+                guardband_v=stack.min_safe_voltage,
+                cycle_offset=-warmup,
+            )
+            for _ in states
+        ]
+    elif flights is False:
+        flights = None
+    if flights is not None and len(flights) != num_lanes:
+        raise ValueError(
+            f"flights must have one entry per lane ({num_lanes}), "
+            f"got {len(flights)}"
+        )
+    flight_lanes: List[_BatchLaneState] = []
+    if flights is not None:
+        for ln, fr in zip(states, flights):
+            ln.flight = fr
+            if fr is not None:
+                ln.flight_safe = hasattr(ln.controller, "in_safe_state")
+                flight_lanes.append(ln)
+
     if tele is not None:
         tele.add_time("setup", perf_counter() - setup_start)
     loop_start = perf_counter()
@@ -998,6 +1088,7 @@ def run_cosim_batch(
                 decision = controller.commands_for(
                     cycle - ln.injector.extra_latency(recorded_cycle)
                 )
+            ln.last_decision = decision
             if ln.injector is not None and ln.injector.touches_actuation:
                 widths = decision.issue_widths.copy()
                 fakes = decision.fake_rates.copy()
@@ -1034,6 +1125,17 @@ def run_cosim_batch(
                     ln.gpu.set_issue_widths(widths)
                     ln.applied_decision = widths
                     ln.applied_halted = halted_sig
+
+        for ln in flight_lanes:
+            ctrl = ln.controller
+            ln.flight.observe(
+                voltages_bt[ln.index],
+                ctrl.active_decision if ln.in_fast else ln.last_decision,
+                ln.injector.active_kinds(recorded_cycle)
+                if ln.injector is not None
+                else None,
+                ctrl.in_safe_state if ln.flight_safe else False,
+            )
 
         if recording:
             k = recorded_cycle
@@ -1089,6 +1191,9 @@ def run_cosim_batch(
             result.fault_report = build_fault_report(
                 ln.injector, result, ln.controller
             )
+        if ln.flight is not None:
+            ln.flight.finalize()
+            result.flight = ln.flight
         results.append(result)
     if tele is not None:
         tele.add_time("finalize", perf_counter() - finalize_start)

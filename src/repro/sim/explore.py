@@ -61,6 +61,7 @@ from repro.sim.sweep import (
     expand_grid,
 )
 from repro.telemetry import Telemetry, config_hash
+from repro.telemetry.live import LiveRun
 
 #: Paper guardband: the supply floor below which timing is not safe.
 DEFAULT_GUARDBAND_V = 0.8
@@ -264,6 +265,7 @@ def run_exploration(
     batch_size: int = 1,
     progress=None,
     telemetry: Optional[Telemetry] = None,
+    live: Optional[LiveRun] = None,
     **runner_kwargs,
 ) -> ExploreResult:
     """Explore ``benchmarks`` x ``axes`` by cached successive halving.
@@ -275,6 +277,11 @@ def run_exploration(
     to every round's :class:`SweepRunner`; checkpointing is not among
     them — the result store *is* the persistence layer, at per-point
     rather than per-sweep granularity.
+
+    ``live`` (a :class:`repro.telemetry.LiveRun`) publishes the round
+    number, candidate count, cache hit rate and frontier size to the
+    run directory's ``status.json`` as the exploration progresses, and
+    passes through to each round's sweep so its workers heartbeat too.
     """
     if eta <= 1:
         raise ValueError(f"eta must be at least 2, got {eta}")
@@ -294,6 +301,17 @@ def run_exploration(
             "explore_start", num_points=len(grid), rounds=rounds, eta=eta,
             schedule=schedule, store_entries=len(store),
         )
+
+    if live is not None:
+        reg = live.registry
+        live.publisher.extra.setdefault("command", "explore")
+        reg.gauge("explore_rounds_total").set(len(schedule))
+        live_round = reg.gauge("explore_round")
+        live_candidates = reg.gauge("explore_candidates")
+        live_hit_rate = reg.gauge("explore_cache_hit_rate")
+        live_front = reg.gauge("explore_frontier_size")
+        live_simulated = reg.counter("explore_points_simulated")
+        live_served = reg.counter("explore_points_served")
 
     start = time.perf_counter()
     candidates: List[SweepPoint] = list(grid)
@@ -321,6 +339,10 @@ def run_exploration(
                 "explore_round_start", round=number, cycles=round_base.cycles,
                 candidates=len(candidates), final=is_final,
             )
+        if live is not None:
+            live_round.set(number)
+            live_candidates.set(len(candidates))
+            live.publisher.publish()
 
         results: Dict[int, SweepPointResult] = {}
         to_run: List[SweepPoint] = []
@@ -337,7 +359,7 @@ def run_exploration(
             sweep = SweepRunner(
                 to_run, round_base, max_workers=max_workers,
                 batch_size=batch_size, **runner_kwargs,
-            ).run(progress=progress, telemetry=tele)
+            ).run(progress=progress, telemetry=tele, live=live)
             for result in sweep.points:
                 results[result.point.index] = result
                 stats.simulated += 1
@@ -359,6 +381,14 @@ def run_exploration(
             candidates = [p for p in candidates if p.index in surviving]
             stats.promoted = len(candidates)
         round_stats.append(stats)
+        if live is not None:
+            live_simulated.inc(stats.simulated)
+            live_served.inc(stats.served_from_cache)
+            total = live_simulated.value + live_served.value
+            live_hit_rate.set(
+                live_served.value / total if total else 0.0
+            )
+            live.publisher.publish()
         if tele is not None:
             tele.event(
                 "explore_round_done", round=number,
@@ -385,6 +415,9 @@ def run_exploration(
             )
         )
     elapsed = time.perf_counter() - start
+    if live is not None:
+        live_front.set(len(front))
+        live.publisher.publish()
     result = ExploreResult(
         front=front,
         evaluated=final_rows,

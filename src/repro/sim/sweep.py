@@ -51,6 +51,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 from repro.sim.cosim import CosimConfig
 from repro.sim.cosim import _LANE_SHARED_FIELDS as _BATCH_COMPAT_FIELDS
 from repro.telemetry import Telemetry, config_hash, to_jsonable
+from repro.telemetry.live import LiveRun, WorkerLiveConfig
 
 # Seed derivation: a fixed odd multiplier keeps per-point seeds distinct
 # for any base seed while staying deterministic across runs and worker
@@ -384,11 +385,18 @@ class _Task:
     task) or a list of them (batch task); ``points`` enumerates the grid
     points the task covers so path-level failures (broken pool, kill at
     deadline, worker crash) can be attributed to every affected point.
+
+    ``live`` (a picklable :class:`~repro.telemetry.WorkerLiveConfig`)
+    makes the executing worker maintain a heartbeat file; ``retry``
+    marks tasks issued during a retry wave so the heartbeat's
+    ``points_retried`` counter stays exact.
     """
 
     runner: object
     payload: object
     points: Tuple[SweepPoint, ...]
+    live: Optional[WorkerLiveConfig] = None
+    retry: bool = False
 
     def failure(self, error: str, error_type: str, **kwargs) -> List[SweepPointResult]:
         return [
@@ -400,10 +408,55 @@ class _Task:
         ]
 
 
+def _task_lane_cycles(task: _Task, results: List[SweepPointResult]) -> int:
+    """Simulated lane-cycles this task completed (ok points only)."""
+    payload = task.payload
+    if not (isinstance(payload, tuple) and len(payload) == 2):
+        return 0
+    base = payload[1]
+    if not isinstance(base, CosimConfig):
+        return 0
+    total = 0
+    for result in results:
+        if not result.ok:
+            continue
+        config = result.point.config(base)
+        total += config.cycles + config.warmup_cycles
+    return total
+
+
 def _run_task(task: _Task) -> List[SweepPointResult]:
-    """Process-pool entry: run a task, normalizing to a result list."""
+    """Process-pool entry: run a task, normalizing to a result list.
+
+    When the task carries a live config the worker writes its heartbeat
+    file around the work — failures of the heartbeat itself (read-only
+    filesystem, racing cleanup) never fail the task.
+    """
+    beat = None
+    if task.live is not None:
+        try:
+            live = task.live
+            if not live.worker_id:
+                live = replace(live, worker_id=f"pid-{os.getpid()}")
+            beat = live.open()
+            beat.start_points([p.describe() for p in task.points])
+        except Exception:  # noqa: BLE001 — observability must not fail work
+            beat = None
     result = task.runner(task.payload)
-    return result if isinstance(result, list) else [result]
+    results = result if isinstance(result, list) else [result]
+    if beat is not None:
+        try:
+            done = sum(1 for r in results if r.ok)
+            beat.finish_points(
+                done=done,
+                failed=len(results) - done,
+                retried=len(results) if task.retry else 0,
+                lane_cycles=_task_lane_cycles(task, results),
+                busy_s=sum(r.elapsed_s for r in results),
+            )
+        except Exception:  # noqa: BLE001 — observability must not fail work
+            pass
+    return results
 
 
 def _run_point_batch(
@@ -550,6 +603,9 @@ class SweepRunner:
         # a point whose budget is already spent keeps this result.
         self._prior_failures: Dict[int, SweepPointResult] = {}
         self._completed_since_checkpoint = 0
+        # Live plane of the current run() (None outside one): tasks are
+        # stamped with per-worker heartbeat configs when this is set.
+        self._live: Optional[LiveRun] = None
 
     # ------------------------------------------------------------------
     # Checkpoint / resume
@@ -637,6 +693,7 @@ class SweepRunner:
         self,
         progress=None,
         telemetry: Optional[Telemetry] = None,
+        live: Optional[LiveRun] = None,
     ) -> SweepResult:
         """Execute every point; ``progress`` (if given) is called with
         each :class:`SweepPointResult` as it completes.
@@ -645,6 +702,13 @@ class SweepRunner:
         success/failure events (uniformly — the same failure capture
         that already lands in :class:`SweepPointResult`), plus worker
         utilization of the whole fan-out.
+
+        ``live`` (a :class:`repro.telemetry.LiveRun`) turns on the live
+        plane: the parent publishes aggregate progress to the run
+        directory's ``status.json`` as points complete, and every worker
+        maintains a heartbeat file under ``heartbeats/`` (points
+        done/failed/retried, lane-cycles/s, ETA) — what ``repro top``
+        renders mid-run.
         """
         tele = (
             telemetry
@@ -653,6 +717,24 @@ class SweepRunner:
         )
         inline = self.max_workers is not None and self.max_workers <= 1
         workers = 1 if inline else (self.max_workers or os.cpu_count() or 1)
+        self._live = live
+        if live is not None:
+            reg = live.registry
+            live.publisher.extra.setdefault("command", "sweep")
+            live.publisher.extra["last_checkpoint"] = (
+                str(self.checkpoint_path) if self.checkpoint_path else None
+            )
+            live_done = reg.counter("sweep_points_done")
+            live_failed = reg.counter("sweep_points_failed")
+            live_retried = reg.counter("sweep_points_retried")
+            reg.gauge("sweep_points_total").set(len(self.points))
+            reg.gauge("sweep_workers").set(workers)
+            live_wave = reg.gauge("sweep_wave")
+            live_eta = reg.gauge("sweep_eta_s")
+            live_elapsed = reg.histogram(
+                "sweep_point_elapsed_s",
+                uppers=(0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0),
+            )
         if tele is not None:
             tele.event(
                 "sweep_start", num_points=len(self.points), workers=workers,
@@ -689,8 +771,12 @@ class SweepRunner:
                     )
                 if delay > 0:
                     time.sleep(delay)
+            if live is not None:
+                live_wave.set(wave)
             retry: List[SweepPoint] = []
-            for result in self._iter_wave(pending, inline, workers):
+            for result in self._iter_wave(
+                pending, inline, workers, retry_wave=wave > 1
+            ):
                 attempts[result.point.index] += 1
                 result.attempts = attempts[result.point.index]
                 if (
@@ -703,8 +789,21 @@ class SweepRunner:
                 results_by_index[result.point.index] = result
                 self._notify(result, progress, tele)
                 self._maybe_checkpoint(results_by_index)
+                if live is not None:
+                    (live_done if result.ok else live_failed).inc()
+                    if result.attempts > 1:
+                        live_retried.inc()
+                    live_elapsed.observe(result.elapsed_s)
+                    fresh = live_done.value + live_failed.value
+                    if fresh > 0:
+                        run_s = time.perf_counter() - start
+                        remaining = max(0, len(self.points) - len(results_by_index))
+                        live_eta.set(remaining * run_s / fresh)
+                    live.publisher.maybe_publish()
             pending = retry
         self._maybe_checkpoint(results_by_index, force=True)
+        if live is not None:
+            live.publisher.publish()
         elapsed = time.perf_counter() - start
         results = [results_by_index[p.index] for p in self.points]
         if tele is not None:
@@ -762,13 +861,27 @@ class SweepRunner:
                 batches.append(tuple(bucket))
         return batches
 
-    def _make_tasks(self, points: Sequence[SweepPoint]) -> List[_Task]:
+    def _make_tasks(
+        self, points: Sequence[SweepPoint], retry_wave: bool = False
+    ) -> List[_Task]:
+        live_cfg = None
+        if self._live is not None:
+            # worker_id stays empty here: pool/inline workers resolve it
+            # to their pid at execution time; the killable path stamps
+            # stable slot ids at spawn.
+            live_cfg = self._live.worker_config(
+                "",
+                total_points=len(self.points),
+                checkpoint_path=self.checkpoint_path,
+            )
         if self.batch_size > 1:
             return [
                 _Task(
                     runner=_run_point_batch,
                     payload=(batch, self.base_config),
                     points=batch,
+                    live=live_cfg,
+                    retry=retry_wave,
                 )
                 for batch in self._group_batches(points)
             ]
@@ -777,6 +890,8 @@ class SweepRunner:
                 runner=self._point_runner,
                 payload=(p, self.base_config),
                 points=(p,),
+                live=live_cfg,
+                retry=retry_wave,
             )
             for p in points
         ]
@@ -798,12 +913,16 @@ class SweepRunner:
             )
 
     def _iter_wave(
-        self, points: Sequence[SweepPoint], inline: bool, workers: int
+        self,
+        points: Sequence[SweepPoint],
+        inline: bool,
+        workers: int,
+        retry_wave: bool = False,
     ) -> Iterator[SweepPointResult]:
         """One attempt over ``points``, yielding each result as it
         completes (completion order, not grid order) so the caller can
         checkpoint incrementally; never raises."""
-        tasks = self._make_tasks(points)
+        tasks = self._make_tasks(points, retry_wave=retry_wave)
         if self.point_timeout_s is not None:
             yield from self._run_wave_killable(tasks, workers)
             return
@@ -858,9 +977,14 @@ class SweepRunner:
         except ValueError:  # pragma: no cover — non-POSIX fallback
             ctx = mp.get_context()
         pending = list(tasks)
-        running: List[Tuple[object, object, _Task, float]] = []
+        running: List[Tuple[object, object, _Task, float, int]] = []
+        # Process-per-task means fresh pids constantly; heartbeat files
+        # keyed by pid would proliferate.  A small pool of stable slot
+        # ids (released when a task is harvested) keeps one heartbeat
+        # file per concurrent worker lane instead.
+        free_slots = list(range(workers))
 
-        def harvest(proc, result_queue, task, started) -> Optional[List[SweepPointResult]]:
+        def harvest(proc, result_queue, task, started, _slot) -> Optional[List[SweepPointResult]]:
             now = time.monotonic()
             try:
                 result = result_queue.get_nowait()
@@ -909,6 +1033,12 @@ class SweepRunner:
         while pending or running:
             while pending and len(running) < workers:
                 task = pending.pop(0)
+                slot = free_slots.pop(0) if free_slots else -1
+                if task.live is not None and slot >= 0:
+                    task = replace(
+                        task,
+                        live=replace(task.live, worker_id=f"slot-{slot}"),
+                    )
                 result_queue = ctx.Queue(maxsize=1)
                 proc = ctx.Process(
                     target=_run_point_to_queue,
@@ -916,13 +1046,17 @@ class SweepRunner:
                     daemon=True,
                 )
                 proc.start()
-                running.append((proc, result_queue, task, time.monotonic()))
+                running.append(
+                    (proc, result_queue, task, time.monotonic(), slot)
+                )
             still_running = []
             for entry in running:
                 outcome = harvest(*entry)
                 if outcome is None:
                     still_running.append(entry)
                 else:
+                    if entry[4] >= 0:
+                        free_slots.append(entry[4])
                     yield from (
                         outcome
                         if isinstance(outcome, list)

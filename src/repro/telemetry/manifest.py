@@ -142,6 +142,80 @@ def write_run(
     return manifest_path
 
 
+def resolve_events_path(path) -> Path:
+    """Map a telemetry directory / manifest path / events path to the
+    events file path (which may or may not exist)."""
+    path = Path(path)
+    if path.is_dir():
+        return path / EVENTS_NAME
+    if path.name == MANIFEST_NAME:
+        return path.with_name(EVENTS_NAME)
+    return path
+
+
+def iter_events(path, offset: int = 0, on_bad=None):
+    """Stream a run's ``events.jsonl`` one parsed event at a time.
+
+    Unlike the eager :func:`read_events` this never holds the whole log
+    in memory — a multi-hour sweep's event log streams in O(1) space.
+    ``offset`` is a byte offset to start from (0 = the beginning);
+    ``on_bad`` is called with each undecodable line (truncated writes).
+    A missing file yields nothing.
+    """
+    path = resolve_events_path(path)
+    try:
+        handle = open(path, "rb")
+    except OSError:
+        return
+    with handle:
+        if offset:
+            handle.seek(offset)
+        for raw in handle:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                if on_bad is not None:
+                    on_bad(raw)
+
+
+def tail_events(path, offset: int = 0):
+    """Incremental read of *complete* events appended since ``offset``.
+
+    The poll primitive behind ``repro top``: returns ``(events,
+    new_offset)`` where ``new_offset`` feeds the next call.  A trailing
+    line that does not yet end in a newline is a write in progress —
+    it is left unconsumed (the next poll retries it), unlike the
+    one-shot :func:`read_events` which judges it immediately.
+    """
+    path = resolve_events_path(path)
+    events = []
+    try:
+        handle = open(path, "rb")
+    except OSError:
+        return events, offset
+    with handle:
+        handle.seek(offset)
+        consumed = offset
+        while True:
+            raw = handle.readline()
+            if not raw:
+                break
+            if not raw.endswith(b"\n"):
+                break  # partial write in progress; leave for next poll
+            consumed += len(raw)
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn line that still got its newline
+    return events, consumed
+
+
 def read_events(path):
     """Tolerantly read a run's ``events.jsonl``.
 
@@ -150,26 +224,20 @@ def read_events(path):
     ``note`` is ``None`` for a healthy log, or a human-readable string
     when the file is missing or truncated (e.g. a run killed mid-write
     leaves a partial last line).  Never raises for those states: the
-    manifest should still render, with the note made visible.
+    manifest should still render, with the note made visible.  Built on
+    the streaming :func:`iter_events`; a valid final line with no
+    trailing newline still parses cleanly with no note.
     """
-    path = Path(path)
-    if path.is_dir():
-        path = path / EVENTS_NAME
-    elif path.name == MANIFEST_NAME:
-        path = path.with_name(EVENTS_NAME)
+    path = resolve_events_path(path)
     if not path.exists():
         return [], f"events log missing ({path.name} not found)"
-    events = []
     bad = 0
-    with open(path) as handle:
-        lines = handle.read().splitlines()
-    for line in lines:
-        if not line.strip():
-            continue
-        try:
-            events.append(json.loads(line))
-        except json.JSONDecodeError:
-            bad += 1
+
+    def _count_bad(_raw) -> None:
+        nonlocal bad
+        bad += 1
+
+    events = list(iter_events(path, on_bad=_count_bad))
     if bad:
         return events, (
             f"events log truncated: parsed {len(events)} of "

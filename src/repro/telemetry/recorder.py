@@ -100,6 +100,10 @@ class Telemetry:
         self.channels: Dict[str, MetricChannel] = {}
         self.sections: Dict[str, object] = {}
         self.events: List[Dict[str, object]] = []
+        # Optional live sink: when set (repro.telemetry.live.LiveRun
+        # attaches one), every event is also streamed out immediately so
+        # `repro top` can tail the log while the run is still going.
+        self.event_sink = None
         self.created_unix = time.time()
         self._t0 = time.perf_counter()
 
@@ -158,11 +162,22 @@ class Telemetry:
         self, name: str, capacity: Optional[int] = None
     ) -> MetricChannel:
         """Get or create the named channel (even when disabled, so call
-        sites can hold a handle; a disabled recorder never records)."""
+        sites can hold a handle; a disabled recorder never records).
+
+        Asking for an existing channel with a *different* explicit
+        ``capacity`` raises ``ValueError`` — the original instance keeps
+        recording at its own capacity, so silently returning it would
+        hand the caller a channel with a contract it never asked for.
+        """
         found = self.channels.get(name)
         if found is None:
             found = MetricChannel(name, capacity or self.channel_capacity)
             self.channels[name] = found
+        elif capacity is not None and found.capacity != int(capacity):
+            raise ValueError(
+                f"channel {name!r} exists with capacity {found.capacity}, "
+                f"requested {capacity}"
+            )
         return found
 
     def record(self, name: str, cycle: int, value: float) -> None:
@@ -181,3 +196,5 @@ class Telemetry:
         }
         entry.update(fields)
         self.events.append(entry)
+        if self.event_sink is not None:
+            self.event_sink(entry)

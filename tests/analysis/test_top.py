@@ -1,0 +1,131 @@
+"""``render_top`` — the deterministic frame behind ``repro top``."""
+
+import json
+
+from repro.analysis.top import render_top
+from repro.sim.cosim import CosimConfig
+from repro.sim.explore import run_exploration
+from repro.sim.sweep import SweepRunner, expand_grid
+from repro.telemetry.live import LiveRun, atomic_write_json
+
+
+def fabricate_run_dir(tmp_path, now=1000.0):
+    """A fully controlled run directory: every timestamp pinned."""
+    atomic_write_json(tmp_path / "status.json", {
+        "updated_unix": now - 2.0,
+        "command": "sweep",
+        "counters": {
+            "sweep_points_done": 3,
+            "sweep_points_failed": 1,
+            "sweep_points_retried": 1,
+        },
+        "gauges": {
+            "sweep_points_total": 8,
+            "sweep_workers": 2,
+            "sweep_wave": 2,
+            "sweep_eta_s": 12.0,
+        },
+        "histograms": {},
+        "last_checkpoint": "ckpt.json",
+    })
+    atomic_write_json(tmp_path / "heartbeats" / "worker-slot-0.json", {
+        "worker": "slot-0", "pid": 41, "updated_unix": now - 1.0,
+        "points_done": 2, "points_failed": 0, "points_retried": 0,
+        "lane_cycles": 2000, "lane_cycles_per_s": 1000.0, "busy_s": 2.0,
+        "eta_s": 4.0, "last_checkpoint": "ckpt.json",
+        "current": ["hotspot #4"],
+    })
+    atomic_write_json(tmp_path / "heartbeats" / "worker-slot-1.json", {
+        "worker": "slot-1", "pid": 42, "updated_unix": now - 60.0,
+        "points_done": 1, "points_failed": 1, "points_retried": 1,
+        "lane_cycles": 1000, "lane_cycles_per_s": 500.0, "busy_s": 2.0,
+        "eta_s": None, "last_checkpoint": None, "current": [],
+    })
+    with open(tmp_path / "events.jsonl", "w") as handle:
+        for kind in ("sweep_start", "sweep_point", "sweep_retry_wave"):
+            handle.write(json.dumps({"t_s": 1.5, "kind": kind}) + "\n")
+    flight = tmp_path / "flight"
+    flight.mkdir()
+    (flight / "000.json").write_text("{}\n")
+    return tmp_path
+
+
+class TestRenderFabricated:
+    def test_deterministic_for_fixed_state_and_clock(self, tmp_path):
+        fabricate_run_dir(tmp_path)
+        first = render_top(tmp_path, now_unix=1000.0)
+        second = render_top(tmp_path, now_unix=1000.0)
+        assert first == second
+
+    def test_frame_contents(self, tmp_path):
+        fabricate_run_dir(tmp_path)
+        frame = render_top(tmp_path, now_unix=1000.0, stale_after_s=15.0)
+        assert "sweep | status updated 2s ago" in frame
+        assert "4/8 (50%)" in frame
+        assert "1 failed" in frame
+        assert "1 retried" in frame
+        assert "retry wave 2" in frame
+        assert "checkpoint: ckpt.json" in frame
+        # Worker rows: slot-0 fresh and busy, slot-1 stale.
+        assert "slot-0" in frame and "hotspot #4" in frame
+        assert "slot-1 [STALE]" in frame
+        assert "slot-0 [STALE]" not in frame
+        assert "flight recorder: 1 dump(s)" in frame
+        assert "sweep_retry_wave" in frame
+
+    def test_stale_threshold_respected(self, tmp_path):
+        fabricate_run_dir(tmp_path)
+        lenient = render_top(tmp_path, now_unix=1000.0, stale_after_s=120.0)
+        assert "[STALE]" not in lenient
+
+    def test_empty_directory_renders_gracefully(self, tmp_path):
+        frame = render_top(tmp_path, now_unix=1000.0)
+        assert "no status.json yet" in frame
+
+    def test_events_tail_limited(self, tmp_path):
+        fabricate_run_dir(tmp_path)
+        frame = render_top(tmp_path, now_unix=1000.0, events_tail=1)
+        assert "sweep_retry_wave" in frame  # the newest survives
+        assert "sweep_start" not in frame
+
+
+class TestRenderRealRuns:
+    def test_covers_a_real_sweep_run(self, tmp_path):
+        base = CosimConfig(cycles=60, warmup_cycles=10)
+        points = expand_grid(["hotspot", "bfs"], base_seed=7)
+        live = LiveRun(tmp_path, interval_s=0.0)
+        SweepRunner(points, base, max_workers=2).run(live=live)
+        live.close()
+        import time
+
+        frame = render_top(tmp_path, now_unix=time.time())
+        # Every worker that heartbeat must be rendered.
+        from repro.telemetry.live import read_heartbeats
+
+        beats = read_heartbeats(tmp_path)
+        assert beats
+        for beat in beats:
+            assert str(beat["worker"]) in frame
+        assert "2/2 (100%)" in frame
+        # A frame is reproducible for a fixed clock even on live dirs.
+        assert render_top(tmp_path, now_unix=5e9) == render_top(
+            tmp_path, now_unix=5e9
+        )
+
+    def test_covers_a_real_explore_run(self, tmp_path):
+        live = LiveRun(tmp_path, interval_s=0.0)
+        run_exploration(
+            ["hotspot"],
+            {"cr_ivr_area_mm2": [52.9, 105.8]},
+            base_config=CosimConfig(cycles=80, warmup_cycles=16),
+            store_path=tmp_path / "store.jsonl",
+            rounds=2,
+            max_workers=1,
+            live=live,
+        )
+        live.close()
+        import time
+
+        frame = render_top(tmp_path, now_unix=time.time())
+        assert "explore round 2/2" in frame
+        assert "cache hit rate" in frame

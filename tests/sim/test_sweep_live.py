@@ -1,0 +1,124 @@
+"""Live-plane integration: sweeps and explorations publish while running."""
+
+import pytest
+
+from repro.sim.cosim import CosimConfig
+from repro.sim.explore import run_exploration
+from repro.sim.sweep import SweepRunner, expand_grid
+from repro.telemetry import Telemetry
+from repro.telemetry.live import LiveRun, read_heartbeats, read_status
+
+BASE = CosimConfig(cycles=60, warmup_cycles=10)
+
+
+def small_grid():
+    return expand_grid(
+        ["hotspot", "bfs"], {"cr_ivr_area_mm2": [105.8]}, base_seed=7
+    )
+
+
+def run_live(tmp_path, points=None, **runner_kwargs):
+    live = LiveRun(tmp_path, interval_s=0.0)
+    result = SweepRunner(
+        points if points is not None else small_grid(), BASE, **runner_kwargs
+    ).run(live=live)
+    live.close()
+    return result, read_status(tmp_path), read_heartbeats(tmp_path)
+
+
+class TestSweepLive:
+    def test_inline_counts_and_heartbeat(self, tmp_path):
+        result, status, beats = run_live(tmp_path, max_workers=1)
+        assert status["command"] == "sweep"
+        assert status["counters"]["sweep_points_done"] == 2
+        assert status["counters"]["sweep_points_failed"] == 0
+        assert status["gauges"]["sweep_points_total"] == 2
+        hist = status["histograms"]["sweep_point_elapsed_s"]
+        assert hist["count"] == 2
+        # Inline execution is one in-process worker.
+        assert len(beats) == 1
+        assert beats[0]["points_done"] == 2
+        assert beats[0]["lane_cycles"] == 2 * (BASE.cycles + BASE.warmup_cycles)
+        assert beats[0]["current"] == []  # finished, nothing in flight
+
+    def test_pool_workers_heartbeat(self, tmp_path):
+        result, status, beats = run_live(tmp_path, max_workers=2)
+        assert status["counters"]["sweep_points_done"] == 2
+        assert sum(b["points_done"] for b in beats) == 2
+        assert all(b["worker"].startswith("pid-") for b in beats)
+
+    def test_killable_path_uses_stable_slot_ids(self, tmp_path):
+        result, status, beats = run_live(
+            tmp_path, max_workers=2, point_timeout_s=60.0
+        )
+        assert status["counters"]["sweep_points_done"] == 2
+        # Process-per-task, but heartbeat files are per concurrent slot
+        # (accumulated across the short-lived processes), not per pid.
+        assert all(b["worker"].startswith("slot-") for b in beats)
+        assert sum(b["points_done"] for b in beats) == 2
+
+    def test_batch_tasks_report_lane_cycles(self, tmp_path):
+        result, status, beats = run_live(tmp_path, max_workers=1, batch_size=4)
+        assert status["counters"]["sweep_points_done"] == 2
+        assert sum(b["lane_cycles"] for b in beats) == 2 * (
+            BASE.cycles + BASE.warmup_cycles
+        )
+
+    def test_failures_and_retries_counted(self, tmp_path):
+        points = expand_grid(["hotspot", "no-such-bench"], base_seed=7)
+        result, status, beats = run_live(tmp_path, points=points, max_workers=1)
+        assert status["counters"]["sweep_points_done"] == 1
+        assert status["counters"]["sweep_points_failed"] == 1
+        assert sum(b["points_failed"] for b in beats) == 1
+
+    def test_live_none_is_the_default_no_files(self, tmp_path):
+        SweepRunner(small_grid(), BASE, max_workers=1).run()
+        assert read_status(tmp_path) is None
+        assert read_heartbeats(tmp_path) == []
+
+    def test_eta_gauge_converges_to_zero(self, tmp_path):
+        _, status, _ = run_live(tmp_path, max_workers=1)
+        assert status["gauges"]["sweep_eta_s"] == pytest.approx(0.0)
+
+
+class TestExploreLive:
+    def test_rounds_and_cache_metrics_published(self, tmp_path):
+        live = LiveRun(tmp_path, interval_s=0.0)
+        result = run_exploration(
+            ["hotspot"],
+            {"cr_ivr_area_mm2": [52.9, 105.8, 211.6]},
+            base_config=CosimConfig(cycles=80, warmup_cycles=16),
+            store_path=tmp_path / "store.jsonl",
+            rounds=2,
+            max_workers=1,
+            live=live,
+        )
+        live.close()
+        status = read_status(tmp_path)
+        assert status["command"] == "explore"
+        gauges = status["gauges"]
+        assert gauges["explore_round"] == 2
+        assert gauges["explore_rounds_total"] == 2
+        assert gauges["explore_frontier_size"] == len(result.front)
+        counters = status["counters"]
+        assert counters["explore_points_simulated"] == result.num_simulated
+        assert counters["explore_points_served"] == result.num_served
+        # The rounds' sweeps heartbeat into the same directory.
+        assert read_heartbeats(tmp_path)
+
+    def test_cache_hit_rate_rises_on_rerun(self, tmp_path):
+        config = CosimConfig(cycles=80, warmup_cycles=16)
+        kwargs = dict(
+            axes={"cr_ivr_area_mm2": [52.9, 105.8]},
+            base_config=config,
+            store_path=tmp_path / "store.jsonl",
+            rounds=1,
+            max_workers=1,
+        )
+        run_exploration(["hotspot"], **kwargs)
+        live = LiveRun(tmp_path, interval_s=0.0)
+        run_exploration(["hotspot"], live=live, **kwargs)
+        live.close()
+        status = read_status(tmp_path)
+        assert status["gauges"]["explore_cache_hit_rate"] == pytest.approx(1.0)
+        assert status["counters"]["explore_points_simulated"] == 0

@@ -1,0 +1,237 @@
+"""The live observability plane: registry, publisher, heartbeats."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.live import (
+    Counter,
+    Gauge,
+    Histogram,
+    LiveRun,
+    MetricsRegistry,
+    StatusPublisher,
+    WorkerLiveConfig,
+    atomic_write_json,
+    read_heartbeats,
+    read_status,
+    render_prometheus,
+)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("done").inc()
+        reg.counter("done").inc(4)
+        reg.gauge("eta").set(12.5)
+        reg.histogram("lat", uppers=(1.0, 2.0)).observe(0.5)
+        reg.histogram("lat", uppers=(1.0, 2.0)).observe(1.5)
+        reg.histogram("lat", uppers=(1.0, 2.0)).observe(99.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"done": 5}
+        assert snap["gauges"] == {"eta": 12.5}
+        hist = snap["histograms"]["lat"]
+        assert hist["buckets"] == [1.0, 2.0]
+        assert hist["counts"] == [1, 2, 3]  # cumulative incl. +Inf
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(101.0)
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="exists as Counter"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="exists as Counter"):
+            reg.histogram("x")
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", uppers=(1.0, 2.0))
+        with pytest.raises(ValueError, match="buckets"):
+            reg.histogram("lat", uppers=(1.0, 3.0))
+
+    def test_histogram_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", uppers=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("empty", uppers=())
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        snap = reg.snapshot()
+        c.inc()
+        assert snap["counters"]["n"] == 0
+
+
+class TestPrometheus:
+    def test_renders_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("points_done").inc(3)
+        reg.gauge("eta_s").set(1.5)
+        h = reg.histogram("elapsed", uppers=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = render_prometheus(reg.snapshot())
+        assert "# TYPE points_done counter\npoints_done 3" in text
+        assert "# TYPE eta_s gauge\neta_s 1.5" in text
+        assert 'elapsed_bucket{le="0.1"} 1' in text
+        assert 'elapsed_bucket{le="+Inf"} 2' in text
+        assert "elapsed_count 2" in text
+        assert text.endswith("\n")
+
+    def test_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("points.done/now").inc()
+        text = render_prometheus(reg.snapshot())
+        assert "points_done_now 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestStatusPublisher:
+    def test_throttles_on_injected_clock(self, tmp_path):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        pub = StatusPublisher(tmp_path, reg, interval_s=1.0, time_fn=clock)
+        assert pub.maybe_publish()  # first write always lands
+        assert not pub.maybe_publish()
+        clock.advance(0.5)
+        assert not pub.maybe_publish()
+        clock.advance(0.6)
+        assert pub.maybe_publish()
+        assert pub.writes == 2
+
+    def test_publish_forces_and_stamps(self, tmp_path):
+        clock = FakeClock(2000.0)
+        reg = MetricsRegistry()
+        reg.counter("n").inc(7)
+        pub = StatusPublisher(
+            tmp_path, reg, interval_s=100.0, time_fn=clock,
+            extra={"command": "sweep"},
+        )
+        pub.publish()
+        status = read_status(tmp_path)
+        assert status["updated_unix"] == 2000.0
+        assert status["command"] == "sweep"
+        assert status["counters"] == {"n": 7}
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        atomic_write_json(tmp_path / "status.json", {"a": 1})
+        atomic_write_json(tmp_path / "status.json", {"a": 2})
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["status.json"]
+        assert read_status(tmp_path) == {"a": 2}
+
+    def test_read_status_missing_or_torn(self, tmp_path):
+        assert read_status(tmp_path) is None
+        (tmp_path / "status.json").write_text('{"torn": ')
+        assert read_status(tmp_path) is None
+
+
+class TestWorkerHeartbeat:
+    def _config(self, tmp_path, **kw):
+        kw.setdefault("worker_id", "w1")
+        kw.setdefault("total_points", 10)
+        return WorkerLiveConfig(directory=str(tmp_path), **kw)
+
+    def test_lifecycle_and_snapshot(self, tmp_path):
+        clock = FakeClock(500.0)
+        beat = self._config(tmp_path).open(time_fn=clock)
+        beat.start_points(["hotspot #0", "bfs #1"])
+        beats = read_heartbeats(tmp_path)
+        assert len(beats) == 1
+        assert beats[0]["current"] == ["hotspot #0", "bfs #1"]
+        beat.finish_points(
+            done=2, failed=0, retried=0, lane_cycles=2400, busy_s=2.0
+        )
+        (snap,) = read_heartbeats(tmp_path)
+        assert snap["worker"] == "w1"
+        assert snap["points_done"] == 2
+        assert snap["current"] == []
+        assert snap["lane_cycles_per_s"] == pytest.approx(1200.0)
+        # 8 of 10 points remain at 1 s/point.
+        assert snap["eta_s"] == pytest.approx(8.0)
+
+    def test_accumulates_across_processes(self, tmp_path):
+        # The killable sweep path forks one process per task; the
+        # heartbeat file must outlive each process and keep counting.
+        config = self._config(tmp_path)
+        first = config.open(time_fn=FakeClock())
+        first.finish_points(
+            done=1, failed=0, retried=0, lane_cycles=100, busy_s=0.5
+        )
+        second = config.open(time_fn=FakeClock())
+        second.finish_points(
+            done=2, failed=1, retried=1, lane_cycles=300, busy_s=1.5
+        )
+        (snap,) = read_heartbeats(tmp_path)
+        assert snap["points_done"] == 3
+        assert snap["points_failed"] == 1
+        assert snap["points_retried"] == 1
+        assert snap["lane_cycles"] == 400
+        assert snap["busy_s"] == pytest.approx(2.0)
+
+    def test_maybe_write_throttles(self, tmp_path):
+        clock = FakeClock()
+        beat = self._config(tmp_path, interval_s=1.0).open(time_fn=clock)
+        beat.write()
+        assert not beat.maybe_write()
+        clock.advance(1.5)
+        assert beat.maybe_write()
+
+    def test_unreadable_heartbeats_skipped(self, tmp_path):
+        config = self._config(tmp_path)
+        config.open(time_fn=FakeClock()).write()
+        hb_dir = tmp_path / "heartbeats"
+        (hb_dir / "worker-torn.json").write_text("{nope")
+        beats = read_heartbeats(tmp_path)
+        assert [b["worker"] for b in beats] == ["w1"]
+
+
+class TestLiveRun:
+    def test_event_sink_streams_jsonl(self, tmp_path):
+        live = LiveRun(tmp_path, interval_s=0.0)
+        tele = Telemetry(run_id="r")
+        live.attach(tele)
+        tele.event("alpha", x=1)
+        tele.event("beta", y=2)
+        live.close()
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert [json.loads(l)["kind"] for l in lines] == ["alpha", "beta"]
+
+    def test_close_publishes_final_status(self, tmp_path):
+        live = LiveRun(tmp_path, interval_s=1e9)
+        live.registry.counter("n").inc(3)
+        live.close()
+        assert read_status(tmp_path)["counters"] == {"n": 3}
+
+    def test_worker_config_points_at_directory(self, tmp_path):
+        live = LiveRun(tmp_path)
+        config = live.worker_config(
+            "w7", total_points=5, checkpoint_path=tmp_path / "ckpt.json"
+        )
+        assert config.directory == str(tmp_path)
+        assert config.worker_id == "w7"
+        assert config.total_points == 5
+        live.close()

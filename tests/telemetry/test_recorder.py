@@ -99,6 +99,21 @@ class TestMetricChannel:
         tele = Telemetry()
         assert tele.channel("v") is tele.channel("v")
 
+    def test_channel_capacity_mismatch_rejected(self):
+        # Regression: a second channel() call with a different capacity
+        # used to silently return the existing channel at its original
+        # capacity; the caller's bound was ignored without a word.
+        tele = Telemetry()
+        tele.channel("v", capacity=64)
+        with pytest.raises(ValueError, match="capacity"):
+            tele.channel("v", capacity=128)
+
+    def test_channel_same_or_default_capacity_ok(self):
+        tele = Telemetry()
+        chan = tele.channel("v", capacity=64)
+        assert tele.channel("v", capacity=64) is chan
+        assert tele.channel("v") is chan  # default = don't care
+
 
 class TestDisabledRecorder:
     def test_all_mutators_are_noops(self):
@@ -282,3 +297,96 @@ class TestReadEvents:
         events, note = read_events(tmp_path)
         assert len(events) == 2
         assert note is None
+
+
+class TestStreamingEvents:
+    """iter_events / tail_events — the O(1)-space streaming readers."""
+
+    def write_lines(self, tmp_path, lines):
+        path = tmp_path / EVENTS_NAME
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        return path
+
+    def test_iter_events_streams_lazily(self, tmp_path):
+        from repro.telemetry import iter_events
+
+        path = self.write_lines(tmp_path, [{"kind": "a"}, {"kind": "b"}])
+        gen = iter_events(path)
+        assert next(gen)["kind"] == "a"
+        assert next(gen)["kind"] == "b"
+        assert list(gen) == []
+
+    def test_iter_events_from_byte_offset(self, tmp_path):
+        from repro.telemetry import iter_events
+
+        path = self.write_lines(tmp_path, [{"kind": "a"}, {"kind": "b"}])
+        first = len(json.dumps({"kind": "a"}) + "\n")
+        assert [e["kind"] for e in iter_events(path, offset=first)] == ["b"]
+
+    def test_iter_events_missing_file_yields_nothing(self, tmp_path):
+        from repro.telemetry import iter_events
+
+        assert list(iter_events(tmp_path / EVENTS_NAME)) == []
+
+    def test_iter_events_reports_bad_lines(self, tmp_path):
+        from repro.telemetry import iter_events
+
+        path = tmp_path / EVENTS_NAME
+        path.write_text('{"kind": "a"}\n{torn\n{"kind": "b"}\n')
+        bad = []
+        events = list(iter_events(path, on_bad=bad.append))
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert len(bad) == 1
+
+    def test_tail_events_incremental_polls(self, tmp_path):
+        from repro.telemetry import tail_events
+
+        path = self.write_lines(tmp_path, [{"kind": "a"}])
+        events, offset = tail_events(path)
+        assert [e["kind"] for e in events] == ["a"]
+        # Nothing new: same offset, no events.
+        again, offset2 = tail_events(path, offset)
+        assert again == [] and offset2 == offset
+        # Append one more and poll from the saved offset.
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"kind": "b"}) + "\n")
+        fresh, _ = tail_events(path, offset)
+        assert [e["kind"] for e in fresh] == ["b"]
+
+    def test_tail_events_leaves_partial_line_for_next_poll(self, tmp_path):
+        from repro.telemetry import tail_events
+
+        path = self.write_lines(tmp_path, [{"kind": "a"}])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "in-prog')  # write in progress
+        events, offset = tail_events(path)
+        assert [e["kind"] for e in events] == ["a"]
+        # The writer finishes the line; the next poll picks it up whole.
+        with open(path, "a") as handle:
+            handle.write('ress"}\n')
+        fresh, _ = tail_events(path, offset)
+        assert [e["kind"] for e in fresh] == ["in-progress"]
+
+    def test_tail_events_missing_file(self, tmp_path):
+        from repro.telemetry import tail_events
+
+        events, offset = tail_events(tmp_path / EVENTS_NAME, offset=0)
+        assert events == [] and offset == 0
+
+    def test_read_events_final_line_without_newline_ok(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        path.write_text('{"kind": "a"}\n{"kind": "b"}')  # no trailing \n
+        events, note = read_events(path)
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert note is None
+
+    def test_resolve_events_path_variants(self, tmp_path):
+        from repro.telemetry import resolve_events_path
+
+        assert resolve_events_path(tmp_path) == tmp_path / EVENTS_NAME
+        assert (
+            resolve_events_path(tmp_path / "manifest.json")
+            == tmp_path / EVENTS_NAME
+        )
+        other = tmp_path / "custom.jsonl"
+        assert resolve_events_path(other) == other

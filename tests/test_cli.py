@@ -444,3 +444,94 @@ class TestSweepHardeningCommands:
         out = capsys.readouterr().out
         assert "point #0 hotspot" in out
         assert "cycles_per_kernel unavailable" in out
+
+
+class TestObservabilityCommands:
+    def sweep_dir(self, tmp_path):
+        tele_dir = tmp_path / "tele"
+        assert main(["sweep", "--benchmarks", "hotspot",
+                     "--areas", "105.8", "--cycles", "60", "--warmup", "10",
+                     "--workers", "1", "--output", "",
+                     "--telemetry", str(tele_dir)]) == 0
+        return tele_dir
+
+    def test_top_once_renders_sweep_dir(self, capsys, tmp_path):
+        tele_dir = self.sweep_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["top", str(tele_dir), "--once", "--now", "5e9"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 (100%)" in out
+        assert "Workers (1)" in out
+        assert "sweep_done" in out
+
+    def test_top_once_deterministic_under_injected_clock(self, capsys,
+                                                         tmp_path):
+        tele_dir = self.sweep_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["top", str(tele_dir), "--once", "--now", "5e9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["top", str(tele_dir), "--once", "--now", "5e9"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_top_marks_stale_workers(self, capsys, tmp_path):
+        tele_dir = self.sweep_dir(tmp_path)
+        capsys.readouterr()
+        # Everything is stale from the far future...
+        assert main(["top", str(tele_dir), "--once", "--now", "5e9"]) == 0
+        assert "[STALE]" in capsys.readouterr().out
+        # ...nothing is stale with an infinite threshold.
+        assert main(["top", str(tele_dir), "--once", "--now", "5e9",
+                     "--stale-after", "1e12"]) == 0
+        assert "[STALE]" not in capsys.readouterr().out
+
+    def test_top_empty_dir_graceful(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path), "--once", "--now", "0"]) == 0
+        assert "no status.json yet" in capsys.readouterr().out
+
+    def test_metrics_prometheus_text(self, capsys, tmp_path):
+        tele_dir = self.sweep_dir(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sweep_points_done counter" in out
+        assert "sweep_points_done 1" in out
+        assert "sweep_point_elapsed_s_bucket" in out
+
+    def test_metrics_without_status_errors(self, capsys, tmp_path):
+        assert main(["metrics", str(tmp_path)]) == 1
+        assert "no status.json" in capsys.readouterr().err
+
+    def test_faults_run_dumps_flight_and_observe_renders_it(self, capsys,
+                                                            tmp_path):
+        tele_dir = tmp_path / "tele"
+        assert main(["faults", "guardband-breaker", "--cycles", "600",
+                     "--warmup", "100", "--seed", "3",
+                     "--telemetry", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "flight recorder:" in out
+        dumps = sorted((tele_dir / "flight").glob("*.json"))
+        assert dumps, "guardband-breaker must produce flight dumps"
+        assert main(["observe", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "flight recorder:" in out
+        assert "guardband_onset" in out
+
+    def test_cosim_telemetry_writes_flight_summary(self, capsys, tmp_path):
+        tele_dir = tmp_path / "tele"
+        assert main(["cosim", "hotspot", "--cycles", "100",
+                     "--warmup", "20", "--telemetry", str(tele_dir)]) == 0
+        manifest = json.loads((tele_dir / "manifest.json").read_text())
+        assert "flight" in manifest
+        assert manifest["flight"]["cycles_observed"] == 120
+
+    def test_explore_telemetry_publishes_live_plane(self, capsys, tmp_path):
+        tele_dir = tmp_path / "tele"
+        assert main(["explore", "--benchmarks", "hotspot",
+                     "--areas", "52.9,105.8", "--cycles", "80",
+                     "--warmup", "16", "--rounds", "1", "--workers", "1",
+                     "--store", str(tmp_path / "store.jsonl"),
+                     "--output", "", "--telemetry", str(tele_dir)]) == 0
+        capsys.readouterr()
+        assert main(["top", str(tele_dir), "--once", "--now", "5e9"]) == 0
+        out = capsys.readouterr().out
+        assert "explore round 1/1" in out
