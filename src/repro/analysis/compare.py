@@ -86,6 +86,12 @@ DEFAULT_THRESHOLDS: Dict[str, Threshold] = {
     # CI-core noise; a slide back toward the per-object reference
     # (which is ~20x this budget on the baseline scenario) still trips.
     "timing.gpu_model": Threshold(LOWER, abs_tol=0.15, rel_tol=1.0),
+    # Solver-health gates: zero tolerance.  A baseline scenario that
+    # completed cleanly must keep doing so — any structured divergence
+    # verdict or guard recovery (refactorize / dt-halving redo) on the
+    # regression workload is a numerical regression, not noise.
+    "diverged": Threshold(LOWER, abs_tol=0.0),
+    "guard_recoveries": Threshold(LOWER, abs_tol=0.0),
 }
 
 # Row outcomes.

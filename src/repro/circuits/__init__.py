@@ -23,7 +23,10 @@ from repro.circuits.elements import (
 )
 from repro.circuits.netlist import Circuit, GROUND
 from repro.circuits.transient import (
+    BatchSolverGuard,
     BatchTransientSolver,
+    NumericalDivergence,
+    SolverGuard,
     SolverStats,
     TransientResult,
     TransientSolver,
@@ -32,6 +35,7 @@ from repro.circuits.ac import ACAnalysis
 
 __all__ = [
     "ACAnalysis",
+    "BatchSolverGuard",
     "BatchTransientSolver",
     "Capacitor",
     "Circuit",
@@ -40,7 +44,9 @@ __all__ = [
     "Element",
     "GROUND",
     "Inductor",
+    "NumericalDivergence",
     "Resistor",
+    "SolverGuard",
     "SolverStats",
     "TransientResult",
     "TransientSolver",

@@ -100,6 +100,11 @@ class TransientSolver:
     # Conductance used to treat inductors as shorts in the DC solve.
     _DC_SHORT_SIEMENS = 1e9
 
+    # Rebound by BatchTransientSolver when it adopts this lane; a class
+    # default keeps the ownership check a plain attribute read on the
+    # (far more common) un-batched hot path.
+    _batch_owner = None
+
     def __init__(self, circuit: Circuit, dt: float, vectorized: bool = True) -> None:
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
@@ -144,6 +149,9 @@ class TransientSolver:
         for (p, n), g in zip(self._ind_nodes, self._g_ind):
             self.structure.stamp_conductance(matrix, p, n, g)
         self.stats = SolverStats()
+        # The assembled matrix is retained so the guard rail can compute
+        # a residual ``A x - b`` for forensics on detected divergence.
+        self._matrix = matrix
         self._lu = lu_factor(matrix)
         self.stats.factorizations += 1
         # The vectorized step calls LAPACK ``getrs`` directly — the same
@@ -182,6 +190,9 @@ class TransientSolver:
 
         self.time = 0.0
         self.solution = np.zeros(self.structure.size, dtype=float)
+        # Most recent step's RHS (reference, not a copy) — consumed by
+        # SolverGuard to compute a residual when a step goes bad.
+        self._last_rhs: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Precomputed index machinery for the vectorized path
@@ -236,11 +247,29 @@ class TransientSolver:
             _terminal_gather_arrays(self._cap_nodes + self._ind_nodes)
         )
 
-        # Current-source value gathers.  Batch-bound sources (the co-sim
-        # writes their amps into a shared NumPy buffer) are fetched with
-        # one fancy-indexed read per buffer; everything else — constants,
-        # waveform callables, override-driven sources — goes through the
-        # per-source ``current_at`` loop, exactly as before.
+        self._build_cs_gathers()
+
+        # Voltage-source rows: constants preloaded, callables looped.
+        self._vs_row_idx = np.array([row for row, _ in self._vs_rows], dtype=np.intp)
+        self._vs_values = np.array(
+            [0.0 if callable(v.value) else float(v.value) for _, v in self._vs_rows],
+            dtype=float,
+        )
+        self._vs_callable = [
+            (slot, source)
+            for slot, (_, source) in enumerate(self._vs_rows)
+            if callable(source.value)
+        ]
+
+    def _build_cs_gathers(self) -> None:
+        """Current-source value gathers.
+
+        Batch-bound sources (the co-sim writes their amps into a shared
+        NumPy buffer) are fetched with one fancy-indexed read per
+        buffer; everything else — constants, waveform callables,
+        override-driven sources — goes through the per-source
+        ``current_at`` loop, exactly as before.
+        """
         by_buffer: Dict[int, Tuple[object, List[int], List[int]]] = {}
         plain: List[Tuple[int, object]] = []
         for k, source in enumerate(self._current_sources):
@@ -258,18 +287,6 @@ class TransientSolver:
             for buffer, slots, gidx in by_buffer.values()
         ]
         self._cs_plain = plain
-
-        # Voltage-source rows: constants preloaded, callables looped.
-        self._vs_row_idx = np.array([row for row, _ in self._vs_rows], dtype=np.intp)
-        self._vs_values = np.array(
-            [0.0 if callable(v.value) else float(v.value) for _, v in self._vs_rows],
-            dtype=float,
-        )
-        self._vs_callable = [
-            (slot, source)
-            for slot, (_, source) in enumerate(self._vs_rows)
-            if callable(source.value)
-        ]
 
     # ------------------------------------------------------------------
     # Mid-run topology-preserving refactorization
@@ -289,12 +306,40 @@ class TransientSolver:
             self.structure.stamp_conductance(matrix, p, n, g)
         for (p, n), g in zip(self._ind_nodes, self._g_ind):
             self.structure.stamp_conductance(matrix, p, n, g)
+        self._matrix = matrix
         self._lu = lu_factor(matrix)
         self.stats.factorizations += 1
         self._getrs = get_lapack_funcs(("getrs",), (self._lu[0],))[0]
         owner = getattr(self, "_batch_owner", None)
         if owner is not None:
             owner._lanes_dirty = True
+
+    def set_dt(self, dt: float) -> None:
+        """Change the step size mid-run and restamp the companion matrix.
+
+        The trapezoidal companion conductances (``2C/h``, ``h/2L``) are
+        dt-dependent, so a new step size requires recomputing them and
+        re-factorizing.  Gains are written *in place* so batch row views
+        (:class:`BatchTransientSolver`) stay attached.  Reactive state
+        carries across — this is how :class:`SolverGuard` retries a
+        misbehaving interval at a finer resolution.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.dt = dt
+        self._g_cap[:] = [2.0 * c.capacitance / dt for c in self.capacitors]
+        self._g_ind[:] = [dt / (2.0 * l.inductance) for l in self.inductors]
+        self.refactor()
+
+    def rebind_sources(self) -> None:
+        """Re-scan current sources' bound batch buffers.
+
+        Lane quarantine re-binds a surviving PDN's current sources to a
+        row of a freshly compacted batch array
+        (``StackedPDN.bind_current_buffer``); this refreshes the cached
+        buffer handles the vectorized gather reads from.
+        """
+        self._build_cs_gathers()
 
     # ------------------------------------------------------------------
     # Initialization
@@ -371,6 +416,91 @@ class TransientSolver:
             return self._step_vectorized()
         return self._step_naive()
 
+    def step_n(self, n: int) -> np.ndarray:
+        """Advance ``n`` trapezoidal steps; return the final node voltages.
+
+        Bit-identical to ``n`` calls of :meth:`step` — the same NumPy
+        operations run in the same order on the same operands.  The
+        per-step Python overhead (method dispatch, attribute lookups)
+        is hoisted out of the loop, and the RHS scatter uses one
+        ``bincount`` instead of ``zeros`` + ``np.add.at`` (bincount,
+        like ``add.at``, accumulates weights in input order, so the
+        per-index float summation sequence is unchanged).  This is the
+        guard's clean-path stepping: the fusion pays for the guard's
+        snapshot/scan bookkeeping (see ``benchmarks/test_perf_guard``).
+
+        Defers to the plain per-step loop when the solver is in naive
+        mode or ``step`` has been instance-patched (fault hooks and
+        tests wrap ``solver.step``; a fused path must not bypass them).
+        """
+        if not self.vectorized or "step" in self.__dict__:
+            node_v = None
+            for _ in range(n):
+                node_v = self.step()
+            return node_v
+        stats = self.stats
+        dt = self.dt
+        vals = self._vals
+        cs_offset = self._cs_offset
+        react_g = self._react_g
+        react_v = self._react_v
+        react_i = self._react_i
+        cs_plain = self._cs_plain
+        cs_batches = self._cs_batches
+        vs_callable = self._vs_callable
+        vs_values = self._vs_values
+        vs_row_idx = self._vs_row_idx
+        scatter_idx = self._scatter_idx
+        scatter_gain = self._scatter_gain
+        scatter_src = self._scatter_src
+        react_pos = self._react_pos
+        react_neg = self._react_neg
+        react_pos_mask = self._react_pos_mask
+        react_neg_mask = self._react_neg_mask
+        react_sign = self._react_sign
+        getrs = self._getrs
+        lu, piv = self._lu
+        size = self.structure.size
+        num_nodes = self.structure.num_nodes
+        bincount = np.bincount
+        asarray = np.asarray
+
+        solution = self.solution
+        for _ in range(n):
+            stats.steps += 1
+            t_next = self.time + dt
+
+            ieq = react_g * react_v + react_i
+            vals[:cs_offset] = ieq
+            for slot, source in cs_plain:
+                vals[slot] = source.current_at(t_next)
+            for buffer, slots, gidx in cs_batches:
+                vals[slots] = asarray(buffer)[gidx]
+
+            rhs = bincount(
+                scatter_idx,
+                weights=scatter_gain * vals[scatter_src],
+                minlength=size,
+            )
+            if vs_callable:
+                for slot, source in vs_callable:
+                    vs_values[slot] = source.voltage_at(t_next)
+            rhs[vs_row_idx] = vs_values
+
+            solution, _info = getrs(lu, piv, rhs)
+            self._last_rhs = rhs
+
+            v_new = (
+                solution[react_pos] * react_pos_mask
+                - solution[react_neg] * react_neg_mask
+            )
+            react_i[:] = react_g * v_new + react_sign * ieq
+            react_v[:] = v_new
+
+            self.time = t_next
+            self.solution = solution
+        return solution[:num_nodes]
+
     def _step_vectorized(self) -> np.ndarray:
         t_next = self.time + self.dt
 
@@ -389,6 +519,7 @@ class TransientSolver:
         rhs[self._vs_row_idx] = self._vs_values
 
         solution, _info = self._getrs(self._lu[0], self._lu[1], rhs)
+        self._last_rhs = rhs
 
         # Companion-state update: v' gathered across all terminals at
         # once, i' = g*v' + s*ieq (s = -1 capacitors, +1 inductors).
@@ -423,6 +554,7 @@ class TransientSolver:
                 rhs[n] += ieq
 
         solution = lu_solve(self._lu, rhs)
+        self._last_rhs = rhs
 
         for k, (p, n) in enumerate(self._cap_nodes):
             v_new = self._across(solution, p, n)
@@ -641,6 +773,7 @@ class BatchTransientSolver:
         for s in self.solvers:
             s._batch_owner = self
         self._getrs_inplace: Optional[bool] = None
+        self._last_rhs_bt: Optional[np.ndarray] = None
         self._scatter_gain = first._scatter_gain
         self._scatter_src = first._scatter_src
         self._vs_row_idx = first._vs_row_idx
@@ -747,6 +880,7 @@ class BatchTransientSolver:
                 for slot, source in s._vs_callable:
                     s._vs_values[slot] = source.voltage_at(t_next)
         rhs[:, self._vs_row_idx] = self._vs_bt
+        self._last_rhs_bt = rhs
 
         # Back-substitute each lane in place on its solution row: LAPACK
         # dgetrs overwrites a contiguous RHS when allowed to, skipping
@@ -804,3 +938,442 @@ class BatchTransientSolver:
             row = rows.pop()
             self._branch_rows[name] = row
         return -self._sol_bt[:, row]
+
+
+class NumericalDivergence(RuntimeError):
+    """A transient step diverged and every recovery stage failed.
+
+    Carries the forensics a post-mortem needs: which cycle and lane blew
+    up, the worst node and its value, the residual at first detection,
+    and how many recoveries the guard had performed before giving up.
+    ``run_cosim`` converts this into a structured ``diverged`` verdict
+    instead of letting it crash a campaign.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str,
+        time_s: float,
+        cycle: Optional[int] = None,
+        lane: Optional[int] = None,
+        worst_node: Optional[str] = None,
+        worst_node_index: Optional[int] = None,
+        worst_value: Optional[float] = None,
+        residual_norm: Optional[float] = None,
+        recoveries: Optional[Dict[str, int]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.time_s = float(time_s)
+        self.cycle = cycle
+        self.lane = lane
+        self.worst_node = worst_node
+        self.worst_node_index = worst_node_index
+        self.worst_value = worst_value
+        self.residual_norm = residual_norm
+        self.recoveries = dict(recoveries or {})
+
+    def forensics(self) -> Dict[str, object]:
+        """JSON-ready divergence record (drops None-valued fields)."""
+        record: Dict[str, object] = {
+            "message": str(self),
+            "stage": self.stage,
+            "time_s": self.time_s,
+            "recoveries": dict(self.recoveries),
+        }
+        for key in ("cycle", "lane", "worst_node", "worst_node_index"):
+            value = getattr(self, key)
+            if value is not None:
+                record[key] = value
+        for key in ("worst_value", "residual_norm"):
+            value = getattr(self, key)
+            if value is not None:
+                record[key] = float(value)
+        return record
+
+
+# Exceptions a LAPACK/NumPy solve path can raise on bad numerics:
+# LinAlgError from the dense DC solve, ValueError from check_finite
+# guards inside scipy factorizations, FloatingPointError under strict
+# np.errstate regimes.
+_SOLVE_ERRORS = (np.linalg.LinAlgError, ValueError, FloatingPointError)
+
+# Module-level binding: the guard's clean path runs every co-sim cycle
+# and a global load beats an attribute chain there.
+_dot = np.dot
+
+
+class SolverGuard:
+    """Numerical guard-rail around one lane's per-cycle substeps.
+
+    Detection is one sum-of-squares proof per co-sim cycle:
+    ``x . x < limit^2`` certifies every entry is inside the spike
+    limit (NaN/Inf contaminate the dot and fail the comparison), and
+    only suspicious cycles pay a per-entry extrema scan.  The clean
+    hot path therefore costs two small state copies and one fused
+    reduction — and it steps through :meth:`TransientSolver.step_n`,
+    whose loop fusion pays for that bookkeeping (gated at 2% by
+    ``benchmarks/test_perf_guard``).  On a bad cycle the guard
+    restores the cycle-start snapshot and escalates:
+
+    1. re-factorize the MNA matrix and redo the cycle;
+    2. halve the step size (bounded, companion matrix restamped) and
+       redo the cycle at finer resolution;
+    3. raise :class:`NumericalDivergence` with forensics.
+
+    Recovered cycles land back on the nominal time grid (the end time
+    is recomputed with the clean path's exact accumulation sequence),
+    so a recovery never skews later source-waveform evaluation.
+    """
+
+    DEFAULT_SPIKE_LIMIT_V = 1.0e3
+
+    def __init__(
+        self,
+        solver: TransientSolver,
+        spike_limit_v: float = DEFAULT_SPIKE_LIMIT_V,
+        max_dt_halvings: int = 3,
+        lane: Optional[int] = None,
+    ) -> None:
+        if spike_limit_v <= 0:
+            raise ValueError(f"spike_limit_v must be positive, got {spike_limit_v}")
+        if max_dt_halvings < 0:
+            raise ValueError(f"max_dt_halvings must be >= 0, got {max_dt_halvings}")
+        self.solver = solver
+        self.spike_limit_v = float(spike_limit_v)
+        self.max_dt_halvings = int(max_dt_halvings)
+        self.lane = lane
+        self.refactor_recoveries = 0
+        self.dt_halving_recoveries = 0
+        self.divergences = 0
+        self._node_names: Optional[Dict[int, str]] = None
+        # Preallocated cycle-start snapshot buffers: the clean path
+        # runs every cycle of every default co-sim, so it must not
+        # allocate.
+        self._snap_v = np.empty_like(solver._react_v)
+        self._snap_i = np.empty_like(solver._react_i)
+        # ``x . x < limit^2`` proves ``max|x| < limit`` in one BLAS
+        # call; the precise per-entry scan only runs when the cheap
+        # proof fails (see ``step_cycle``).
+        self._limit_sq = self.spike_limit_v * self.spike_limit_v
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "refactor_recoveries": self.refactor_recoveries,
+            "dt_halving_recoveries": self.dt_halving_recoveries,
+            "divergences": self.divergences,
+        }
+
+    @property
+    def recoveries(self) -> int:
+        return self.refactor_recoveries + self.dt_halving_recoveries
+
+    # -- detection -----------------------------------------------------
+    def _healthy(self, solution: np.ndarray) -> bool:
+        # Two temp-free reductions instead of ``abs(x).max()``; a
+        # NaN-contaminated extremum compares False against the limit,
+        # so the two comparisons cover non-finite values and runaway
+        # spikes in either direction.
+        limit = self.spike_limit_v
+        return bool(solution.max() < limit) and bool(
+            solution.min() > -limit
+        )
+
+    def _worst(self, solution: np.ndarray) -> Tuple[int, float]:
+        bad = np.flatnonzero(~np.isfinite(solution))
+        if bad.size:
+            idx = int(bad[0])
+        else:
+            idx = int(np.argmax(np.abs(solution)))
+        return idx, float(solution[idx])
+
+    def _node_name(self, index: int) -> str:
+        if self._node_names is None:
+            structure = self.solver.structure
+            names = {}
+            for node in self.solver.circuit.nodes:
+                pos = structure.node(node)
+                if pos is not None:
+                    names[pos] = node
+            for vs_name, row in structure.branch_index.items():
+                names[row] = f"branch:{vs_name}"
+            self._node_names = names
+        return self._node_names.get(index, f"unknown:{index}")
+
+    def _residual_norm(self, rhs: Optional[np.ndarray]) -> Optional[float]:
+        matrix = getattr(self.solver, "_matrix", None)
+        if rhs is None or matrix is None:
+            return None
+        residual = matrix @ self.solver.solution - rhs
+        return float(np.abs(residual).max())
+
+    # -- recovery machinery --------------------------------------------
+    def _restore(self, v0: np.ndarray, i0: np.ndarray, t0: float) -> None:
+        solver = self.solver
+        solver._react_v[:] = v0
+        solver._react_i[:] = i0
+        solver.time = t0
+
+    def _reattach(self) -> None:
+        """Re-home the solution row after serial redo under a batch owner.
+
+        The serial step rebinds ``solver.solution`` to a fresh array;
+        when a :class:`BatchTransientSolver` owns the lane, the batch's
+        ``(B, size)`` block must get the values and the lane must go
+        back to viewing its row.
+        """
+        solver = self.solver
+        owner = getattr(solver, "_batch_owner", None)
+        if owner is None:
+            return
+        if not np.shares_memory(solver.solution, owner._sol_bt):
+            row = owner.solvers.index(solver)
+            owner._sol_bt[row, :] = solver.solution
+            solver.solution = owner._sol_bt[row]
+
+    def _try_steps(self, count: int) -> Tuple[Optional[np.ndarray], Optional[BaseException]]:
+        solver = self.solver
+        node_v = None
+        try:
+            for _ in range(count):
+                node_v = solver.step()
+        except _SOLVE_ERRORS as exc:
+            return node_v, exc
+        return node_v, None
+
+    # -- the guarded cycle ---------------------------------------------
+    def step_cycle(
+        self, substeps: int, cycle: Optional[int] = None
+    ) -> np.ndarray:
+        """Run one co-sim cycle (``substeps`` solver steps) under guard."""
+        solver = self.solver
+        self._snap_v[:] = solver._react_v
+        self._snap_i[:] = solver._react_i
+        t0 = solver.time
+        try:
+            node_v = solver.step_n(substeps)
+        except _SOLVE_ERRORS as exc:
+            return self._recover(substeps, cycle, t0, None, exc)
+        # Cheap sufficient health proof: ``max(x)^2 <= x . x``, so a
+        # sum of squares under ``limit^2`` certifies every entry is
+        # inside the spike limit in one fused reduction (NaN/Inf
+        # contaminate the dot and fail the comparison).  Only
+        # suspicious cycles pay the per-entry extrema scan.
+        solution = solver.solution
+        if _dot(solution, solution) < self._limit_sq or self._healthy(solution):
+            if solver._batch_owner is not None:
+                self._reattach()
+            return node_v
+        return self._recover(substeps, cycle, t0, node_v, None)
+
+    def _recover(
+        self,
+        substeps: int,
+        cycle: Optional[int],
+        t0: float,
+        node_v: Optional[np.ndarray],
+        err: Optional[BaseException],
+    ) -> np.ndarray:
+        """Escalating recovery for a cycle the fast path flagged."""
+        solver = self.solver
+        v0, i0 = self._snap_v, self._snap_i
+
+        # Forensics at first detection, before any recovery clobbers
+        # the diverged state.
+        worst_idx, worst_val = self._worst(solver.solution)
+        residual = self._residual_norm(getattr(solver, "_last_rhs", None))
+        detect_error = err
+
+        # Stage 1: refactorize (stale/poisoned LU, drifted element
+        # values) and redo the cycle from the snapshot.
+        self._restore(v0, i0, t0)
+        try:
+            solver.refactor()
+        except _SOLVE_ERRORS:
+            pass
+        else:
+            node_v, err = self._try_steps(substeps)
+            if err is None and self._healthy(solver.solution):
+                self.refactor_recoveries += 1
+                self._reattach()
+                return node_v
+
+        # Stage 2: bounded substep halving.  The end time is rebuilt
+        # with the clean path's exact accumulation (t += dt, substeps
+        # times) so recovered lanes stay bit-aligned with the grid.
+        dt0 = solver.dt
+        t_end = t0
+        for _ in range(substeps):
+            t_end = t_end + dt0
+        for halving in range(1, self.max_dt_halvings + 1):
+            self._restore(v0, i0, t0)
+            recovered = False
+            try:
+                solver.set_dt(dt0 / (2.0 ** halving))
+                node_v, err = self._try_steps(substeps * (2 ** halving))
+                recovered = err is None and self._healthy(solver.solution)
+            except _SOLVE_ERRORS:
+                recovered = False
+            if solver.dt != dt0:
+                try:
+                    solver.set_dt(dt0)
+                except _SOLVE_ERRORS:
+                    break
+            if recovered:
+                solver.time = t_end
+                self.dt_halving_recoveries += 1
+                self._reattach()
+                return node_v
+
+        # Exhausted: leave the lane restored at the cycle boundary and
+        # raise with the first-detection forensics.
+        self._restore(v0, i0, t0)
+        self.divergences += 1
+        self._reattach()
+        reason = (
+            f"solve raised {type(detect_error).__name__}"
+            if detect_error is not None
+            else f"|V| at {self._node_name(worst_idx)} hit {worst_val!r}"
+        )
+        raise NumericalDivergence(
+            f"transient step diverged at t={t0:.3e}s and survived no "
+            f"recovery stage ({reason})",
+            stage="exhausted",
+            time_s=t0,
+            cycle=cycle,
+            lane=self.lane,
+            worst_node=self._node_name(worst_idx),
+            worst_node_index=worst_idx,
+            worst_value=worst_val,
+            residual_norm=residual,
+            recoveries=self.counters(),
+        )
+
+
+class BatchSolverGuard:
+    """Guard-rail over a :class:`BatchTransientSolver`'s fused cycle.
+
+    The clean path is the fused batch step plus one per-lane peak scan.
+    When lanes misbehave, only the offenders are rolled back to the
+    cycle-start snapshot and re-run serially through their per-lane
+    :class:`SolverGuard` (the serial step is bit-identical to the fused
+    one, so healthy lanes are untouched and recovered lanes land on
+    exactly the state a serial recovery would produce).  Lanes whose
+    recovery ladder is exhausted are reported per-row so the co-sim can
+    quarantine them and keep the survivors lock-stepped.
+    """
+
+    def __init__(
+        self,
+        batch: BatchTransientSolver,
+        guards: Optional[Sequence[SolverGuard]] = None,
+        spike_limit_v: float = SolverGuard.DEFAULT_SPIKE_LIMIT_V,
+        max_dt_halvings: int = 3,
+    ) -> None:
+        self.batch = batch
+        if guards is None:
+            guards = [
+                SolverGuard(
+                    s,
+                    spike_limit_v=spike_limit_v,
+                    max_dt_halvings=max_dt_halvings,
+                    lane=i,
+                )
+                for i, s in enumerate(batch.solvers)
+            ]
+        guards = list(guards)
+        if len(guards) != len(batch.solvers):
+            raise ValueError("need exactly one guard per lane")
+        for guard, solver in zip(guards, batch.solvers):
+            if guard.solver is not solver:
+                raise ValueError("guard/lane pairing is misaligned")
+        self.guards = guards
+        self._limits = np.array([g.spike_limit_v for g in guards])
+        # Preallocated buffers for the per-cycle snapshot and health
+        # scan: the clean path must not allocate (B, size) temporaries.
+        self._snap_v_bt = np.empty_like(batch._react_v_bt)
+        self._snap_i_bt = np.empty_like(batch._react_i_bt)
+        self._mx = np.empty(len(guards))
+        self._mn = np.empty(len(guards))
+        # Per-row sum-of-squares buffer for the cheap health proof
+        # (see SolverGuard: ``x . x < limit^2`` implies no spike).
+        self._sq = np.empty(len(guards))
+        self._limit_sq = self._limits * self._limits
+
+    def counters(self) -> Dict[str, int]:
+        total = {
+            "refactor_recoveries": 0,
+            "dt_halving_recoveries": 0,
+            "divergences": 0,
+        }
+        for guard in self.guards:
+            for key, value in guard.counters().items():
+                total[key] += value
+        return total
+
+    def step_cycle(
+        self, substeps: int, cycle: Optional[int] = None
+    ) -> Tuple[np.ndarray, Dict[int, NumericalDivergence]]:
+        """Advance every lane one cycle; recover or report bad lanes.
+
+        Returns ``(node_voltages, failures)`` where ``node_voltages``
+        is the ``(B, num_nodes)`` block (recovered lanes included) and
+        ``failures`` maps batch row -> :class:`NumericalDivergence` for
+        lanes whose recovery ladder was exhausted.
+        """
+        batch = self.batch
+        solvers = batch.solvers
+        v0, i0 = self._snap_v_bt, self._snap_i_bt
+        np.copyto(v0, batch._react_v_bt)
+        np.copyto(i0, batch._react_i_bt)
+        t0 = solvers[0].time
+
+        blown = False
+        try:
+            for _ in range(substeps):
+                batch.step()
+        except _SOLVE_ERRORS:
+            blown = True
+
+        if blown:
+            # The fused step died partway through a substep, so every
+            # lane's state is suspect: roll them all back and redo each
+            # serially (bit-identical to the fused path for lanes that
+            # behave).
+            bad_rows = np.arange(len(solvers))
+            batch._react_v_bt[:] = v0
+            batch._react_i_bt[:] = i0
+            for s in solvers:
+                s.time = t0
+        else:
+            # Cheap sufficient health proof per row: a sum of squares
+            # under ``limit^2`` certifies every entry is inside the
+            # spike limit in one fused reduction (NaN/Inf contaminate
+            # the row's dot and fail the comparison).
+            sol = batch._sol_bt
+            np.einsum("ij,ij->i", sol, sol, out=self._sq)
+            if (self._sq < self._limit_sq).all():
+                return sol[:, : batch.num_nodes], {}
+            # Suspicious batch: precise temp-free per-row extrema
+            # (NaN rows fail both compares).
+            sol.max(axis=1, out=self._mx)
+            sol.min(axis=1, out=self._mn)
+            healthy = (self._mx < self._limits) & (self._mn > -self._limits)
+            if healthy.all():
+                return sol[:, : batch.num_nodes], {}
+            bad_rows = np.flatnonzero(~healthy)
+
+        failures: Dict[int, NumericalDivergence] = {}
+        for row in bad_rows:
+            row = int(row)
+            solver = solvers[row]
+            solver._react_v[:] = v0[row]
+            solver._react_i[:] = i0[row]
+            solver.time = t0
+            try:
+                self.guards[row].step_cycle(substeps, cycle=cycle)
+            except NumericalDivergence as exc:
+                failures[row] = exc
+        return batch._sol_bt[:, : batch.num_nodes], failures

@@ -7,6 +7,11 @@ Subcommands mirror the library's main workflows:
 * ``faults``    — run a fault-injection scenario (canned name or JSON
   file) and print the guardband verdict (exit 1 unless ``--expect``
   matches);
+* ``chaos``     — run a deterministic runtime-chaos scenario (NaN
+  poisoning, lane quarantine, worker/checkpoint SIGKILL + resume, torn
+  store append, forced C-backend failure) and assert the self-healing
+  invariants hold (exit 1 on any violated check; ``--output DIR``
+  writes forensics JSON for CI artifact upload);
 * ``sweep``     — parallel co-simulation grid (area x benchmark x ...)
   with per-point timeouts, bounded retries and checkpoint/resume;
 * ``explore``   — design-space exploration service: successive-halving
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -203,6 +209,317 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             return 1
         print(f"verdict matches --expect {args.expect}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Deterministic chaos scenarios (``repro chaos``)
+# ---------------------------------------------------------------------------
+# Each runner returns ``(checks, forensics)``: named boolean invariants
+# (all must hold) plus a JSON-able forensics payload written under
+# ``--output`` for CI artifact upload.  The runners live here — not in
+# repro.faults.chaos — because they drive the full simulation stack and
+# the chaos module must stay stdlib-only (hook sites import it).
+
+def _chaos_nan_poison(seed: int):
+    """Mid-run NaN poisoning yields a structured ``diverged`` verdict —
+    never an unhandled exception or a silent NaN waveform."""
+    import numpy as np
+
+    from repro.faults import chaos
+    from repro.sim.cosim import CosimConfig, run_cosim
+
+    plan = chaos.ChaosPlan("nan-poison", [
+        chaos.ChaosEvent("cosim_cycle", "nan_poison", at=40, once=False),
+    ])
+    chaos.activate(plan)
+    try:
+        result = run_cosim(
+            "hotspot", CosimConfig(cycles=120, warmup_cycles=40, seed=seed)
+        )
+    finally:
+        chaos.deactivate()
+    info = result.divergence or {}
+    checks = {
+        "structured_verdict": result.diverged and bool(info.get("stage")),
+        "truncated_at_poison_cycle": result.num_cycles == 40,
+        "no_nan_in_waveform": bool(np.isfinite(result.sm_voltages).all()),
+    }
+    return checks, {"divergence": info,
+                    "recorded_cycles": result.num_cycles}
+
+
+def _chaos_lane_quarantine(seed: int):
+    """A poisoned batch lane is evicted; survivors stay bit-identical
+    to their serial runs and the dead lane keeps its clean prefix."""
+    import numpy as np
+
+    from repro.faults import chaos
+    from repro.sim.cosim import (
+        CosimConfig, CosimLane, run_cosim, run_cosim_batch,
+    )
+
+    def cfg(s: int) -> CosimConfig:
+        return CosimConfig(cycles=100, warmup_cycles=30, seed=s)
+
+    lanes = [
+        CosimLane("hotspot", cfg(seed)),
+        CosimLane("bfs", cfg(seed + 2)),
+        CosimLane("srad", cfg(seed + 4)),
+    ]
+    serial = [run_cosim(lane.benchmark, lane.config) for lane in lanes]
+    plan = chaos.ChaosPlan("lane-quarantine", [
+        chaos.ChaosEvent(
+            "cosim_cycle", "nan_poison", at=25, lane=1, once=False
+        ),
+    ])
+    chaos.activate(plan)
+    try:
+        batch = run_cosim_batch(lanes)
+    finally:
+        chaos.deactivate()
+    checks = {
+        "poisoned_lane_quarantined": batch[1].diverged,
+        "survivor_0_bit_identical": bool(
+            np.array_equal(batch[0].sm_voltages, serial[0].sm_voltages)
+        ),
+        "survivor_2_bit_identical": bool(
+            np.array_equal(batch[2].sm_voltages, serial[2].sm_voltages)
+        ),
+        "dead_lane_prefix_identical": bool(
+            np.array_equal(batch[1].sm_voltages, serial[1].sm_voltages[:25])
+        ),
+    }
+    return checks, {"divergence": batch[1].divergence}
+
+
+# Child body for the kill-resume scenario: runs a checkpointed sweep
+# under a REPRO_CHAOS plan (argv: checkpoint path); the plan SIGKILLs a
+# worker at a point boundary (retried in-run) and then the parent
+# mid-checkpoint (the process dies — that is the point).
+_KILL_RESUME_CHILD = """\
+import sys
+from repro.sim.cosim import CosimConfig
+from repro.sim.sweep import SweepRunner, expand_grid
+
+points = expand_grid(
+    ["hotspot", "bfs"], {"cr_ivr_area_mm2": [52.9, 105.8, 211.6]}
+)
+base = CosimConfig(cycles=40, warmup_cycles=10)
+runner = SweepRunner(
+    points, base, max_workers=2, max_attempts=3,
+    checkpoint_path=sys.argv[1], checkpoint_every=1,
+)
+runner.run()
+"""
+
+
+def _chaos_kill_resume(seed: int):
+    """SIGKILL a sweep worker and then the sweep itself mid-checkpoint;
+    resume must recover every completed point and finish with metrics
+    identical to an uninterrupted run."""
+    import json as json_mod
+    import os
+    import subprocess
+    import tempfile
+
+    from repro.faults import chaos
+    from repro.sim.cosim import CosimConfig
+    from repro.sim.sweep import SweepRunner, expand_grid
+
+    points = expand_grid(
+        ["hotspot", "bfs"], {"cr_ivr_area_mm2": [52.9, 105.8, 211.6]}
+    )
+    base = CosimConfig(cycles=40, warmup_cycles=10)
+    reference = SweepRunner(points, base, max_workers=1).run()
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    checkpoint = tmp / "checkpoint.json"
+    plan = chaos.ChaosPlan("kill-resume", [
+        chaos.ChaosEvent("worker_point", "kill", at=1),
+        chaos.ChaosEvent("checkpoint_write", "kill", at=3),
+    ])
+    plan_path = plan.save(tmp / "plan.json")
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env[chaos.CHAOS_ENV] = str(plan_path)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _KILL_RESUME_CHILD, str(checkpoint)],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    with open(checkpoint) as handle:
+        recovered = len(json_mod.load(handle).get("completed", []))
+    # Same attempt budget as the killed run: the checkpointed
+    # WorkerCrash failure carries its spent attempts and must still
+    # have headroom to retry.
+    resumed = SweepRunner.resume(
+        checkpoint, points, base, max_workers=1, max_attempts=3
+    ).run()
+
+    ref_metrics = [r.metrics for r in reference.points]
+    res_metrics = [r.metrics for r in resumed.points]
+    checks = {
+        "child_was_killed": proc.returncode != 0,
+        "checkpoint_recovered_points": 0 < recovered < len(points),
+        "all_points_completed": resumed.num_failed == 0,
+        "metrics_identical_to_uninterrupted": ref_metrics == res_metrics,
+        "attempt_budgets_intact": all(
+            r.attempts <= 3 for r in resumed.points
+        ),
+    }
+    return checks, {
+        "child_returncode": proc.returncode,
+        "recovered_points": recovered,
+        "total_points": len(points),
+        "child_stderr_tail": proc.stderr[-2000:],
+    }
+
+
+def _chaos_torn_store(seed: int):
+    """A torn store append degrades to a cache miss on reload — never a
+    crash — and later appends land cleanly after the torn tail."""
+    import tempfile
+
+    from repro.faults import chaos
+    from repro.sim.cosim import CosimConfig
+    from repro.sim.store import ResultStore, point_key
+    from repro.sim.sweep import SweepPointResult, expand_grid
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    path = tmp / "store.jsonl"
+    base = CosimConfig(cycles=40, warmup_cycles=10)
+    points = expand_grid(["hotspot", "bfs"], base_seed=seed)
+    results = [
+        SweepPointResult(point=p, ok=True, metrics={"pde": 0.9 + i})
+        for i, p in enumerate(points)
+    ]
+
+    store = ResultStore(path)
+    chaos.activate(chaos.ChaosPlan("torn-store", [
+        chaos.ChaosEvent("store_append", "torn_write", at=0),
+    ]))
+    try:
+        torn_ok = store.put(point_key(points[0], base), results[0])
+    finally:
+        chaos.deactivate()
+    clean_ok = store.put(point_key(points[1], base), results[1])
+
+    reloaded = ResultStore(path)
+    checks = {
+        "torn_put_reported_failure": torn_ok is False,
+        "clean_put_after_torn": clean_ok is True,
+        "torn_line_is_cache_miss": reloaded.get(
+            point_key(points[0], base)
+        ) is None,
+        "clean_entry_survives": reloaded.serve(
+            point_key(points[1], base), points[1]
+        ) is not None,
+        "corruption_counted_not_raised": reloaded.corrupt_lines >= 1,
+    }
+    return checks, {"store_stats": dict(reloaded.stats())}
+
+
+def _chaos_cbuild_fail(seed: int):
+    """A forced C-kernel build failure falls back to NumPy loudly: one
+    RuntimeWarning and a ``gpu.backend_fallback`` telemetry counter."""
+    import os
+    import warnings
+
+    from repro.gpu import _cbuild
+    from repro.sim.cosim import CosimConfig, run_cosim
+    from repro.telemetry import Telemetry
+
+    _cbuild.reset_fallback_state()
+    os.environ[_cbuild.CBUILD_ENV] = "fail"
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            lib = _cbuild.load_engine_lib()
+            tele = Telemetry(run_id="chaos-cbuild")
+            run_cosim(
+                "hotspot",
+                CosimConfig(cycles=60, warmup_cycles=20, seed=seed),
+                telemetry=tele,
+            )
+    finally:
+        del os.environ[_cbuild.CBUILD_ENV]
+        _cbuild.reset_fallback_state()
+    fallback_warnings = [
+        w for w in caught if issubclass(w.category, RuntimeWarning)
+        and "falling back" in str(w.message)
+    ]
+    checks = {
+        "build_forced_to_fail": lib is None,
+        "fallback_warned_once": len(fallback_warnings) == 1,
+        "telemetry_counter_present": (
+            tele.counters.get("gpu.backend_fallback", 0) > 0
+        ),
+    }
+    return checks, {
+        "fallback_count": _cbuild.build_fallback_count(),
+        "counters": {
+            k: v for k, v in tele.counters.items() if "fallback" in k
+        },
+    }
+
+
+CHAOS_SCENARIOS = {
+    "nan-poison": _chaos_nan_poison,
+    "lane-quarantine": _chaos_lane_quarantine,
+    "kill-resume": _chaos_kill_resume,
+    "torn-store": _chaos_torn_store,
+    "cbuild-fail": _chaos_cbuild_fail,
+}
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    if args.list:
+        for name, runner in CHAOS_SCENARIOS.items():
+            doc = (runner.__doc__ or "").split("\n")[0].strip()
+            print(f"{name:<18s} {doc}")
+        return 0
+    if not args.scenario:
+        print("need a scenario name (or --list)", file=sys.stderr)
+        return 2
+    if args.scenario == "all":
+        names = list(CHAOS_SCENARIOS)
+    elif args.scenario in CHAOS_SCENARIOS:
+        names = [args.scenario]
+    else:
+        print(
+            f"unknown chaos scenario {args.scenario!r}; "
+            f"know {', '.join(CHAOS_SCENARIOS)} (or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+
+    out_dir = Path(args.output) if args.output else None
+    failed = False
+    for name in names:
+        checks, forensics = CHAOS_SCENARIOS[name](args.seed)
+        ok = all(checks.values())
+        failed = failed or not ok
+        print(f"chaos scenario {name}: {'PASS' if ok else 'FAIL'}")
+        for check, held in checks.items():
+            print(f"  [{'ok' if held else 'FAIL'}] {check}")
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            artifact = out_dir / f"{name}.json"
+            with open(artifact, "w") as handle:
+                json_mod.dump(
+                    {"scenario": name, "ok": ok, "checks": checks,
+                     "forensics": forensics},
+                    handle, indent=2, default=str,
+                )
+                handle.write("\n")
+            print(f"  forensics -> {artifact}")
+    return 1 if failed else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -719,6 +1036,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", default="", metavar="DIR",
                    help="write a run manifest + JSONL event log here")
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a deterministic runtime-chaos scenario and assert its "
+             "self-healing invariants (exit 1 on any violated check)",
+    )
+    p.add_argument(
+        "scenario", nargs="?", default="",
+        help="scenario name (see --list), or 'all'",
+    )
+    p.add_argument("--list", action="store_true",
+                   help="list chaos scenarios and exit")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--output", default="", metavar="DIR",
+                   help="write per-scenario forensics JSON here "
+                        "(CI artifact upload)")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "sweep", help="parallel co-simulation sweep over a parameter grid"

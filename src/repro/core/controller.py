@@ -936,6 +936,22 @@ class ControllerBank:
             c._pipeline.append((cycle + c.config.total_latency_cycles, d))
 
     # ------------------------------------------------------------------
+    def compact(self, keep: List[int]) -> "ControllerBank":
+        """Rebuild the bank over the ``keep`` lanes (batch quarantine).
+
+        Mid-run re-homing is exact: every piece of mutable lane state
+        either lives on the controller object itself (pipelines,
+        counters, ``_last_decision_cycle``, ``_last_enqueued``) or is a
+        row *view* of the bank arrays — so the constructor's
+        ``np.stack`` reads current values — and the due bookkeeping is
+        reconstructed from ``_last_decision_cycle + period``, which is
+        exactly the serial controller's cadence.  Dropped lanes'
+        controllers are left untouched (their state rows simply stop
+        being advanced).
+        """
+        return ControllerBank([self.controllers[i] for i in keep])
+
+    # ------------------------------------------------------------------
     def _decide_wave(self, cycle: int, due: np.ndarray, measured) -> None:
         """One decision wave over the due lanes (all measurements finite)."""
         ctrls = self.controllers

@@ -10,7 +10,11 @@ Public surface:
   drives, plus the manifest's ``faults`` section with the guardband
   verdict;
 * :func:`get_scenario` / :data:`CANNED_SCENARIOS`
-  (:mod:`repro.faults.scenarios`) — the ``repro faults`` registry.
+  (:mod:`repro.faults.scenarios`) — the ``repro faults`` registry;
+* :class:`ChaosPlan` / :class:`ChaosMonkey`
+  (:mod:`repro.faults.chaos`) — deterministic process/IO chaos
+  (scheduled SIGKILLs, torn writes, disk-full errors, NaN poisoning)
+  behind ``repro chaos`` and the test fixtures.
 
 See ``docs/robustness.md`` for the fault taxonomy and scenario format.
 """
@@ -33,6 +37,12 @@ from repro.faults.events import (
     SensorStuck,
     event_from_dict,
 )
+from repro.faults.chaos import (
+    ChaosError,
+    ChaosEvent,
+    ChaosMonkey,
+    ChaosPlan,
+)
 from repro.faults.injector import (
     SAFE_STATE,
     SURVIVED,
@@ -49,6 +59,10 @@ from repro.faults.scenarios import (
 __all__ = [
     "ActuatorStuck",
     "CANNED_SCENARIOS",
+    "ChaosError",
+    "ChaosEvent",
+    "ChaosMonkey",
+    "ChaosPlan",
     "ControlLoopJitter",
     "CRIVRPhaseLoss",
     "DFSTransient",

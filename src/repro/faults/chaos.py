@@ -1,0 +1,287 @@
+"""Deterministic process/IO chaos injection.
+
+The physics fault injector (:mod:`repro.faults.injector`) perturbs the
+*modelled* system; this layer perturbs the *runtime* that carries the
+campaign: worker SIGKILLs at scheduled points, torn or short
+``status.json``/checkpoint/store writes, disk-full ``OSError``s and
+mid-run NaN poisoning of solver state.  Every fault is scheduled — a
+:class:`ChaosPlan` names the hook site, the action and the invocation
+(or co-sim cycle) at which it fires — so a chaos run is exactly
+reproducible and its invariants (resume loses no completed point, store
+corruption degrades to a cache miss, quarantine preserves surviving
+lanes) can be asserted bit-for-bit.
+
+Activation is either explicit (:func:`activate`, used by the pytest
+fixture) or via the ``REPRO_CHAOS`` environment variable naming a plan
+JSON (inherited across ``fork``/``spawn``, which is how sweeps get
+their workers sabotaged).  Cross-process fire-once semantics use
+``O_CREAT | O_EXCL`` token files under the plan's ``token_dir``, so an
+event that killed one worker does not also kill its retry.
+
+This module is deliberately stdlib-only: the hook sites live in hot or
+low-level code (``sim/sweep.py``, ``sim/store.py``,
+``telemetry/live.py``, ``sim/cosim.py``) and must be able to import it
+without dragging in the simulation stack.  The inactive fast path is
+one ``None`` check per hook.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import signal
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, IO, List, Optional
+
+CHAOS_ENV = "REPRO_CHAOS"
+
+# Hook sites the runtime exposes.  Invocation-counted sites fire on the
+# ``at``-th call of :func:`fire` for that site in a process; the
+# ``cosim_cycle`` site instead matches ``at`` against the recorded
+# co-sim cycle index (negative values address warmup cycles).
+SITES = (
+    "checkpoint_write",  # SweepRunner checkpoint temp-file write
+    "status_write",      # live status.json publish
+    "store_append",      # ResultStore JSONL append
+    "worker_point",      # sweep worker, start of a point payload
+    "cosim_cycle",       # inside the co-sim loop, before the solve
+)
+ACTIONS = (
+    "kill",        # partial write (write sites), then SIGKILL the process
+    "torn_write",  # leave a truncated write behind and fail the call
+    "disk_full",   # raise OSError(ENOSPC)
+    "nan_poison",  # overwrite solver reactive state with NaN (cosim_cycle)
+)
+
+
+class ChaosError(OSError):
+    """An injected IO failure (subclass of OSError so retry/cleanup
+    paths treat it exactly like the real thing)."""
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled runtime fault."""
+
+    site: str
+    action: str
+    at: int = 0
+    lane: Optional[int] = None  # batch lane targeting (cosim_cycle only)
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown chaos site {self.site!r}; know {SITES}")
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; know {ACTIONS}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "site": self.site,
+            "action": self.action,
+            "at": self.at,
+        }
+        if self.lane is not None:
+            record["lane"] = self.lane
+        if not self.once:
+            record["once"] = False
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "ChaosEvent":
+        return cls(
+            site=str(record["site"]),
+            action=str(record["action"]),
+            at=int(record.get("at", 0)),
+            lane=(None if record.get("lane") is None else int(record["lane"])),
+            once=bool(record.get("once", True)),
+        )
+
+
+@dataclass
+class ChaosPlan:
+    """A named, JSON-round-tripping schedule of chaos events.
+
+    ``token_dir`` holds the cross-process fire-once tokens; it defaults
+    to ``<plan path> + ".state"`` when the plan is loaded from disk so
+    forked workers agree on it without coordination.
+    """
+
+    name: str
+    events: List[ChaosEvent] = field(default_factory=list)
+    token_dir: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "name": self.name,
+            "events": [event.to_dict() for event in self.events],
+        }
+        if self.token_dir is not None:
+            record["token_dir"] = self.token_dir
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "ChaosPlan":
+        return cls(
+            name=str(record.get("name", "chaos")),
+            events=[ChaosEvent.from_dict(e) for e in record.get("events", [])],
+            token_dir=(
+                None
+                if record.get("token_dir") is None
+                else str(record["token_dir"])
+            ),
+        )
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = self.to_dict()
+        record.setdefault("token_dir", str(path) + ".state")
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ChaosPlan":
+        path = Path(path)
+        plan = cls.from_dict(json.loads(path.read_text()))
+        if plan.token_dir is None:
+            plan.token_dir = str(path) + ".state"
+        return plan
+
+
+class ChaosMonkey:
+    """Runtime matcher: counts hook invocations, claims due events.
+
+    Per-site invocation counters are per-process (a worker counts its
+    own points); fire-once tokens are cross-process via the plan's
+    ``token_dir``.
+    """
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        self._counts: Dict[str, int] = {}
+        self._fired_local: set = set()
+
+    def invocations(self, site: str) -> int:
+        """How many times ``site`` has fired in this process."""
+        return self._counts.get(site, 0)
+
+    def _claim(self, index: int) -> bool:
+        event = self.plan.events[index]
+        if not event.once:
+            return True
+        if index in self._fired_local:
+            return False
+        token_dir = self.plan.token_dir
+        if token_dir:
+            Path(token_dir).mkdir(parents=True, exist_ok=True)
+            token = Path(token_dir) / f"event-{index}.fired"
+            try:
+                fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._fired_local.add(index)
+                return False
+            os.close(fd)
+        self._fired_local.add(index)
+        return True
+
+    def fire(self, site: str) -> Optional[ChaosEvent]:
+        """Count one invocation of ``site``; return the due event, if any."""
+        count = self._counts.get(site, 0)
+        self._counts[site] = count + 1
+        for index, event in enumerate(self.plan.events):
+            if event.site == site and event.at == count and self._claim(index):
+                return event
+        return None
+
+    def cycle_schedule(self) -> FrozenSet[int]:
+        """Recorded-cycle indices at which ``cosim_cycle`` events sit.
+
+        The co-sim loop pre-resolves this set so an inactive cycle costs
+        one membership test, and only scheduled cycles pay the claim.
+        """
+        return frozenset(
+            event.at for event in self.plan.events if event.site == "cosim_cycle"
+        )
+
+    def take_cycle(self, cycle: int) -> List[ChaosEvent]:
+        """Claim and return the ``cosim_cycle`` events due at ``cycle``."""
+        due = []
+        for index, event in enumerate(self.plan.events):
+            if (
+                event.site == "cosim_cycle"
+                and event.at == cycle
+                and self._claim(index)
+            ):
+                due.append(event)
+        return due
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation
+# ----------------------------------------------------------------------
+_MONKEY: Optional[ChaosMonkey] = None
+_ENV_CHECKED = False
+
+
+def current() -> Optional[ChaosMonkey]:
+    """The active monkey, resolving ``REPRO_CHAOS`` once per process."""
+    global _MONKEY, _ENV_CHECKED
+    if _MONKEY is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        path = os.environ.get(CHAOS_ENV)
+        if path:
+            _MONKEY = ChaosMonkey(ChaosPlan.load(path))
+    return _MONKEY
+
+
+def activate(plan: ChaosPlan) -> ChaosMonkey:
+    """Install ``plan`` in this process (pytest fixture entry point)."""
+    global _MONKEY, _ENV_CHECKED
+    _MONKEY = ChaosMonkey(plan)
+    _ENV_CHECKED = True
+    return _MONKEY
+
+
+def deactivate() -> None:
+    """Remove the active monkey and allow env re-resolution."""
+    global _MONKEY, _ENV_CHECKED
+    _MONKEY = None
+    _ENV_CHECKED = False
+
+
+def fire(site: str) -> Optional[ChaosEvent]:
+    """Hook-site entry point: one ``None`` check when chaos is off."""
+    monkey = current()
+    if monkey is None:
+        return None
+    return monkey.fire(site)
+
+
+def sabotage_write(event: ChaosEvent, handle: IO[str], text: str) -> None:
+    """Execute a write-site event against an open text handle.
+
+    ``disk_full`` raises before anything lands; ``kill`` and
+    ``torn_write`` flush a truncated prefix first — ``kill`` then
+    SIGKILLs the process mid-write (the torn temp file is what the
+    atomic-replace protocol must survive), ``torn_write`` raises
+    :class:`ChaosError` so the caller's failure path runs with a short
+    write actually on disk.
+    """
+    if event.action == "disk_full":
+        raise ChaosError(errno.ENOSPC, "chaos: disk full")
+    if event.action in ("kill", "torn_write"):
+        handle.write(text[: max(1, len(text) // 2)])
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:
+            pass
+        if event.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise ChaosError(errno.EIO, "chaos: torn write")
+    raise ValueError(f"cannot sabotage a write with action {event.action!r}")

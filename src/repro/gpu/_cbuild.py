@@ -11,7 +11,14 @@ rename.
 When no compiler is available or the build fails, :func:`load_engine_lib`
 returns ``None`` and the engine falls back to its pure-NumPy step path —
 same results (both are bit-identical to the per-object reference), just
-slower.
+slower.  The fallback is *loud*: one :class:`RuntimeWarning` per process
+plus a :func:`build_fallback_count` counter that the co-sim telemetry
+surfaces as ``gpu.backend_fallback``, so a fleet silently running 10x
+slower shows up in the first manifest instead of a profiler session.
+
+Setting ``REPRO_GPU_CBUILD=fail`` forces the build to fail (test hook
+for the fallback path); ``REPRO_GPU_CBUILD=quiet`` suppresses the
+warning while keeping the counter.
 """
 
 from __future__ import annotations
@@ -22,8 +29,11 @@ import os
 import shutil
 import subprocess
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional
+
+CBUILD_ENV = "REPRO_GPU_CBUILD"
 
 _C_SOURCE = Path(__file__).with_name("_enginec.c")
 _CACHE_DIR = Path(__file__).with_name("_cbuild_cache")
@@ -97,6 +107,34 @@ class CEngineState(ctypes.Structure):
 
 _LIB_CACHE: dict = {}
 _LOAD_FAILED = object()
+_FALLBACKS = {"count": 0, "warned": False}
+
+
+def build_fallback_count() -> int:
+    """How many times this process fell back to the NumPy step path."""
+    return _FALLBACKS["count"]
+
+
+def reset_fallback_state() -> None:
+    """Test hook: forget cached load failures and fallback accounting."""
+    _LIB_CACHE.pop("lib", None)
+    _FALLBACKS["count"] = 0
+    _FALLBACKS["warned"] = False
+
+
+def _note_fallback(reason: str) -> None:
+    _FALLBACKS["count"] += 1
+    if _FALLBACKS["warned"] or os.environ.get(CBUILD_ENV) == "quiet":
+        return
+    _FALLBACKS["warned"] = True
+    warnings.warn(
+        "C step kernel unavailable ("
+        f"{reason}); falling back to the pure-NumPy engine path — "
+        "results are identical but substantially slower "
+        "(telemetry counter: gpu.backend_fallback)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _find_compiler() -> Optional[str]:
@@ -140,20 +178,33 @@ def load_engine_lib() -> Optional[ctypes.CDLL]:
     """The compiled step kernel, or ``None`` when unavailable."""
     cached = _LIB_CACHE.get("lib")
     if cached is _LOAD_FAILED:
+        # Count every consumer that lands on the NumPy path, not just
+        # the first failed build, so the telemetry counter reflects how
+        # much of the run actually ran slow.
+        _FALLBACKS["count"] += 1
         return None
     if cached is not None:
         return cached
+    if os.environ.get(CBUILD_ENV) == "fail":
+        # Forced-failure test hook: behaves exactly like a failed build
+        # (short-circuits before the cached-.so check so a previously
+        # built artifact cannot mask the fallback path).
+        _LIB_CACHE["lib"] = _LOAD_FAILED
+        _note_fallback("forced by REPRO_GPU_CBUILD=fail")
+        return None
     try:
         digest = hashlib.sha256(_C_SOURCE.read_bytes()).hexdigest()[:16]
         so_path = _CACHE_DIR / f"_enginec_{digest}.so"
         if not so_path.exists() and not _build(so_path):
             _LIB_CACHE["lib"] = _LOAD_FAILED
+            _note_fallback("compiler missing or build failed")
             return None
         lib = ctypes.CDLL(str(so_path))
         lib.engine_step.argtypes = [ctypes.POINTER(CEngineState), _I64]
         lib.engine_step.restype = _I64
     except (OSError, AttributeError):
         _LIB_CACHE["lib"] = _LOAD_FAILED
+        _note_fallback("shared object failed to load")
         return None
     _LIB_CACHE["lib"] = lib
     return lib

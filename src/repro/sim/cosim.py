@@ -28,8 +28,15 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
-from repro.circuits import BatchTransientSolver, TransientSolver
+from repro.circuits import (
+    BatchSolverGuard,
+    BatchTransientSolver,
+    NumericalDivergence,
+    SolverGuard,
+    TransientSolver,
+)
 from repro.config import StackConfig, SystemConfig
+from repro.faults import chaos
 from repro.core.actuators import WeightedActuation
 from repro.core.controller import (
     ControllerBank,
@@ -95,6 +102,13 @@ class CosimConfig:
     # bit-identical to the per-object reference (repro.gpu.engine), so
     # this only matters when deliberately exercising the reference.
     vectorized_gpu: bool = True
+    # Numerical guard-rails (repro.circuits.SolverGuard): detect
+    # non-finite / blown-up solves once per cycle and recover by
+    # refactorizing, then substep halving, before declaring the run
+    # diverged.  The clean-path check is bit-transparent (gated <=2% in
+    # benchmarks/test_perf_guard.py); disable only for overhead
+    # measurements.
+    solver_guard: bool = True
 
     def __post_init__(self) -> None:
         if self.cycles <= 0:
@@ -148,18 +162,32 @@ class CosimResult:
         # (always with telemetry, or passed explicitly): full-resolution
         # windows around every guardband onset / safe-state edge.
         self.flight = None
+        # Structured verdict when the transient solve diverged and the
+        # guard-rail ladder was exhausted (see SolverGuard): forensics
+        # dict with cycle/stage/worst-node, plus truncated waveforms up
+        # to the last good cycle.  None on a healthy run.
+        self.divergence: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
+    @property
+    def diverged(self) -> bool:
+        return self.divergence is not None
+
     @property
     def num_cycles(self) -> int:
         return self.sm_voltages.shape[0]
 
     @property
     def min_voltage(self) -> float:
+        # Diverged runs may truncate to an empty window.
+        if self.sm_voltages.size == 0:
+            return float("nan")
         return float(self.sm_voltages.min())
 
     @property
     def max_voltage(self) -> float:
+        if self.sm_voltages.size == 0:
+            return float("nan")
         return float(self.sm_voltages.max())
 
     def voltage_percentiles(self, q) -> np.ndarray:
@@ -183,6 +211,8 @@ class CosimResult:
 
     def throughput(self) -> float:
         """Real instructions per cycle across the GPU."""
+        if self.num_cycles == 0:
+            return 0.0
         return self.instructions / self.num_cycles
 
     def cycles_per_kernel(self) -> float:
@@ -278,6 +308,11 @@ def run_cosim(
     )
     pdn.set_sm_currents(np.full(stack.num_sms, nominal_current))
     solver.initialize_dc()
+    guard = SolverGuard(solver) if config.solver_guard else None
+    # Chaos harness (repro.faults.chaos): pre-resolve the scheduled
+    # cycles so an inactive run pays one None check per cycle.
+    monkey = chaos.current()
+    chaos_cycles = monkey.cycle_schedule() if monkey is not None else None
 
     injector = None
     if config.faults is not None:
@@ -361,6 +396,8 @@ def run_cosim(
     # reads per cycle; with telemetry off the loop body is branch-only.
     timing = tele is not None
     decision = None  # last controller decision (flight recorder sample)
+    divergence: Optional[NumericalDivergence] = None
+    recorded_count = config.cycles
     t_gpu = t_circuit = t_controller = t_record = 0.0
     if timing:
         tele.add_time("setup", perf_counter() - setup_start)
@@ -417,8 +454,26 @@ def run_cosim(
             dcc_applied_w = float(dcc_powers.sum())
 
         # 3. Circuit transient over one clock period.
-        for _ in range(config.circuit_substeps):
-            node_v = solver.step()
+        if chaos_cycles is not None and recorded_cycle in chaos_cycles:
+            for event in monkey.take_cycle(recorded_cycle):
+                # Lane-targeted events belong to run_cosim_batch; the
+                # serial loop honours only untargeted poisoning.
+                if event.action == "nan_poison" and event.lane is None:
+                    solver._react_v[:] = np.nan
+        if guard is not None:
+            try:
+                node_v = guard.step_cycle(
+                    config.circuit_substeps, cycle=recorded_cycle
+                )
+            except NumericalDivergence as exc:
+                # Structured diverged verdict: truncate the recording at
+                # the last completed cycle and stop simulating.
+                divergence = exc
+                recorded_count = max(0, cycle - config.warmup_cycles)
+                break
+        else:
+            for _ in range(config.circuit_substeps):
+                node_v = solver.step()
         bottoms = np.where(bot_is_ground, 0.0, node_v[bot_idx])
         voltages_now = node_v[top_idx] - bottoms
         if timing:
@@ -528,6 +583,11 @@ def run_cosim(
             max(0.0, loop_wall - t_gpu - t_circuit - t_controller - t_record),
         )
 
+    if divergence is not None:
+        sm_voltages = sm_voltages[:recorded_count]
+        powers_rec = powers_rec[:recorded_count]
+        supply_current = supply_current[:recorded_count]
+
     trace = PowerTrace(
         powers_rec, frequency_hz=system.gpu.sm_clock_hz, name=name
     )
@@ -555,26 +615,44 @@ def run_cosim(
         ),
         controller_power_w=controller_power,
         kernels_completed=len(durations),
-        mean_dcc_power_w=dcc_energy_accum / config.cycles,
+        mean_dcc_power_w=dcc_energy_accum / (
+            config.cycles if divergence is None else max(1, recorded_count)
+        ),
     )
     result.kernel_durations = durations
-    if injector is not None:
+    if divergence is not None:
+        info = divergence.forensics()
+        info["benchmark"] = name
+        result.divergence = info
+    if injector is not None and result.num_cycles > 0:
         from repro.faults.injector import build_fault_report
 
         result.fault_report = build_fault_report(injector, result, controller)
     if flight is not None:
+        if divergence is not None:
+            flight.force_dump(
+                "numerical_divergence",
+                min_voltage_v=(
+                    float("nan")
+                    if divergence.worst_value is None
+                    else float(divergence.worst_value)
+                ),
+            )
         flight.finalize()
         result.flight = flight
         if tele is not None:
             tele.set_section("flight", flight.summary())
     if tele is not None:
         with tele.timer("finalize"):
-            _record_cosim_telemetry(tele, config, result, solver, controller)
+            _record_cosim_telemetry(
+                tele, config, result, solver, controller, guard=guard
+            )
     return result
 
 
 def _record_cosim_telemetry(
-    tele, config: CosimConfig, result: CosimResult, solver, controller
+    tele, config: CosimConfig, result: CosimResult, solver, controller,
+    guard=None,
 ) -> None:
     """Flush run counters and headline metrics into the recorder."""
     tele.incr("cycles", config.cycles)
@@ -582,6 +660,19 @@ def _record_cosim_telemetry(
     tele.incr("solver_steps", solver.stats.steps)
     tele.incr("solver_factorizations", solver.stats.factorizations)
     tele.incr("solver_dc_solves", solver.stats.dc_solves)
+    if guard is not None:
+        for key, value in guard.counters().items():
+            tele.incr(f"guard_{key}", value)
+    # GPU C-backend fallback accounting: a failed on-demand build of
+    # _enginec.c is warned about once and surfaced here as a counter so
+    # campaigns notice the silent perf cliff.
+    from repro.gpu._cbuild import build_fallback_count
+
+    fallbacks = build_fallback_count()
+    if fallbacks:
+        tele.incr("gpu.backend_fallback", fallbacks)
+    if result.divergence is not None:
+        tele.event("numerical_divergence", **result.divergence)
     if controller is not None:
         # Duck-typed controllers (prior-art ablations) expose a subset.
         stats = getattr(controller, "stats", None)
@@ -598,15 +689,26 @@ def _record_cosim_telemetry(
     tele.incr("fake_instructions", result.fake_instructions)
     tele.incr("instructions", result.instructions)
     tele.incr("kernels_completed", result.kernels_completed)
-    tele.set_metrics({
+    metrics: Dict[str, object] = {
         "benchmark": result.benchmark,
-        "min_voltage_v": result.min_voltage,
-        "max_voltage_v": result.max_voltage,
-        "mean_power_w": result.power_trace.mean_power_w,
-        "pde": result.efficiency().pde,
-        "throughput_ipc": result.throughput(),
-        "mean_dcc_power_w": result.mean_dcc_power_w,
-    })
+        # Divergence and recovery work as gateable metrics: baselines
+        # carry zeros, so repro compare flags any diverged or
+        # recovery-burning candidate with zero-tolerance thresholds.
+        "diverged": 1.0 if result.diverged else 0.0,
+        "guard_recoveries": (
+            float(guard.recoveries) if guard is not None else 0.0
+        ),
+    }
+    if result.num_cycles > 0:
+        metrics.update({
+            "min_voltage_v": result.min_voltage,
+            "max_voltage_v": result.max_voltage,
+            "mean_power_w": result.power_trace.mean_power_w,
+            "pde": result.efficiency().pde,
+            "throughput_ipc": result.throughput(),
+            "mean_dcc_power_w": result.mean_dcc_power_w,
+        })
+    tele.set_metrics(metrics)
     # The noise observatory: band decomposition, droop-event log, PDE
     # loss ledger and per-layer imbalance, embedded as the manifest's
     # ``noise`` section (rendered back by ``repro observe`` and gated
@@ -668,7 +770,8 @@ class CosimLane:
 
 
 _LANE_SHARED_FIELDS = (
-    "cycles", "warmup_cycles", "circuit_substeps", "cr_ivr_area_mm2"
+    "cycles", "warmup_cycles", "circuit_substeps", "cr_ivr_area_mm2",
+    "solver_guard",
 )
 
 
@@ -682,10 +785,20 @@ class _BatchLaneState:
         "applied_decision", "applied_halted", "halted_idx",
         "count_from", "active_throttling",
         "in_fast", "last_decision", "flight", "flight_safe",
+        "row", "dead", "dead_at", "divergence", "guard",
     )
 
     def __init__(self, index: int) -> None:
         self.index = index
+        # Quarantine bookkeeping: ``row`` is the lane's current row in
+        # the compacted batch arrays (== index until an eviction);
+        # ``dead_at`` is the count of fully recorded cycles when the
+        # lane was evicted.
+        self.row = index
+        self.dead = False
+        self.dead_at = 0
+        self.divergence = None
+        self.guard = None
         self.injector = None
         self.controller = None
         self.controller_power = 0.0
@@ -839,9 +952,28 @@ def run_cosim_batch(
     batch_solver = BatchTransientSolver(
         [ln.solver for ln in states], shared_current_base=batch_currents
     )
+    batch_guard = None
+    if first_cfg.solver_guard:
+        for ln in states:
+            ln.guard = SolverGuard(ln.solver, lane=ln.index)
+        batch_guard = BatchSolverGuard(
+            batch_solver, guards=[ln.guard for ln in states]
+        )
+    # Chaos harness: pre-resolved scheduled cycles (one None check per
+    # cycle when inactive); lane-targeted NaN poisoning keys on the
+    # lane's *original* index.
+    monkey = chaos.current()
+    chaos_cycles = monkey.cycle_schedule() if monkey is not None else None
     from repro.gpu.batch import GPUBatch
 
     gpu_batch = GPUBatch([ln.gpu for ln in states])
+    # Quarantine bookkeeping: ``alive`` is the current (compacted) lane
+    # order — ``ln.row`` indexes the batch working arrays, ``ln.index``
+    # the full-size recording arrays.  ``alive_idx`` is the fancy-index
+    # map the recording block switches to once a lane has been evicted
+    # (None keeps the basic-slice fast path on the clean run).
+    alive: List[_BatchLaneState] = list(states)
+    alive_idx: Optional[np.ndarray] = None
 
     # Batched sensor/decision front end for the "fast" lanes: the stock
     # controller with an uncorrupted sensor path.  Lanes with injectors
@@ -858,6 +990,7 @@ def run_cosim_batch(
             bank_rows.append(ln.index)
     if bank_rows:
         bank = ControllerBank([states[i].controller for i in bank_rows])
+    bank_members = [states[i] for i in bank_rows]
     bank_rows_arr = np.array(bank_rows, dtype=np.intp)
 
     # Per-SM voltage readout indices — identical across lanes (same
@@ -991,8 +1124,8 @@ def run_cosim_batch(
         gpu_batch.step_into(powers_bt)
         for ln in injector_lanes:
             ln.injector.apply_circuit_faults(recorded_cycle)
-            powers_bt[ln.index] = ln.injector.scale_powers(
-                recorded_cycle, powers_bt[ln.index]
+            powers_bt[ln.row] = ln.injector.scale_powers(
+                recorded_cycle, powers_bt[ln.row]
             )
             scales = ln.injector.frequency_scales(recorded_cycle)
             if scales is not None:
@@ -1006,9 +1139,93 @@ def run_cosim_batch(
             # Bugfix parity with run_cosim: ledger the *applied* DCC.
             dcc_applied = dcc_bt.sum(axis=1)
 
-        # 3. Circuit transient over one clock period, batched.
-        for _ in range(substeps):
-            node_bt = batch_solver.step()
+        # 3. Circuit transient over one clock period, batched.  With the
+        # guard on, a diverged lane is quarantined: marked dead, its row
+        # compacted out of the batch, and the surviving lanes continue
+        # lock-stepped (bit-identical to their serial runs — the guard
+        # redoes suspect cycles per-lane, and compaction only rebuilds
+        # views/wrappers around untouched per-lane state).
+        if chaos_cycles is not None and recorded_cycle in chaos_cycles:
+            for event in monkey.take_cycle(recorded_cycle):
+                if event.action != "nan_poison":
+                    continue
+                for ln in alive:
+                    if event.lane is None or event.lane == ln.index:
+                        ln.solver._react_v[:] = np.nan
+        if batch_guard is not None:
+            node_bt, failures = batch_guard.step_cycle(
+                substeps, cycle=recorded_cycle
+            )
+            if failures:
+                for row in sorted(failures):
+                    ln = alive[row]
+                    ln.dead = True
+                    ln.dead_at = max(0, recorded_cycle)
+                    info = failures[row].forensics()
+                    info["lane"] = ln.index
+                    info["benchmark"] = ln.name
+                    ln.divergence = info
+                    if tele is not None:
+                        tele.event("lane_quarantined", **info)
+                survivors = [ln for ln in alive if not ln.dead]
+                event_lanes = [ln for ln in event_lanes if not ln.dead]
+                injector_lanes = [
+                    ln for ln in injector_lanes if not ln.dead
+                ]
+                fast_lanes = [ln for ln in fast_lanes if not ln.dead]
+                slow_ctrl_lanes = [
+                    ln for ln in slow_ctrl_lanes if not ln.dead
+                ]
+                flight_lanes = [ln for ln in flight_lanes if not ln.dead]
+                if not survivors:
+                    alive = []
+                    break
+                # Compact the batch axis around the survivors: new
+                # shared current base, re-bound PDN sources + solver
+                # gather maps, rebuilt batch solver/guard/GPU front
+                # ends, compacted controller bank.  Per-lane objects
+                # (solver state, controllers, GPU engines) carry over
+                # untouched, so survivor physics continues bit-exactly.
+                old_rows = [ln.row for ln in survivors]
+                batch_currents = batch_currents[old_rows].copy()
+                for new_row, ln in enumerate(survivors):
+                    ln.row = new_row
+                    ln.pdn.bind_current_buffer(batch_currents[new_row])
+                    ln.solver.rebind_sources()
+                batch_solver = BatchTransientSolver(
+                    [ln.solver for ln in survivors],
+                    shared_current_base=batch_currents,
+                )
+                batch_guard = BatchSolverGuard(
+                    batch_solver, guards=[ln.guard for ln in survivors]
+                )
+                gpu_batch = GPUBatch([ln.gpu for ln in survivors])
+                if bank is not None:
+                    keep = [
+                        j for j, bln in enumerate(bank_members)
+                        if not bln.dead
+                    ]
+                    if not keep:
+                        bank = None
+                        bank_members = []
+                    elif len(keep) != len(bank_members):
+                        bank = bank.compact(keep)
+                        bank_members = [bank_members[j] for j in keep]
+                    bank_rows_arr = np.array(
+                        [bln.row for bln in bank_members], dtype=np.intp
+                    )
+                all_banked = len(bank_members) == len(survivors)
+                powers_bt = powers_bt[old_rows]
+                dcc_bt = dcc_bt[old_rows]
+                dcc_applied = dcc_applied[old_rows]
+                alive = survivors
+                alive_idx = np.array(
+                    [ln.index for ln in survivors], dtype=np.intp
+                )
+                node_bt = batch_solver._sol_bt[:, : batch_solver.num_nodes]
+        else:
+            for _ in range(substeps):
+                node_bt = batch_solver.step()
         bottoms = np.where(bot_is_ground, 0.0, node_bt[:, bot_idx])
         voltages_bt = node_bt[:, top_idx] - bottoms
 
@@ -1062,7 +1279,7 @@ def run_cosim_batch(
                     # unmutated (the engine setters copy internally).
                     ln.gpu.set_issue_widths(decision.issue_widths)
                     ln.gpu.set_fake_rates(decision.fake_rates)
-                    np.copyto(dcc_bt[ln.index], decision.dcc_powers_w)
+                    np.copyto(dcc_bt[ln.row], decision.dcc_powers_w)
                     ln.applied_decision = decision
             elif ln.applied_decision is None:
                 # First cycles before any pop: the initial active
@@ -1070,18 +1287,18 @@ def run_cosim_batch(
                 decision = controller.active_decision
                 ln.gpu.set_issue_widths(decision.issue_widths)
                 ln.gpu.set_fake_rates(decision.fake_rates)
-                np.copyto(dcc_bt[ln.index], decision.dcc_powers_w)
+                np.copyto(dcc_bt[ln.row], decision.dcc_powers_w)
                 ln.applied_decision = decision
         for ln in slow_ctrl_lanes:
             controller = ln.controller
             if ln.in_bank:
                 decision = controller.commands_for(cycle)
             elif ln.injector is None:
-                controller.observe(cycle, voltages_bt[ln.index])
+                controller.observe(cycle, voltages_bt[ln.row])
                 decision = controller.commands_for(cycle)
             else:
                 seen = ln.injector.corrupt_sensors(
-                    recorded_cycle, voltages_bt[ln.index]
+                    recorded_cycle, voltages_bt[ln.row]
                 )
                 if ln.injector.observation_allowed(recorded_cycle):
                     controller.observe(cycle, seen)
@@ -1100,7 +1317,7 @@ def run_cosim_batch(
                     widths[ln.halted_idx] = 0.0
                 ln.gpu.set_issue_widths(widths)
                 ln.gpu.set_fake_rates(fakes)
-                np.copyto(dcc_bt[ln.index], dcc)
+                np.copyto(dcc_bt[ln.row], dcc)
             else:
                 halted_sig = tuple(ln.halted_idx)
                 if (
@@ -1112,7 +1329,7 @@ def run_cosim_batch(
                         widths[ln.halted_idx] = 0.0
                     ln.gpu.set_issue_widths(widths)
                     ln.gpu.set_fake_rates(decision.fake_rates)
-                    np.copyto(dcc_bt[ln.index], decision.dcc_powers_w)
+                    np.copyto(dcc_bt[ln.row], decision.dcc_powers_w)
                     ln.applied_decision = decision
                     ln.applied_halted = halted_sig
         for ln in event_lanes:
@@ -1129,7 +1346,7 @@ def run_cosim_batch(
         for ln in flight_lanes:
             ctrl = ln.controller
             ln.flight.observe(
-                voltages_bt[ln.index],
+                voltages_bt[ln.row],
                 ctrl.active_decision if ln.in_fast else ln.last_decision,
                 ln.injector.active_kinds(recorded_cycle)
                 if ln.injector is not None
@@ -1139,11 +1356,23 @@ def run_cosim_batch(
 
         if recording:
             k = recorded_cycle
-            powers_rec_bt[:, k, :] = powers_bt
-            sm_voltages_bt[:, k, :] = voltages_bt
-            supply_bt[:, k] = batch_solver.vsource_currents("vdd")
-            if dcc_possible:
-                dcc_accum += dcc_applied
+            if alive_idx is None:
+                powers_rec_bt[:, k, :] = powers_bt
+                sm_voltages_bt[:, k, :] = voltages_bt
+                supply_bt[:, k] = batch_solver.vsource_currents("vdd")
+                if dcc_possible:
+                    dcc_accum += dcc_applied
+            else:
+                # Post-eviction: dead lanes keep whatever they recorded
+                # before their divergence cycle (results are truncated
+                # to ``dead_at``); survivors scatter through alive_idx.
+                powers_rec_bt[alive_idx, k, :] = powers_bt
+                sm_voltages_bt[alive_idx, k, :] = voltages_bt
+                supply_bt[alive_idx, k] = batch_solver.vsource_currents(
+                    "vdd"
+                )
+                if dcc_possible:
+                    dcc_accum[alive_idx] += dcc_applied
     # Settle the remaining event-driven throttle spans so lane
     # controllers end bit-equal to serial post-run state.
     for ln in fast_lanes:
@@ -1156,8 +1385,12 @@ def run_cosim_batch(
     finalize_start = perf_counter()
     results: List[CosimResult] = []
     for ln in states:
+        # A quarantined lane's recorded window stops at its divergence
+        # cycle; its result carries the forensics verdict instead of a
+        # NaN tail.
+        valid = cycles if not ln.dead else ln.dead_at
         trace = PowerTrace(
-            powers_rec_bt[ln.index],
+            powers_rec_bt[ln.index, :valid],
             frequency_hz=system.gpu.sm_clock_hz,
             name=ln.name,
         )
@@ -1166,8 +1399,8 @@ def run_cosim_batch(
         result = CosimResult(
             benchmark=ln.name,
             power_trace=trace,
-            sm_voltages=sm_voltages_bt[ln.index],
-            supply_current=supply_bt[ln.index],
+            sm_voltages=sm_voltages_bt[ln.index, :valid],
+            supply_current=supply_bt[ln.index, :valid],
             stack=stack,
             instructions=(
                 ln.gpu.total_instructions() - ln.instructions_at_start
@@ -1182,27 +1415,54 @@ def run_cosim_batch(
             ),
             controller_power_w=ln.controller_power,
             kernels_completed=len(durations),
-            mean_dcc_power_w=float(dcc_accum[ln.index]) / cycles,
+            mean_dcc_power_w=float(dcc_accum[ln.index]) / (
+                cycles if not ln.dead else max(1, ln.dead_at)
+            ),
         )
         result.kernel_durations = durations
-        if ln.injector is not None:
+        if ln.divergence is not None:
+            result.divergence = ln.divergence
+        if ln.injector is not None and result.num_cycles > 0:
             from repro.faults.injector import build_fault_report
 
             result.fault_report = build_fault_report(
                 ln.injector, result, ln.controller
             )
         if ln.flight is not None:
+            if ln.dead:
+                worst = (ln.divergence or {}).get("worst_value")
+                ln.flight.force_dump(
+                    "numerical_divergence",
+                    min_voltage_v=(
+                        float("nan") if worst is None else float(worst)
+                    ),
+                )
             ln.flight.finalize()
             result.flight = ln.flight
         results.append(result)
     if tele is not None:
         tele.add_time("finalize", perf_counter() - finalize_start)
+        if first_cfg.solver_guard:
+            # Aggregate over every lane's guard directly — a rebuilt
+            # batch guard only wraps the survivors, but quarantined
+            # lanes' recovery/divergence counts must still be reported.
+            totals: Dict[str, int] = {}
+            for ln in states:
+                for key, value in ln.guard.counters().items():
+                    totals[key] = totals.get(key, 0) + value
+            for key, value in totals.items():
+                if value:
+                    tele.incr(f"guard_{key}", value)
+        quarantined = sum(1 for ln in states if ln.dead)
+        if quarantined:
+            tele.incr("lanes_quarantined", quarantined)
         for ln, result in zip(states, results):
             tele.event(
                 "cosim_batch_lane_done", lane=ln.index,
                 benchmark=result.benchmark,
                 min_voltage_v=result.min_voltage,
                 throughput_ipc=result.throughput(),
+                diverged=bool(ln.dead),
             )
         tele.event("cosim_batch_done", lanes=num_lanes)
     return results

@@ -23,8 +23,13 @@ knobs are different keys.
 Robustness contract: the store is best-effort by design.  A truncated
 or corrupt line (a writer killed mid-append, a partial copy) degrades
 to a cache *miss* for that entry, never a crash; duplicate keys keep
-the last writer.  Only successful results are cached — failures must
-re-run.
+the last writer.  Appends self-heal a torn tail — a file ending
+mid-line gets the fragment newline-terminated first, so one torn write
+costs exactly one entry, not every append after it.  Appends take an advisory ``fcntl.flock`` on the
+store file (where the platform has one), so concurrent writer
+*processes* — parallel exploration shards sharing one store — cannot
+interleave bytes inside each other's lines.  Only successful results
+are cached — failures must re-run.
 """
 
 from __future__ import annotations
@@ -34,6 +39,12 @@ import os
 from pathlib import Path
 from typing import Dict, Mapping, Optional
 
+try:  # pragma: no cover — fcntl is POSIX-only; appends stay lockless there
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+from repro.faults import chaos
 from repro.sim.cosim import CosimConfig
 from repro.sim.sweep import SweepPoint, SweepPointResult
 from repro.telemetry import config_hash, to_jsonable
@@ -116,6 +127,16 @@ class ResultStore:
         result.cached = True
         return result
 
+    def _tail_torn(self) -> bool:
+        """Whether the store file ends mid-line (torn previous append)."""
+        try:
+            with open(self.path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                return probe.read(1) != b"\n"
+        except OSError:
+            # Missing or empty file: nothing to heal.
+            return False
+
     def put(self, key: str, result: SweepPointResult) -> bool:
         """Persist a *successful* result under ``key``.
 
@@ -131,10 +152,33 @@ class ResultStore:
             {"key": key, "record": record}, separators=(",", ":")
         )
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        try:
+            with open(self.path, "a") as handle:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    # Self-heal a torn tail (a writer killed mid-append
+                    # leaves half a line with no newline): terminate it
+                    # first so the fragment degrades to one corrupt line
+                    # instead of swallowing this entry too.  Probed under
+                    # the lock, so no other writer can interleave.
+                    if self._tail_torn():
+                        handle.write("\n")
+                    event = chaos.fire("store_append")
+                    if event is not None:
+                        chaos.sabotage_write(event, handle, line + "\n")
+                    handle.write(line + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            # Best-effort contract: a failed append (disk full, torn
+            # write) costs persistence of this one entry — readers of
+            # the file tolerate the partial tail as a cache miss, and
+            # this process still holds the record in memory.
+            return False
         self.puts += 1
         return True
 

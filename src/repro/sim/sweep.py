@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import tempfile
 import time
 import traceback
@@ -48,6 +49,7 @@ from itertools import product
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.faults import chaos
 from repro.sim.cosim import CosimConfig
 from repro.sim.cosim import _LANE_SHARED_FIELDS as _BATCH_COMPAT_FIELDS
 from repro.telemetry import Telemetry, config_hash, to_jsonable
@@ -229,6 +231,14 @@ def _atomic_write_json(path, payload: Dict[str, object]) -> Path:
     )
     try:
         with os.fdopen(fd, "w") as handle:
+            event = chaos.fire("checkpoint_write")
+            if event is not None:
+                # Sabotaged write: a SIGKILL here leaves only the torn
+                # temp file behind — os.replace never runs, so readers
+                # keep the previous checkpoint (what resume relies on).
+                chaos.sabotage_write(
+                    event, handle, json.dumps(payload, indent=2) + "\n"
+                )
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         os.replace(tmp_name, path)
@@ -346,6 +356,33 @@ def _point_metrics(result) -> Tuple[Dict[str, object], Optional[str]]:
     return metrics, note
 
 
+def _divergence_result(
+    point: SweepPoint, result, elapsed_s: float
+) -> SweepPointResult:
+    """The structured failure for a run_cosim ``diverged`` verdict.
+
+    ``NumericalDivergence`` is deterministic — a property of the
+    point's configuration, not of the worker that ran it — so it is
+    deliberately *not* in :data:`RETRYABLE_ERRORS`; the forensics ride
+    along in ``metrics`` so ``repro trace`` and the results JSON show
+    where the solver gave up.
+    """
+    info = dict(result.divergence or {})
+    return SweepPointResult(
+        point=point,
+        ok=False,
+        metrics={"divergence": info},
+        error=(
+            "NumericalDivergence: solver diverged at recorded cycle "
+            f"{info.get('cycle')} (stage {info.get('stage')}, worst node "
+            f"{info.get('worst_node')}, value {info.get('worst_value')})"
+        ),
+        error_type="NumericalDivergence",
+        note=f"waveform truncated to {result.num_cycles} recorded cycles",
+        elapsed_s=elapsed_s,
+    )
+
+
 def _run_point(payload: Tuple[SweepPoint, CosimConfig]) -> SweepPointResult:
     """Run one grid point; never raises — failures are captured."""
     point, base = payload
@@ -354,6 +391,10 @@ def _run_point(payload: Tuple[SweepPoint, CosimConfig]) -> SweepPointResult:
         from repro.sim.cosim import run_cosim
 
         result = run_cosim(point.benchmark, point.config(base))
+        if result.diverged:
+            return _divergence_result(
+                point, result, time.perf_counter() - start
+            )
         metrics, note = _point_metrics(result)
         return SweepPointResult(
             point=point,
@@ -432,6 +473,12 @@ def _run_task(task: _Task) -> List[SweepPointResult]:
     file around the work — failures of the heartbeat itself (read-only
     filesystem, racing cleanup) never fail the task.
     """
+    event = chaos.fire("worker_point")
+    if event is not None and event.action == "kill":
+        # Scheduled worker death at a point boundary: the parent sees a
+        # crashed worker (retryable) and the fire-once token guarantees
+        # the retry is not killed again.
+        os.kill(os.getpid(), signal.SIGKILL)
     beat = None
     if task.live is not None:
         try:
@@ -468,9 +515,13 @@ def _run_point_batch(
     The batch is bit-identical to running each point serially, so the
     per-point metrics are interchangeable with :func:`_run_point`'s;
     only ``elapsed_s`` differs in meaning (the batch wall time split
-    evenly across its lanes).  If the batch run fails as a whole, every
-    point falls back to an independent serial run so a single diverging
-    point cannot take its batch-mates down with it.
+    evenly across its lanes).  A lane the batch runtime *quarantined*
+    (structured ``diverged`` verdict) is retried serially on its own —
+    a transient upset (e.g. injected NaN poisoning) succeeds on the
+    retry, a deterministic divergence reproduces and is reported as the
+    structured verdict; its batch-mates keep their batch results.  Only
+    a whole-batch setup failure falls back to running every point
+    serially.
     """
     points, base = payload
     start = time.perf_counter()
@@ -487,6 +538,9 @@ def _run_point_batch(
     per_lane = (time.perf_counter() - start) / len(points)
     out: List[SweepPointResult] = []
     for point, result in zip(points, results):
+        if result.diverged:
+            out.append(_run_point((point, base)))
+            continue
         try:
             metrics, note = _point_metrics(result)
             out.append(
@@ -603,6 +657,9 @@ class SweepRunner:
         # a point whose budget is already spent keeps this result.
         self._prior_failures: Dict[int, SweepPointResult] = {}
         self._completed_since_checkpoint = 0
+        # Failed checkpoint writes (disk full, torn): counted, never
+        # fatal — the previous checkpoint stays valid on disk.
+        self.checkpoint_write_errors = 0
         # Live plane of the current run() (None outside one): tasks are
         # stamped with per-worker heartbeat configs when this is set.
         self._live: Optional[LiveRun] = None
@@ -626,7 +683,14 @@ class SweepRunner:
         payload["completed"] = [
             results_by_index[i].to_record() for i in sorted(results_by_index)
         ]
-        _atomic_write_json(self.checkpoint_path, payload)
+        try:
+            _atomic_write_json(self.checkpoint_path, payload)
+        except OSError:
+            # A checkpoint is a recovery aid, not the product: a failed
+            # write must not kill a sweep that is making progress.  The
+            # atomic-replace never ran, so the previous checkpoint is
+            # still intact for a later resume.
+            self.checkpoint_write_errors += 1
 
     def _maybe_checkpoint(
         self, results_by_index: Dict[int, SweepPointResult], force: bool = False

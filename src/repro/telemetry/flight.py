@@ -42,6 +42,7 @@ FLIGHT_DIR = "flight"
 ONSET = "guardband_onset"
 SAFE_ENTER = "safe_state_enter"
 SAFE_EXIT = "safe_state_exit"
+NUMERICAL_DIVERGENCE = "numerical_divergence"
 
 
 class FlightDump:
@@ -303,6 +304,23 @@ class FlightRecorder:
             else:
                 still_open.append(dump)
         self._pending = still_open
+
+    def force_dump(self, kind: str,
+                   min_voltage_v: float = float("nan")) -> None:
+        """Force a window ending at the last observed cycle.
+
+        For terminal events that are not voltage or safe-state edges —
+        e.g. a solver :data:`NUMERICAL_DIVERGENCE` verdict — so the
+        full-resolution history behind the failure is captured even
+        though no guardband edge fired.  Coalesces into an open window
+        when one covers the tail; otherwise opens a new dump (subject
+        to the usual ``max_dumps`` suppression accounting).
+        """
+        self._scan()
+        if self._n == 0:
+            return
+        self._trigger(self._n - 1, kind, float(min_voltage_v))
+        self._extend_pending(self._n)
 
     def finalize(self) -> None:
         """Scan the tail and close still-open windows (truncated post)."""

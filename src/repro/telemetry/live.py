@@ -217,13 +217,29 @@ def render_prometheus(snapshot: Dict[str, object]) -> str:
 def atomic_write_json(path, payload) -> None:
     """Write JSON so a concurrent reader sees the old or the new file,
     never a torn one (temp file in the same directory + ``os.replace``)."""
+    from repro.faults import chaos
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-    with open(tmp, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w") as handle:
+            event = chaos.fire("status_write")
+            if event is not None:
+                # A kill/torn write here strands only the temp file;
+                # readers of the published path never see a torn JSON.
+                chaos.sabotage_write(
+                    event, handle, json.dumps(payload, indent=2) + "\n"
+                )
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 class StatusPublisher:
@@ -249,6 +265,7 @@ class StatusPublisher:
         self.time_fn = time_fn
         self.extra = dict(extra or {})
         self.writes = 0
+        self.write_errors = 0
         self._last_write: Optional[float] = None
 
     @property
@@ -272,7 +289,16 @@ class StatusPublisher:
             **self.extra,
             **self.registry.snapshot(),
         }
-        atomic_write_json(self.path, payload)
+        try:
+            atomic_write_json(self.path, payload)
+        except OSError:
+            # Observability must not fail the run it reports on: a
+            # failed status write (disk full, torn write) costs one
+            # stale status.json, counted but swallowed.  Readers only
+            # ever see whole files thanks to the atomic replace.
+            self.write_errors += 1
+            self._last_write = now
+            return
         self._last_write = now
         self.writes += 1
 

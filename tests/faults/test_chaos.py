@@ -1,0 +1,163 @@
+"""Unit tests of the deterministic chaos harness (repro.faults.chaos).
+
+The harness's value is determinism: a plan names exactly which hook
+invocation (or co-sim cycle) a fault hits, fire-once tokens hold across
+processes, and plans round-trip through JSON so a sweep's forked
+workers replay the same schedule.  These tests pin that machinery;
+end-to-end invariants live in tests/sim and the ``repro chaos`` CLI
+scenarios.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.faults import chaos
+from repro.faults.chaos import ChaosError, ChaosEvent, ChaosMonkey, ChaosPlan
+
+
+class TestEvents:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent("no_such_site", "kill")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent("worker_point", "no_such_action")
+
+    def test_dict_round_trip(self):
+        event = ChaosEvent(
+            "cosim_cycle", "nan_poison", at=25, lane=1, once=False
+        )
+        assert ChaosEvent.from_dict(event.to_dict()) == event
+
+
+class TestPlans:
+    def test_json_round_trip_via_save_load(self, tmp_path):
+        plan = ChaosPlan("trip", [
+            ChaosEvent("worker_point", "kill", at=1),
+            ChaosEvent("store_append", "torn_write"),
+        ])
+        path = plan.save(tmp_path / "plan.json")
+        loaded = ChaosPlan.load(path)
+        assert loaded.name == "trip"
+        assert loaded.events == plan.events
+        # Saving pins a token_dir so forked workers agree on it.
+        assert loaded.token_dir == str(path) + ".state"
+        json.loads(path.read_text())  # the file is plain JSON
+
+
+class TestMonkey:
+    def test_fires_on_the_scheduled_invocation_only(self):
+        monkey = ChaosMonkey(
+            ChaosPlan("at", [ChaosEvent("worker_point", "kill", at=2)])
+        )
+        assert monkey.fire("worker_point") is None  # invocation 0
+        assert monkey.fire("worker_point") is None  # invocation 1
+        event = monkey.fire("worker_point")         # invocation 2
+        assert event is not None and event.action == "kill"
+        assert monkey.invocations("worker_point") == 3
+
+    def test_once_event_does_not_refire(self):
+        monkey = ChaosMonkey(
+            ChaosPlan("once", [ChaosEvent("cosim_cycle", "nan_poison", at=5)])
+        )
+        assert len(monkey.take_cycle(5)) == 1
+        assert monkey.take_cycle(5) == []
+
+    def test_repeatable_event_fires_every_time(self):
+        monkey = ChaosMonkey(ChaosPlan("rep", [
+            ChaosEvent("cosim_cycle", "nan_poison", at=5, once=False)
+        ]))
+        assert len(monkey.take_cycle(5)) == 1
+        assert len(monkey.take_cycle(5)) == 1
+
+    def test_fire_once_holds_across_processes_via_tokens(self, tmp_path):
+        plan = ChaosPlan.load(ChaosPlan("xproc", [
+            ChaosEvent("worker_point", "kill", at=0)
+        ]).save(tmp_path / "plan.json"))
+        first = ChaosMonkey(plan)
+        second = ChaosMonkey(plan)  # a "different process"
+        assert first.fire("worker_point") is not None
+        assert second.fire("worker_point") is None
+
+    def test_cycle_schedule_names_only_cosim_cycles(self):
+        monkey = ChaosMonkey(ChaosPlan("sched", [
+            ChaosEvent("cosim_cycle", "nan_poison", at=7),
+            ChaosEvent("cosim_cycle", "nan_poison", at=-3),
+            ChaosEvent("worker_point", "kill", at=7),
+        ]))
+        assert monkey.cycle_schedule() == frozenset({7, -3})
+
+    def test_sites_are_counted_independently(self):
+        monkey = ChaosMonkey(ChaosPlan("indep", [
+            ChaosEvent("store_append", "torn_write", at=1)
+        ]))
+        for _ in range(5):
+            assert monkey.fire("status_write") is None
+        assert monkey.fire("store_append") is None
+        assert monkey.fire("store_append") is not None
+
+
+class TestActivation:
+    def test_activate_and_deactivate(self):
+        plan = ChaosPlan("act", [ChaosEvent("worker_point", "kill")])
+        chaos.activate(plan)
+        assert chaos.fire("worker_point") is not None
+        chaos.deactivate()
+        assert chaos.current() is None
+        assert chaos.fire("worker_point") is None
+
+    def test_env_resolution_once_per_process(self, tmp_path, monkeypatch):
+        path = ChaosPlan("env", [
+            ChaosEvent("worker_point", "kill", at=0)
+        ]).save(tmp_path / "plan.json")
+        chaos.deactivate()
+        monkeypatch.setenv(chaos.CHAOS_ENV, str(path))
+        monkey = chaos.current()
+        assert monkey is not None
+        assert monkey.plan.name == "env"
+        # Resolved once: clearing the env does not drop the monkey.
+        monkeypatch.delenv(chaos.CHAOS_ENV)
+        assert chaos.current() is monkey
+        chaos.deactivate()
+        assert chaos.current() is None
+
+    def test_inactive_fire_is_a_none_check(self):
+        chaos.deactivate()
+        assert chaos.fire("checkpoint_write") is None
+
+
+class TestSabotageWrite:
+    def test_torn_write_leaves_half_and_raises_eio(self, tmp_path):
+        target = tmp_path / "victim.txt"
+        event = ChaosEvent("store_append", "torn_write")
+        text = "0123456789abcdef\n"
+        with open(target, "w") as handle:
+            with pytest.raises(ChaosError) as excinfo:
+                chaos.sabotage_write(event, handle, text)
+        assert excinfo.value.errno == errno.EIO
+        torn = target.read_text()
+        assert 0 < len(torn) < len(text)
+        assert text.startswith(torn)
+
+    def test_disk_full_raises_before_writing(self, tmp_path):
+        target = tmp_path / "victim.txt"
+        event = ChaosEvent("store_append", "disk_full")
+        with open(target, "w") as handle:
+            with pytest.raises(ChaosError) as excinfo:
+                chaos.sabotage_write(event, handle, "data\n")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert target.read_text() == ""
+
+    def test_chaos_error_is_an_oserror(self):
+        # Retry/cleanup paths must treat injected failures like real IO
+        # errors without special-casing.
+        assert issubclass(ChaosError, OSError)
+
+    def test_nan_poison_cannot_sabotage_a_write(self, tmp_path):
+        event = ChaosEvent("cosim_cycle", "nan_poison")
+        with open(tmp_path / "victim.txt", "w") as handle:
+            with pytest.raises(ValueError):
+                chaos.sabotage_write(event, handle, "data\n")

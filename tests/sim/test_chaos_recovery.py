@@ -1,0 +1,179 @@
+"""End-to-end chaos recovery: the sweep runtime survives its faults.
+
+These are the invariants the chaos harness exists to assert, driven
+through the real :class:`SweepRunner`:
+
+* a sweep worker SIGKILLed mid-point is a structured, retryable
+  failure — the retry succeeds (fire-once tokens spare it) and the
+  sweep completes with the same metrics an undisturbed run produces;
+* a sweep process SIGKILLed *mid-checkpoint-write* leaves the previous
+  checkpoint intact (atomic replace), and resuming from it recovers
+  every completed point and finishes identically;
+* torn/disk-full checkpoint writes are counted, never fatal.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.faults import chaos
+from repro.faults.chaos import ChaosEvent, ChaosPlan
+from repro.sim.cosim import CosimConfig
+from repro.sim.sweep import SweepRunner, expand_grid
+
+FAST = CosimConfig(cycles=30, warmup_cycles=10)
+
+
+def grid():
+    return expand_grid(["hotspot", "bfs"], {"cr_ivr_area_mm2": [52.9, 105.8]})
+
+
+def run_reference():
+    return SweepRunner(grid(), FAST, max_workers=1).run()
+
+
+class TestWorkerKill:
+    def test_killed_worker_is_retried_to_success(self, tmp_path, monkeypatch):
+        # The plan must live on disk: pool workers are separate
+        # processes and need the shared fire-once token_dir, and the
+        # kill must only ever land in a worker (max_workers >= 2 keeps
+        # the point payload out of the parent pytest process).  The
+        # REPRO_CHAOS env var is the documented propagation path into
+        # workers regardless of the multiprocessing start method.
+        path = ChaosPlan("worker-kill", [
+            ChaosEvent("worker_point", "kill", at=0)
+        ]).save(tmp_path / "plan.json")
+        monkeypatch.setenv(chaos.CHAOS_ENV, str(path))
+        chaos.deactivate()  # force fresh env resolution
+        try:
+            result = SweepRunner(
+                grid(), FAST, max_workers=2, max_attempts=3
+            ).run()
+        finally:
+            chaos.deactivate()
+        assert result.num_failed == 0
+        # The whole broken wave is retried, so several points may carry
+        # attempts > 1; all stay within budget.
+        assert any(r.attempts > 1 for r in result.points)
+        assert all(r.attempts <= 3 for r in result.points)
+        reference = run_reference()
+        assert [r.metrics for r in result.points] == [
+            r.metrics for r in reference.points
+        ]
+
+    def test_kill_without_retry_budget_is_structured(
+        self, tmp_path, monkeypatch
+    ):
+        path = ChaosPlan("worker-kill-once", [
+            ChaosEvent("worker_point", "kill", at=0)
+        ]).save(tmp_path / "plan.json")
+        monkeypatch.setenv(chaos.CHAOS_ENV, str(path))
+        chaos.deactivate()
+        try:
+            result = SweepRunner(
+                grid(), FAST, max_workers=2, max_attempts=1
+            ).run()
+        finally:
+            chaos.deactivate()
+        assert result.num_failed >= 1
+        for failure in result.failures():
+            assert failure.error_type in ("WorkerCrash", "BrokenProcessPool")
+
+
+# The checkpoint-kill child must be a real subprocess: the SIGKILL
+# lands mid-checkpoint-write in the sweep's parent process, which here
+# must not be pytest.  The child inherits the plan via REPRO_CHAOS.
+_CHILD = """\
+import sys
+from repro.sim.cosim import CosimConfig
+from repro.sim.sweep import SweepRunner, expand_grid
+
+points = expand_grid(
+    ["hotspot", "bfs"], {"cr_ivr_area_mm2": [52.9, 105.8]}
+)
+base = CosimConfig(cycles=30, warmup_cycles=10)
+SweepRunner(
+    points, base, max_workers=1,
+    checkpoint_path=sys.argv[1], checkpoint_every=1,
+).run()
+"""
+
+
+class TestCheckpointKillResume:
+    def test_kill_mid_checkpoint_write_then_resume(self, tmp_path):
+        checkpoint = tmp_path / "checkpoint.json"
+        plan_path = ChaosPlan("ckpt-kill", [
+            ChaosEvent("checkpoint_write", "kill", at=2)
+        ]).save(tmp_path / "plan.json")
+        import repro
+
+        env = dict(os.environ)
+        env[chaos.CHAOS_ENV] = str(plan_path)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(checkpoint)],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == -9, proc.stderr[-2000:]
+        # The torn write hit the temp file only: the real checkpoint is
+        # the previous (valid) one, holding the two points completed
+        # before the third write was sabotaged.
+        with open(checkpoint) as handle:
+            data = json.load(handle)
+        recovered = data["completed"]
+        assert len(recovered) == 2
+        assert all(record["ok"] for record in recovered)
+
+        resumed = SweepRunner.resume(
+            checkpoint, grid(), FAST, max_workers=1
+        ).run()
+        assert resumed.num_failed == 0
+        reference = run_reference()
+        assert [r.metrics for r in resumed.points] == [
+            r.metrics for r in reference.points
+        ]
+
+
+class TestCheckpointWriteFailures:
+    def test_torn_checkpoint_write_is_counted_not_fatal(
+        self, tmp_path, chaos_plan
+    ):
+        chaos_plan(ChaosPlan("ckpt-torn", [
+            ChaosEvent("checkpoint_write", "torn_write", at=1)
+        ]))
+        runner = SweepRunner(
+            grid(), FAST, max_workers=1,
+            checkpoint_path=tmp_path / "checkpoint.json", checkpoint_every=1,
+        )
+        result = runner.run()
+        assert result.num_failed == 0
+        assert runner.checkpoint_write_errors == 1
+        # The final (forced) checkpoint succeeded, so the file holds
+        # every point despite the mid-run torn write.
+        with open(tmp_path / "checkpoint.json") as handle:
+            assert len(json.load(handle)["completed"]) == len(grid())
+
+    def test_disk_full_checkpoint_write_is_counted_not_fatal(
+        self, tmp_path, chaos_plan
+    ):
+        # Every scheduled write fails with ENOSPC; the sweep still
+        # completes and the one un-sabotaged write (the final forced
+        # one) leaves a complete checkpoint behind.
+        writes = len(grid())  # per-point writes; +1 final force
+        chaos_plan(ChaosPlan("ckpt-enospc", [
+            ChaosEvent("checkpoint_write", "disk_full", at=i)
+            for i in range(writes)
+        ]))
+        runner = SweepRunner(
+            grid(), FAST, max_workers=1,
+            checkpoint_path=tmp_path / "checkpoint.json", checkpoint_every=1,
+        )
+        result = runner.run()
+        assert result.num_failed == 0
+        assert runner.checkpoint_write_errors == writes
+        with open(tmp_path / "checkpoint.json") as handle:
+            assert len(json.load(handle)["completed"]) == len(grid())

@@ -1,0 +1,147 @@
+"""Batch lane quarantine: diverged lanes are evicted mid-run, survivors
+keep their bit-identity contract.
+
+``run_cosim_batch``'s equivalence oracle (tests/sim/test_cosim_batch)
+covers healthy runs; these tests drive the *unhealthy* path with
+deterministic NaN poisoning via the chaos harness and assert the
+quarantine semantics: an evicted lane yields a structured ``diverged``
+verdict with its clean waveform prefix, every surviving lane finishes
+byte-identical to its serial run, and a fully-dead batch degrades to
+truncated results instead of a crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.chaos import ChaosEvent, ChaosPlan
+from repro.sim.cosim import CosimConfig, CosimLane, run_cosim, run_cosim_batch
+from repro.telemetry import Telemetry
+
+CYCLES = 120
+WARMUP = 30
+
+
+def cfg(seed, **kw):
+    return CosimConfig(cycles=CYCLES, warmup_cycles=WARMUP, seed=seed, **kw)
+
+
+def three_lanes():
+    return [
+        CosimLane("hotspot", cfg(3)),
+        CosimLane("bfs", cfg(5)),
+        CosimLane("srad", cfg(7)),
+    ]
+
+
+def poison(at, lane=None):
+    """A repeatable (once=False) NaN poisoning of ``lane`` at cycle ``at``.
+
+    once=False keeps serial re-runs of the same plan deterministic:
+    the fault is persistent, not claimed away by the first firing.
+    """
+    return ChaosEvent("cosim_cycle", "nan_poison", at=at, lane=lane, once=False)
+
+
+class TestEviction:
+    def test_poisoned_lane_is_quarantined_survivors_bit_identical(
+        self, chaos_plan
+    ):
+        lanes = three_lanes()
+        serial = [run_cosim(ln.benchmark, ln.config) for ln in lanes]
+        chaos_plan(ChaosPlan("quarantine", [poison(at=25, lane=1)]))
+        batch = run_cosim_batch(lanes)
+
+        assert not batch[0].diverged and not batch[2].diverged
+        assert batch[1].diverged
+        # Survivors: every recorded field byte-identical to serial.
+        for row in (0, 2):
+            assert np.array_equal(
+                batch[row].sm_voltages, serial[row].sm_voltages
+            ), f"lane {row} voltages diverged from serial"
+            assert np.array_equal(
+                batch[row].power_trace.data, serial[row].power_trace.data
+            )
+            assert np.array_equal(
+                batch[row].supply_current, serial[row].supply_current
+            )
+            assert batch[row].instructions == serial[row].instructions
+            assert batch[row].num_cycles == CYCLES
+
+    def test_dead_lane_keeps_its_clean_prefix(self, chaos_plan):
+        lanes = three_lanes()
+        serial_mid = run_cosim(lanes[1].benchmark, lanes[1].config)
+        chaos_plan(ChaosPlan("prefix", [poison(at=25, lane=1)]))
+        batch = run_cosim_batch(lanes)
+        dead = batch[1]
+        assert dead.num_cycles == 25
+        assert np.array_equal(dead.sm_voltages, serial_mid.sm_voltages[:25])
+        assert np.array_equal(
+            dead.supply_current, serial_mid.supply_current[:25]
+        )
+        assert np.isfinite(dead.sm_voltages).all()
+
+    def test_divergence_forensics_name_the_original_lane(self, chaos_plan):
+        lanes = three_lanes()
+        chaos_plan(ChaosPlan("forensics", [poison(at=25, lane=2)]))
+        batch = run_cosim_batch(lanes)
+        info = batch[2].divergence
+        assert info is not None
+        assert info["lane"] == 2
+        assert info["benchmark"] == "srad"
+        assert info["stage"] == "exhausted"
+        assert info["cycle"] == 25
+
+    def test_staggered_evictions_leave_a_lone_survivor(self, chaos_plan):
+        lanes = three_lanes()
+        serial_mid = run_cosim(lanes[1].benchmark, lanes[1].config)
+        chaos_plan(ChaosPlan("staggered", [
+            poison(at=20, lane=0),
+            poison(at=40, lane=2),
+        ]))
+        batch = run_cosim_batch(lanes)
+        assert batch[0].diverged and batch[0].num_cycles == 20
+        assert batch[2].diverged and batch[2].num_cycles == 40
+        assert not batch[1].diverged
+        # The survivor rode through two compactions bit-exactly.
+        assert np.array_equal(batch[1].sm_voltages, serial_mid.sm_voltages)
+        assert batch[1].instructions == serial_mid.instructions
+
+    def test_all_lanes_dead_is_truncation_not_a_crash(self, chaos_plan):
+        lanes = three_lanes()
+        chaos_plan(ChaosPlan("wipeout", [poison(at=15, lane=None)]))
+        batch = run_cosim_batch(lanes)
+        for result in batch:
+            assert result.diverged
+            assert result.num_cycles == 15
+            assert np.isfinite(result.sm_voltages).all()
+
+    def test_warmup_poisoning_yields_an_empty_measured_window(
+        self, chaos_plan
+    ):
+        lanes = [CosimLane("hotspot", cfg(3))]
+        # Recorded cycle indices are negative during warmup.
+        chaos_plan(ChaosPlan("warmup", [poison(at=-10, lane=0)]))
+        batch = run_cosim_batch(lanes)
+        assert batch[0].diverged
+        assert batch[0].num_cycles == 0
+        assert np.isnan(batch[0].min_voltage)
+
+
+class TestTelemetry:
+    def test_quarantine_counters_and_events(self, chaos_plan):
+        lanes = three_lanes()
+        chaos_plan(ChaosPlan("tele", [poison(at=25, lane=1)]))
+        tele = Telemetry(run_id="quarantine-test")
+        run_cosim_batch(lanes, telemetry=tele)
+        assert tele.counters.get("lanes_quarantined") == 1
+        assert tele.counters.get("guard_divergences", 0) >= 1
+        kinds = [e["kind"] for e in tele.events]
+        assert "lane_quarantined" in kinds
+
+    def test_serial_divergence_is_a_structured_verdict(self, chaos_plan):
+        chaos_plan(ChaosPlan("serial", [poison(at=25)]))
+        result = run_cosim("hotspot", cfg(3))
+        assert result.diverged
+        assert result.num_cycles == 25
+        assert result.divergence["stage"] == "exhausted"
+        assert np.isfinite(result.sm_voltages).all()

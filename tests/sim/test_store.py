@@ -181,3 +181,113 @@ class TestCorruptionTolerance:
         reopened = ResultStore(path)
         assert reopened.corrupt_lines == 1
         assert len(reopened) == 1
+
+
+class TestTornTailSelfHealing:
+    def _good_line(self, point):
+        return json.dumps(
+            {"key": point_key(point, FAST), "record": ok_result(point).to_record()}
+        )
+
+    def test_append_after_torn_tail_terminates_the_fragment(self, tmp_path):
+        """A torn tail costs one entry, not every append after it.
+
+        Without healing, the next append concatenates onto the
+        newline-less fragment and both lines die; ``put`` must detect
+        the torn tail and terminate it first.
+        """
+        path = tmp_path / "store.jsonl"
+        torn = self._good_line(one_point(1))[:30]
+        path.write_text(torn)  # no trailing newline: writer died here
+
+        store = ResultStore(path)
+        point = one_point(2)
+        assert store.put(point_key(point, FAST), ok_result(point))
+
+        reloaded = ResultStore(path)
+        assert reloaded.corrupt_lines == 1
+        assert reloaded.serve(point_key(point, FAST), point) is not None
+
+    def test_chaos_torn_write_reports_failure_and_heals(self, tmp_path, chaos_plan):
+        from repro.faults.chaos import ChaosEvent, ChaosPlan
+
+        path = tmp_path / "store.jsonl"
+        chaos_plan(ChaosPlan("torn", [
+            ChaosEvent("store_append", "torn_write", at=0)
+        ]))
+        store = ResultStore(path)
+        first, second = one_point(1), one_point(2)
+        assert store.put(point_key(first, FAST), ok_result(first)) is False
+        # The record is still served from memory in this process...
+        assert store.serve(point_key(first, FAST), first) is not None
+        # ...and the next append self-heals past the torn bytes.
+        assert store.put(point_key(second, FAST), ok_result(second)) is True
+        reloaded = ResultStore(path)
+        assert reloaded.corrupt_lines == 1
+        assert reloaded.serve(point_key(first, FAST), first) is None
+        assert reloaded.serve(point_key(second, FAST), second) is not None
+
+    def test_chaos_disk_full_is_a_soft_failure(self, tmp_path, chaos_plan):
+        from repro.faults.chaos import ChaosEvent, ChaosPlan
+
+        path = tmp_path / "store.jsonl"
+        chaos_plan(ChaosPlan("enospc", [
+            ChaosEvent("store_append", "disk_full", at=0)
+        ]))
+        store = ResultStore(path)
+        point = one_point(1)
+        assert store.put(point_key(point, FAST), ok_result(point)) is False
+        assert store.put(point_key(one_point(2), FAST), ok_result(one_point(2)))
+
+
+# Two writer processes appending to one store: the advisory flock must
+# keep their lines from interleaving.  Each child appends its own keys
+# with flush+fsync per line, racing the other.
+_WRITER = """\
+import sys
+from repro.sim.cosim import CosimConfig
+from repro.sim.store import ResultStore
+from repro.sim.sweep import SweepPointResult, expand_grid
+
+path, tag = sys.argv[1], sys.argv[2]
+point = expand_grid(["hotspot"])[0]
+store = ResultStore(path)
+for i in range(25):
+    result = SweepPointResult(
+        point=point, ok=True, metrics={"i": i, "tag": tag}
+    )
+    assert store.put(f"{tag}:{i}:hotspot", result)
+"""
+
+
+class TestConcurrentWriters:
+    def test_two_processes_append_without_interleaving(self, tmp_path):
+        import os
+        import subprocess
+        import sys as sys_mod
+        from pathlib import Path
+
+        import repro
+
+        path = tmp_path / "store.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        writers = [
+            subprocess.Popen(
+                [sys_mod.executable, "-c", _WRITER, str(path), tag],
+                env=env, stderr=subprocess.PIPE,
+            )
+            for tag in ("alpha", "beta")
+        ]
+        for proc in writers:
+            proc.wait(timeout=120)
+            assert proc.returncode == 0, proc.stderr.read().decode()[-2000:]
+
+        store = ResultStore(path)
+        assert store.corrupt_lines == 0
+        assert len(store) == 50
+        for tag in ("alpha", "beta"):
+            for i in range(25):
+                record = store.get(f"{tag}:{i}:hotspot")
+                assert record is not None
+                assert record["metrics"] == {"i": i, "tag": tag}
