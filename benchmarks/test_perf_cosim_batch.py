@@ -27,7 +27,7 @@ BATCH = 8
 CYCLES = 2000
 WARMUP = 200
 TIMING_ROUNDS = 3
-SPEEDUP_FLOOR = 3.0
+SPEEDUP_FLOOR = 6.0
 LANE_BENCHMARKS = (
     "hotspot", "backprop", "bfs", "srad",
     "pathfinder", "heartwall", "hotspot", "bfs",

@@ -24,6 +24,8 @@ The solver exposes two usage styles:
 
 from __future__ import annotations
 
+import ctypes
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -631,6 +633,33 @@ class TransientSolver:
         return TransientResult(times, nodes, voltages)
 
 
+class _SolverShard:
+    """Lanes whose MNA matrices are value-identical, sharing one LU.
+
+    The representative lane's factorization serves every member:
+    ``lu_factor`` is deterministic, so value-identical matrices produce
+    bit-identical LU blocks and solving any member against the shared
+    block is bit-identical to solving against its own.  ``multi`` is
+    the adaptive multi-RHS verdict — ``None`` until the first solve
+    probes whether a single multi-RHS ``getrs`` over the shard's
+    ``(n, B_shard)`` Fortran-ordered block reproduces the per-column
+    solves bit for bit on this BLAS (see ``BatchTransientSolver.step``).
+    """
+
+    __slots__ = ("getrs", "lu", "piv", "piv1", "rows", "rows_idx",
+                 "entries", "multi")
+
+    def __init__(self, getrs, lu: np.ndarray, piv: np.ndarray) -> None:
+        self.getrs = getrs
+        self.lu = lu
+        self.piv = piv
+        self.piv1: Optional[np.ndarray] = None  # 1-based int32, C kernel
+        self.rows: List[int] = []
+        self.rows_idx: Optional[np.ndarray] = None
+        self.entries: list = []
+        self.multi: Optional[bool] = None
+
+
 class BatchTransientSolver:
     """Lock-stepped trapezoidal stepping of B same-topology solvers.
 
@@ -642,17 +671,27 @@ class BatchTransientSolver:
     per-step NumPy dispatch across lanes: companion currents, the RHS
     scatter (one flat-index ``np.add.at`` over all lanes) and the
     companion-state update run on ``(B, ...)`` arrays, while the LAPACK
-    back-substitution stays one ``getrs`` call per lane.
+    back-substitution runs per shard of value-identical matrices
+    (:class:`_SolverShard`): one shared ``lu_factor`` per shard, and
+    a multi-RHS ``getrs`` over the shard's ``(n, B_shard)`` block
+    *only when a first-step probe proves it bit-identical* to the
+    per-column solves.  On BLAS builds whose blocked ``trsm`` reorders
+    dot-product accumulations for NRHS > 1 (every OpenBLAS tested), the
+    probe fails and the shard stays on per-lane NRHS=1 solves against
+    the shared LU — bit-identity against ``run_cosim`` is this engine's
+    correctness oracle and always wins over the batched solve.  A
+    mid-run :meth:`TransientSolver.refactor` marks the lane map dirty,
+    and the next step regroups: the refactored lane splits into its own
+    shard and the surviving shard is untouched, so fault injection and
+    guard recovery keep working unchanged.
 
-    Why per-lane ``getrs``: a multi-RHS ``getrs`` lets the BLAS kernel
-    reorder its dot-product accumulations (blocked ``trsm``/``gemm``
-    paths for NRHS > 1), which is *not* bit-identical to the serial
-    column-at-a-time solve — and bit-identity against ``run_cosim`` is
-    this engine's correctness oracle.  Per-lane solves also let a fault
-    injector :meth:`TransientSolver.refactor` one lane's matrix without
-    any shared-LU divergence bookkeeping.  The back-substitution is a
-    ~2 µs LAPACK call on these systems; the batching win is the
-    amortized NumPy dispatch around it.
+    ``step_n`` additionally offers a compiled backend
+    (``REPRO_SOLVER_BACKEND=c``, the default when eligible): the whole
+    cycle's substeps — companion update, source gather, RHS scatter,
+    voltage-source stamp, per-lane LAPACK back-substitution through the
+    genuine ``dgetrs`` pointer, and the reactive-state update — run in
+    one crossing into ``_solverc.c``.  The NumPy path remains the
+    bit-identity oracle (``REPRO_SOLVER_BACKEND=numpy``).
 
     Each lane's dynamic state (``_react_v`` / ``_react_i`` / ``solution``)
     is re-homed as a row view of the batch arrays, so per-lane reads
@@ -711,8 +750,14 @@ class BatchTransientSolver:
         # keeps them unchanged, but lanes may be built with different
         # element values).
         self._react_g_bt = np.stack([s._react_g for s in self.solvers])
-        self._react_v_bt = np.stack([s._react_v for s in self.solvers])
-        self._react_i_bt = np.stack([s._react_i for s in self.solvers])
+        # Reactive v/i live in one contiguous (2, B, R) block so the
+        # guard's per-cycle snapshot/rollback is a single copy.
+        n_react_first = first._react_v.size
+        self._react_vi_bt = np.empty((2, n_lanes, n_react_first))
+        self._react_v_bt = self._react_vi_bt[0]
+        self._react_i_bt = self._react_vi_bt[1]
+        self._react_v_bt[:] = [s._react_v for s in self.solvers]
+        self._react_i_bt[:] = [s._react_i for s in self.solvers]
         self._sol_bt = np.stack([s.solution for s in self.solvers])
         self._vs_bt = np.stack([s._vs_values for s in self.solvers])
         for i, s in enumerate(self.solvers):
@@ -728,6 +773,10 @@ class BatchTransientSolver:
             s._ind_i = s._react_i[nc:]
             s.solution = self._sol_bt[i]
             s._vs_values = self._vs_bt[i]
+
+        # Stats objects are per-solver singletons; cache the list so the
+        # per-cycle step accounting reads list slots, not attributes.
+        self._stats_list = [s.stats for s in self.solvers]
 
         self._vals_bt = np.zeros((n_lanes, first._vals.size), dtype=float)
         self._size = size
@@ -765,14 +814,15 @@ class BatchTransientSolver:
         n_react = first._react_v.size
         self._n_react = n_react
         self._ieq_buf = np.empty((n_lanes, n_react))
-        # Per-lane solve cache: (getrs, lu, piv, solution row).  The
-        # refactor() hook below invalidates it when a fault injector
+        # Shard map and per-lane solve cache (see _rebuild_lanes).  The
+        # refactor() hook below invalidates them when a fault injector
         # re-factorizes any lane's matrix mid-run.
         self._lanes_dirty = True
         self._lane_solve: list = []
+        self._shards: List[_SolverShard] = []
+        self._lane_shard: List[_SolverShard] = []
         for s in self.solvers:
             s._batch_owner = self
-        self._getrs_inplace: Optional[bool] = None
         self._last_rhs_bt: Optional[np.ndarray] = None
         self._scatter_gain = first._scatter_gain
         self._scatter_src = first._scatter_src
@@ -839,6 +889,77 @@ class BatchTransientSolver:
         else:
             self._cs_flat_dst = None
 
+        # Compiled-backend state (resolved lazily on the first step_n).
+        self._backend: Optional[str] = None
+        self._clib = None
+        self._dgetrs_ptr: Optional[int] = None
+        self._c_state = None
+        self._c_state_ptr = None
+        self._c_refs: list = []
+        self._rhs_bt: Optional[np.ndarray] = None
+        # The fused C kernel handles exactly the co-sim configuration:
+        # one shared C-contiguous current base, no plain (unbound)
+        # current sources, no waveform-callable voltage sources.
+        self._c_eligible = (
+            self._cs_flat_dst is not None
+            and not self._has_cs_plain
+            and not self._has_vs_callable
+        )
+
+    # ------------------------------------------------------------------
+    # Shard bookkeeping
+    # ------------------------------------------------------------------
+    def _rebuild_lanes(self) -> None:
+        """Regroup lanes into shards of value-identical MNA matrices.
+
+        Runs lazily whenever ``_lanes_dirty`` — at construction and
+        after any lane's :meth:`TransientSolver.refactor` (fault
+        injection, guard recovery, ``set_dt``).  A refactored lane's
+        matrix bytes change, so regrouping naturally splits it out of
+        its old shard without touching the other members.  Also drops
+        any cached C-kernel state (the shard LU pointers it holds are
+        stale).
+        """
+        sol = self._sol_bt
+        shard_map: Dict[bytes, _SolverShard] = {}
+        shards: List[_SolverShard] = []
+        lane_entries: list = []
+        lane_shard: List[_SolverShard] = []
+        for i, s in enumerate(self.solvers):
+            key = s._matrix.tobytes()
+            shard = shard_map.get(key)
+            if shard is None:
+                lu, piv = s._lu
+                shard = _SolverShard(s._getrs, lu, piv)
+                shard_map[key] = shard
+                shards.append(shard)
+            # Per-lane solve entry against the *shard's* LU; the sixth
+            # slot is the per-entry in-place verdict for the lane's
+            # getrs wrapper, probed on its own first solve (a wrapper
+            # that copies for one lane must never be assumed in-place
+            # for another).
+            entry = [shard.getrs, shard.lu, shard.piv, sol[i], s, None]
+            shard.rows.append(i)
+            shard.entries.append(entry)
+            lane_entries.append(entry)
+            lane_shard.append(shard)
+        for shard in shards:
+            shard.rows_idx = np.array(shard.rows, dtype=np.intp)
+        self._shards = shards
+        self._lane_solve = lane_entries
+        self._lane_shard = lane_shard
+        self._lanes_dirty = False
+        self._c_state = None
+        self._c_state_ptr = None
+        self._c_refs = []
+
+    @property
+    def shard_count(self) -> int:
+        """How many distinct LU factorizations the lane set shares."""
+        if self._lanes_dirty:
+            self._rebuild_lanes()
+        return len(self._shards)
+
     # ------------------------------------------------------------------
     def step(self) -> np.ndarray:
         """Advance every lane one trapezoidal step in lock-step.
@@ -882,29 +1003,57 @@ class BatchTransientSolver:
         rhs[:, self._vs_row_idx] = self._vs_bt
         self._last_rhs_bt = rhs
 
-        # Back-substitute each lane in place on its solution row: LAPACK
-        # dgetrs overwrites a contiguous RHS when allowed to, skipping
-        # the copy-back.  The first step probes whether the wrapper
-        # really solved in place (it copies when it must) and the loop
-        # falls back to an explicit copy-back if not.
+        # Back-substitute per shard: every lane solves against its
+        # shard's shared LU (value-identical matrices factorize to
+        # bit-identical LU blocks).  LAPACK dgetrs overwrites a
+        # contiguous RHS when allowed to, skipping the copy-back; each
+        # lane's first solve probes whether its wrapper really solved
+        # in place (it copies when it must) and that lane alone falls
+        # back to an explicit copy-back — the verdict is never assumed
+        # across lanes or shards.  Multi-lane shards additionally probe
+        # one multi-RHS getrs over their (n, B_shard) Fortran block on
+        # the first step and keep it only if it reproduced the
+        # per-column solves bit for bit (blocked BLAS trsm paths
+        # usually reorder accumulation for NRHS > 1, failing the probe
+        # — the per-column oracle always wins).
         sol = self._sol_bt
         sol[:] = rhs
         if self._lanes_dirty:
-            self._lane_solve = [
-                (s._getrs, s._lu[0], s._lu[1], sol[i], s)
-                for i, s in enumerate(solvers)
-            ]
-            self._lanes_dirty = False
-        inplace = self._getrs_inplace
-        for getrs_f, lu, piv, row, s in self._lane_solve:
-            solution, _info = getrs_f(lu, piv, row, overwrite_b=True)
-            if inplace is None:
-                inplace = bool(np.shares_memory(solution, sol))
-                self._getrs_inplace = inplace
-            if not inplace:
-                row[:] = solution
-            s.stats.steps += 1
-            s.time = t_next
+            self._rebuild_lanes()
+        for shard in self._shards:
+            entries = shard.entries
+            if shard.multi and len(entries) > 1:
+                block = sol[shard.rows_idx].T  # (n, B_shard), F-order
+                solved, _info = shard.getrs(
+                    shard.lu, shard.piv, block, overwrite_b=True
+                )
+                sol[shard.rows_idx] = solved.T
+                for entry in entries:
+                    s = entry[4]
+                    s.stats.steps += 1
+                    s.time = t_next
+                continue
+            probe_block = None
+            if shard.multi is None and len(entries) > 1:
+                probe_block = sol[shard.rows_idx].T  # pre-solve RHS copy
+            for entry in entries:
+                getrs_f, lu, piv, row, s, inplace = entry
+                solution, _info = getrs_f(lu, piv, row, overwrite_b=True)
+                if inplace is None:
+                    inplace = bool(np.shares_memory(solution, row))
+                    entry[5] = inplace
+                if not inplace:
+                    row[:] = solution
+                s.stats.steps += 1
+                s.time = t_next
+            if probe_block is not None:
+                solved, _info = shard.getrs(
+                    shard.lu, shard.piv, probe_block, overwrite_b=True
+                )
+                shard.multi = bool(np.array_equal(
+                    solved.T.view(np.uint64),
+                    sol[shard.rows_idx].view(np.uint64),
+                ))
 
         n_react = self._n_react
         v_new = (
@@ -920,8 +1069,175 @@ class BatchTransientSolver:
         return sol[:, : self.num_nodes]
 
     # ------------------------------------------------------------------
-    def vsource_currents(self, name: str) -> np.ndarray:
-        """Per-lane current delivered by voltage source ``name`` (B,)."""
+    # Fused multi-substep stepping (compiled backend)
+    # ------------------------------------------------------------------
+    @property
+    def active_backend(self) -> str:
+        """``"c"`` or ``"numpy"`` — the backend ``step_n`` will run."""
+        if self._backend is None:
+            self._resolve_backend()
+        return self._backend
+
+    def _resolve_backend(self) -> None:
+        """Pick the ``step_n`` backend once, loudly on degradation.
+
+        ``REPRO_SOLVER_BACKEND=c|numpy`` overrides the default (``c``
+        when the circuit configuration is eligible).  Requesting ``c``
+        loads the compiled kernel and extracts the LAPACK ``dgetrs``
+        pointer; either failing falls back to NumPy through the
+        warn-once + ``solver.backend_fallback`` counter machinery.
+        Ineligible configurations (plain current sources, callable
+        voltage sources, no shared current base) stay on NumPy without
+        a warning — that is a modeling choice, not a degradation.
+        """
+        from repro.circuits import _solverc
+
+        env = os.environ.get(_solverc.BACKEND_ENV, "").strip().lower()
+        choice = env if env in ("c", "numpy") else "c"
+        if choice == "c" and self._c_eligible:
+            lib = _solverc.load_solver_lib()
+            if lib is not None:
+                ptr = _solverc.dgetrs_pointer()
+                if ptr is None:
+                    _solverc.note_fallback(
+                        "scipy dgetrs capsule unavailable"
+                    )
+                else:
+                    self._clib = lib
+                    self._dgetrs_ptr = ptr
+                    self._backend = "c"
+                    return
+        self._backend = "numpy"
+
+    def _build_c_state(self) -> None:
+        """Wire the C kernel's state struct to the batch buffers.
+
+        Rebuilt whenever the shard map changes (lane refactorization) —
+        the struct holds raw addresses of each lane's shard LU block
+        and 1-based pivot vector.  Every referenced array is pinned in
+        ``_c_refs`` for the struct's lifetime.
+        """
+        from repro.circuits._solverc import CSolverState
+
+        n_lanes = self._n_lanes
+        size = self._size
+        if self._rhs_bt is None:
+            self._rhs_bt = np.zeros((n_lanes, size), dtype=float)
+        base, _slots, _gidx = self._shared_cs
+
+        def i64(arr: np.ndarray) -> np.ndarray:
+            return np.ascontiguousarray(arr, dtype=np.int64)
+
+        lu_addr = np.empty(n_lanes, dtype=np.int64)
+        piv_addr = np.empty(n_lanes, dtype=np.int64)
+        for i, shard in enumerate(self._lane_shard):
+            if shard.piv1 is None:
+                # scipy's lu_factor pivots are 0-based; the raw LAPACK
+                # routine wants 1-based int32.
+                shard.piv1 = (shard.piv + 1).astype(np.int32)
+            lu_addr[i] = shard.lu.ctypes.data
+            piv_addr[i] = shard.piv1.ctypes.data
+
+        cs_dst = i64(self._cs_flat_dst)
+        cs_src = i64(self._cs_flat_src)
+        scat_idx = i64(self._flat_idx)
+        scat_src = i64(self._scatter_src_flat)
+        vs_rows = i64(self._vs_row_idx)
+        react_pos = i64(self._react_pos_flat)
+        react_neg = i64(self._react_neg_flat)
+
+        def ptr(arr: np.ndarray) -> int:
+            return arr.ctypes.data
+
+        st = CSolverState(
+            n_lanes=n_lanes,
+            size=size,
+            n_vals=self._vals_bt.shape[1],
+            n_react=self._n_react,
+            n_scatter=self._flat_idx.size,
+            n_cs=cs_dst.size,
+            n_vs=vs_rows.size,
+            dgetrs=self._dgetrs_ptr,
+            lu_addr=ptr(lu_addr),
+            piv_addr=ptr(piv_addr),
+            react_g=ptr(self._react_g_bt),
+            react_v=ptr(self._react_v_bt),
+            react_i=ptr(self._react_i_bt),
+            react_sign=ptr(self._react_sign),
+            pos_mask=ptr(self._react_pos_mask),
+            neg_mask=ptr(self._react_neg_mask),
+            react_pos=ptr(react_pos),
+            react_neg=ptr(react_neg),
+            vals=ptr(self._vals_bt),
+            base=ptr(base),
+            cs_dst=ptr(cs_dst),
+            cs_src=ptr(cs_src),
+            scat_idx=ptr(scat_idx),
+            scat_src=ptr(scat_src),
+            scat_gain=ptr(self._gain_flat),
+            vs_rows=ptr(vs_rows),
+            vs_vals=ptr(self._vs_bt),
+            rhs=ptr(self._rhs_bt),
+            sol=ptr(self._sol_bt),
+        )
+        self._c_refs = [
+            lu_addr, piv_addr, cs_dst, cs_src, scat_idx, scat_src,
+            vs_rows, react_pos, react_neg,
+            [shard.piv1 for shard in self._shards],
+        ]
+        self._c_state = st
+        self._c_state_ptr = ctypes.pointer(st)
+
+    def step_n(self, n: int) -> np.ndarray:
+        """Advance every lane ``n`` lock-stepped trapezoidal steps.
+
+        Bit-identical to ``n`` calls of :meth:`step` on either backend;
+        the compiled path additionally fuses all ``n`` substeps into
+        one C call (see ``_solverc.c``).  Defers to the per-step loop
+        when ``step`` has been instance-patched (fault hooks and tests
+        wrap ``batch.step``; a fused path must not bypass them).
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if self._backend is None:
+            self._resolve_backend()
+        if self._backend == "c" and "step" not in self.__dict__:
+            if self._lanes_dirty:
+                self._rebuild_lanes()
+            if self._c_state is None:
+                self._build_c_state()
+            rc = self._clib.solver_step_n(self._c_state_ptr, n)
+            if rc < 0:
+                raise RuntimeError(
+                    "C solver kernel: dgetrs rejected its arguments "
+                    f"on lane {-rc - 1}"
+                )
+            self._last_rhs_bt = self._rhs_bt
+            # Times advance by the same sequential accumulation the
+            # per-step path performs (t += dt, n times), keeping every
+            # recovered-lane/time comparison bit-aligned.
+            t = self.solvers[0].time
+            dt = self.dt
+            for _ in range(n):
+                t = t + dt
+            for s, st in zip(self.solvers, self._stats_list):
+                st.steps += n
+                s.time = t
+            return self._sol_bt[:, : self.num_nodes]
+        node_bt = None
+        for _ in range(n):
+            node_bt = self.step()
+        return node_bt
+
+    # ------------------------------------------------------------------
+    def vsource_currents(
+        self, name: str, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-lane current delivered by voltage source ``name`` (B,).
+
+        ``out`` (any (B,) float view, strided ok) avoids the per-call
+        temporary on the recording hot path.
+        """
         row = self._branch_rows.get(name)
         if row is None:
             rows = set()
@@ -937,6 +1253,8 @@ class BatchTransientSolver:
                 )
             row = rows.pop()
             self._branch_rows[name] = row
+        if out is not None:
+            return np.negative(self._sol_bt[:, row], out=out)
         return -self._sol_bt[:, row]
 
 
@@ -1293,14 +1611,14 @@ class BatchSolverGuard:
         self._limits = np.array([g.spike_limit_v for g in guards])
         # Preallocated buffers for the per-cycle snapshot and health
         # scan: the clean path must not allocate (B, size) temporaries.
-        self._snap_v_bt = np.empty_like(batch._react_v_bt)
-        self._snap_i_bt = np.empty_like(batch._react_i_bt)
+        self._snap_vi = np.empty_like(batch._react_vi_bt)
         self._mx = np.empty(len(guards))
         self._mn = np.empty(len(guards))
         # Per-row sum-of-squares buffer for the cheap health proof
         # (see SolverGuard: ``x . x < limit^2`` implies no spike).
         self._sq = np.empty(len(guards))
         self._limit_sq = self._limits * self._limits
+        self._ok = np.empty(len(guards), dtype=bool)
 
     def counters(self) -> Dict[str, int]:
         total = {
@@ -1325,15 +1643,16 @@ class BatchSolverGuard:
         """
         batch = self.batch
         solvers = batch.solvers
-        v0, i0 = self._snap_v_bt, self._snap_i_bt
-        np.copyto(v0, batch._react_v_bt)
-        np.copyto(i0, batch._react_i_bt)
+        # One contiguous copy snapshots both reactive planes (the batch
+        # keeps v/i stacked in a single (2, B, R) block for this).
+        snap = self._snap_vi
+        np.copyto(snap, batch._react_vi_bt)
+        v0, i0 = snap[0], snap[1]
         t0 = solvers[0].time
 
         blown = False
         try:
-            for _ in range(substeps):
-                batch.step()
+            batch.step_n(substeps)
         except _SOLVE_ERRORS:
             blown = True
 
@@ -1343,8 +1662,7 @@ class BatchSolverGuard:
             # serially (bit-identical to the fused path for lanes that
             # behave).
             bad_rows = np.arange(len(solvers))
-            batch._react_v_bt[:] = v0
-            batch._react_i_bt[:] = i0
+            batch._react_vi_bt[:] = snap
             for s in solvers:
                 s.time = t0
         else:
@@ -1354,7 +1672,8 @@ class BatchSolverGuard:
             # the row's dot and fail the comparison).
             sol = batch._sol_bt
             np.einsum("ij,ij->i", sol, sol, out=self._sq)
-            if (self._sq < self._limit_sq).all():
+            np.less(self._sq, self._limit_sq, out=self._ok)
+            if self._ok.all():
                 return sol[:, : batch.num_nodes], {}
             # Suspicious batch: precise temp-free per-row extrema
             # (NaN rows fail both compares).

@@ -26,7 +26,11 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.config import StackConfig
-from repro.core.actuators import ActuationCommand, WeightedActuation
+from repro.core.actuators import (
+    ActuationCommand,
+    CurrentCompensationDAC,
+    WeightedActuation,
+)
 from repro.core.detectors import DETECTOR_OPTIONS, DetectorSpec, VoltageDetector
 from repro.core.overheads import control_latency_cycles
 
@@ -722,6 +726,28 @@ class ControllerBank:
             "fake": col([c.config.slew_fake for c in ctrls]),
             "dcc": col([c.config.slew_dcc_w for c in ctrls]),
         }
+        # Banked Algorithm 1 columns: when every lane runs the stock
+        # WeightedActuation / CurrentCompensationDAC pair, a full
+        # wave's per-SM proportional law vectorizes as (B, num_sms)
+        # array ops (see _decide_banked).  A lane with a subclassed
+        # actuation or DAC may override the command math, so any such
+        # lane disables the banked path for the whole bank.
+        if all(
+            type(c.actuation) is WeightedActuation
+            and type(c.actuation.dac) is CurrentCompensationDAC
+            for c in ctrls
+        ):
+            self._bank_cols: Optional[Dict[str, np.ndarray]] = {
+                "v_nom": col([c.config.v_nominal for c in ctrls]),
+                "iwmax": col([c.actuation.issue_width_max for c in ctrls]),
+                "k1w1": col([c.config.k1 * c.actuation.w1 for c in ctrls]),
+                "k2w2": col([c.config.k2 * c.actuation.w2 for c in ctrls]),
+                "k3w3": col([c.config.k3 * c.actuation.w3 for c in ctrls]),
+                "unit": col([c.actuation.dac.unit_power_w for c in ctrls]),
+                "max_code": col([c.actuation.dac.max_code for c in ctrls]),
+            }
+        else:
+            self._bank_cols = None
         self._period = np.array(
             [c.config.control_period_cycles for c in ctrls], dtype=np.int64
         )
@@ -741,6 +767,10 @@ class ControllerBank:
             self._uniform_period = None
             self._next_due = 0
         self._any_fallback = bool(self._fallback.any())
+        # Per-cycle observe scratch (the filter advance is dispatch-
+        # bound at small B; out= ufuncs avoid five temporaries a cycle).
+        self._obs_buf = np.empty_like(self._state)
+        self._finite_buf = np.empty(self._state.shape, dtype=bool)
         # Full-wave working set: the three actuator command blocks live
         # side by side in one (B, 3*num_sms) array, so the slew clamp
         # and its saturation test run as single ufunc calls; each
@@ -771,14 +801,23 @@ class ControllerBank:
                 f"expected voltages of shape {expected}, got "
                 f"{sm_voltages.shape}"
             )
-        if np.isfinite(sm_voltages).all():
+        np.isfinite(sm_voltages, out=self._finite_buf)
+        if self._finite_buf.all():
             # The all-finite fast path of _advance_filters, broadcast
             # over lanes.  Clearing an all-False fallback row is a
             # no-op, so one global clear matches the per-lane clears.
             state = self._state
-            state += self._alpha * (sm_voltages - state)
-            measured = np.rint(state / self._step_v) * self._step_v
-            self._last_good[:] = measured
+            buf = self._obs_buf
+            np.subtract(sm_voltages, state, out=buf)
+            buf *= self._alpha
+            state += buf
+            # Quantize straight into _last_good (rows alias the lanes'
+            # held-measurement arrays, which the serial path updates
+            # with exactly this value on every finite sample).
+            measured = self._last_good
+            np.divide(state, self._step_v, out=measured)
+            np.rint(measured, out=measured)
+            measured *= self._step_v
             if self._any_fallback:
                 self._fallback[:] = False
                 self._any_fallback = False
@@ -858,14 +897,15 @@ class ControllerBank:
         n = self.num_sms
         if self._any_fallback:
             widen = np.where(self._fallback, self._widen, 0.0)
-            trig = (
-                (m < self._thr + widen) | (m > self._thr_high + widen)
-            ).any(axis=1).tolist()
+            low = m < self._thr + widen
+            high = m > self._thr_high + widen
         else:
-            trig = ((m < self._thr) | (m > self._thr_high)).any(
-                axis=1
-            ).tolist()
-        active = any(trig) or any(c.in_safe_state for c in ctrls)
+            low = m < self._thr
+            high = m > self._thr_high
+        trig_mask = low | high
+        trig = trig_mask.any(axis=1).tolist()
+        any_safe = any(c.in_safe_state for c in ctrls)
+        active = any(trig) or any_safe
         if not active and self._prev_at_default:
             # Idle wave: every previous command sits exactly at the
             # default and nothing triggered, so the new command is
@@ -891,12 +931,19 @@ class ControllerBank:
             )
             d._cat = cat[j]
             decisions.append(d)
-        for j, c in enumerate(ctrls):
-            if c.in_safe_state:
-                widths[j] = float(c.config.safe_issue_width)
-                c.safe_state_decisions += 1
-            elif trig[j]:
-                c._decide(m[j], decision=decisions[j])
+        if self._bank_cols is not None and not any_safe:
+            if any(trig):
+                self._decide_banked(
+                    m, low, high, trig_mask, trig, decisions,
+                    widths, fakes, dcc,
+                )
+        else:
+            for j, c in enumerate(ctrls):
+                if c.in_safe_state:
+                    widths[j] = float(c.config.safe_issue_width)
+                    c.safe_state_decisions += 1
+                elif trig[j]:
+                    c._decide(m[j], decision=decisions[j])
         prev_cat = self._gather_prev_cat()
         clamped = np.clip(
             cat, prev_cat - self._slew_cat, prev_cat + self._slew_cat
@@ -934,6 +981,58 @@ class ControllerBank:
             if fii_active[j] or dcc_active[j]:
                 c.boost_decisions += 1
             c._pipeline.append((cycle + c.config.total_latency_cycles, d))
+
+    # ------------------------------------------------------------------
+    def _decide_banked(
+        self,
+        m: np.ndarray,
+        low: np.ndarray,
+        high: np.ndarray,
+        trig_mask: np.ndarray,
+        trig: List[bool],
+        decisions: List[ControlDecision],
+        widths: np.ndarray,
+        fakes: np.ndarray,
+        dcc: np.ndarray,
+    ) -> None:
+        """Vectorized Algorithm 1 body across every triggered lane.
+
+        Bit-identical to ``c._decide(m[j])`` per triggered lane, for
+        the stock :class:`WeightedActuation` /
+        :class:`CurrentCompensationDAC` pair:
+
+        * low side writes ``min(iwmax, max(0, iwmax - (k1*w1)*err))``
+          (the clamps collapse to ``iwmax`` exactly where ``err <= 0``,
+          matching the serial early return, which the ``np.where``
+          keeps exact even for pathological negative gains);
+        * high side max-merges FII/DCC into default-zero rows, i.e.
+          plain masked assignment; the DAC quantization
+          ``min(max_code, round(p / unit))`` uses ``np.rint``, whose
+          half-to-even tie-breaking matches Python's ``round``.
+
+        ``k1*w1`` etc. are precomputed per lane so the product
+        associates exactly as the serial ``k1 * self.w1 * error_v``.
+        """
+        cols = self._bank_cols
+        iwmax = cols["iwmax"]
+        err = cols["v_nom"] - m
+        w_raw = np.minimum(
+            iwmax, np.maximum(0.0, iwmax - cols["k1w1"] * err)
+        )
+        np.copyto(widths, np.where(err > 0, w_raw, iwmax), where=low)
+        high_eff = high & ~low
+        if high_eff.any():
+            over = m - cols["v_nom"]
+            pos = over > 0
+            fake = np.minimum(2.0, np.maximum(0.0, cols["k2w2"] * over))
+            np.copyto(fakes, np.where(pos, fake, 0.0), where=high_eff)
+            p = cols["k3w3"] * over
+            code = np.minimum(cols["max_code"], np.rint(p / cols["unit"]))
+            power = np.where(pos & (p > 0), code * cols["unit"], 0.0)
+            np.copyto(dcc, power, where=high_eff)
+        for j, d in enumerate(decisions):
+            if trig[j]:
+                d.triggered_sms = np.flatnonzero(trig_mask[j]).tolist()
 
     # ------------------------------------------------------------------
     def compact(self, keep: List[int]) -> "ControllerBank":

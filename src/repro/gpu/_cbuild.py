@@ -1,46 +1,33 @@
 """Compile-on-demand loader for the C step kernel (``_enginec.c``).
 
-No new dependencies: the kernel is plain C with no Python headers, so a
-stock system compiler (``cc``/``gcc``/``clang``) produces the shared
-object and stdlib :mod:`ctypes` drives it.  Build artifacts are cached
-next to this file under ``_cbuild_cache/`` keyed by a hash of the C
-source, so the compiler runs once per source revision; concurrent
-builders (e.g. parallel sweep workers) race benignly through an atomic
-rename.
+The build/cache/loud-fallback machinery lives in
+:class:`repro.native.cbuild.KernelBuild` (shared with the batched PDN
+solver kernel, ``repro.circuits._solverc``); this module binds it to the
+engine kernel and keeps the original module-level surface
+(:data:`_LIB_CACHE`, :data:`_LOAD_FAILED`, :func:`load_engine_lib`, …)
+that the engine, CLI chaos scenario, and fallback tests poke.
 
 When no compiler is available or the build fails, :func:`load_engine_lib`
 returns ``None`` and the engine falls back to its pure-NumPy step path —
 same results (both are bit-identical to the per-object reference), just
-slower.  The fallback is *loud*: one :class:`RuntimeWarning` per process
-plus a :func:`build_fallback_count` counter that the co-sim telemetry
-surfaces as ``gpu.backend_fallback``, so a fleet silently running 10x
-slower shows up in the first manifest instead of a profiler session.
-
-Setting ``REPRO_GPU_CBUILD=fail`` forces the build to fail (test hook
-for the fallback path); ``REPRO_GPU_CBUILD=quiet`` suppresses the
+slower; the co-sim telemetry surfaces the count as
+``gpu.backend_fallback``.  Setting ``REPRO_GPU_CBUILD=fail`` forces the
+build to fail (test hook); ``REPRO_GPU_CBUILD=quiet`` suppresses the
 warning while keeping the counter.
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import shutil
-import subprocess
-import tempfile
-import warnings
 from pathlib import Path
 from typing import Optional
+
+from repro.native.cbuild import LOAD_FAILED as _LOAD_FAILED
+from repro.native.cbuild import KernelBuild
 
 CBUILD_ENV = "REPRO_GPU_CBUILD"
 
 _C_SOURCE = Path(__file__).with_name("_enginec.c")
-_CACHE_DIR = Path(__file__).with_name("_cbuild_cache")
-
-# IEEE-strict flags: no FMA contraction, no fast-math — double
-# arithmetic must match CPython's operation for operation.
-_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
 
 _PTR = ctypes.c_void_p
 _I64 = ctypes.c_longlong
@@ -105,106 +92,43 @@ class CEngineState(ctypes.Structure):
     ]
 
 
-_LIB_CACHE: dict = {}
-_LOAD_FAILED = object()
-_FALLBACKS = {"count": 0, "warned": False}
+def _configure(lib: ctypes.CDLL) -> None:
+    lib.engine_step.argtypes = [ctypes.POINTER(CEngineState), _I64]
+    lib.engine_step.restype = _I64
+    lib.engine_step_batch.argtypes = [
+        ctypes.POINTER(ctypes.POINTER(CEngineState)),
+        _I64,
+        _I64,
+        _PTR,
+    ]
+    lib.engine_step_batch.restype = _I64
+
+
+_BUILD = KernelBuild(
+    source=_C_SOURCE,
+    env_var=CBUILD_ENV,
+    what="C step kernel",
+    fallback="the pure-NumPy engine path",
+    counter="gpu.backend_fallback",
+    configure=_configure,
+)
+
+# Back-compat aliases: tests monkeypatch _LIB_CACHE["lib"] and compare
+# against _LOAD_FAILED directly; both bind KernelBuild's own objects.
+_LIB_CACHE = _BUILD.cache
+_FALLBACKS = _BUILD.fallbacks
 
 
 def build_fallback_count() -> int:
     """How many times this process fell back to the NumPy step path."""
-    return _FALLBACKS["count"]
+    return _BUILD.fallback_count()
 
 
 def reset_fallback_state() -> None:
     """Test hook: forget cached load failures and fallback accounting."""
-    _LIB_CACHE.pop("lib", None)
-    _FALLBACKS["count"] = 0
-    _FALLBACKS["warned"] = False
-
-
-def _note_fallback(reason: str) -> None:
-    _FALLBACKS["count"] += 1
-    if _FALLBACKS["warned"] or os.environ.get(CBUILD_ENV) == "quiet":
-        return
-    _FALLBACKS["warned"] = True
-    warnings.warn(
-        "C step kernel unavailable ("
-        f"{reason}); falling back to the pure-NumPy engine path — "
-        "results are identical but substantially slower "
-        "(telemetry counter: gpu.backend_fallback)",
-        RuntimeWarning,
-        stacklevel=3,
-    )
-
-
-def _find_compiler() -> Optional[str]:
-    for name in ("cc", "gcc", "clang"):
-        path = shutil.which(name)
-        if path:
-            return path
-    return None
-
-
-def _build(so_path: Path) -> bool:
-    compiler = _find_compiler()
-    if compiler is None:
-        return False
-    so_path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        suffix=".so", prefix="_enginec_", dir=str(so_path.parent)
-    )
-    os.close(fd)
-    try:
-        result = subprocess.run(
-            [compiler, *_CFLAGS, "-o", tmp, str(_C_SOURCE), "-lm"],
-            capture_output=True,
-            timeout=120,
-        )
-        if result.returncode != 0:
-            return False
-        os.replace(tmp, so_path)  # atomic: concurrent builders race safely
-        return True
-    except (OSError, subprocess.SubprocessError):
-        return False
-    finally:
-        if os.path.exists(tmp):
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+    _BUILD.reset()
 
 
 def load_engine_lib() -> Optional[ctypes.CDLL]:
     """The compiled step kernel, or ``None`` when unavailable."""
-    cached = _LIB_CACHE.get("lib")
-    if cached is _LOAD_FAILED:
-        # Count every consumer that lands on the NumPy path, not just
-        # the first failed build, so the telemetry counter reflects how
-        # much of the run actually ran slow.
-        _FALLBACKS["count"] += 1
-        return None
-    if cached is not None:
-        return cached
-    if os.environ.get(CBUILD_ENV) == "fail":
-        # Forced-failure test hook: behaves exactly like a failed build
-        # (short-circuits before the cached-.so check so a previously
-        # built artifact cannot mask the fallback path).
-        _LIB_CACHE["lib"] = _LOAD_FAILED
-        _note_fallback("forced by REPRO_GPU_CBUILD=fail")
-        return None
-    try:
-        digest = hashlib.sha256(_C_SOURCE.read_bytes()).hexdigest()[:16]
-        so_path = _CACHE_DIR / f"_enginec_{digest}.so"
-        if not so_path.exists() and not _build(so_path):
-            _LIB_CACHE["lib"] = _LOAD_FAILED
-            _note_fallback("compiler missing or build failed")
-            return None
-        lib = ctypes.CDLL(str(so_path))
-        lib.engine_step.argtypes = [ctypes.POINTER(CEngineState), _I64]
-        lib.engine_step.restype = _I64
-    except (OSError, AttributeError):
-        _LIB_CACHE["lib"] = _LOAD_FAILED
-        _note_fallback("shared object failed to load")
-        return None
-    _LIB_CACHE["lib"] = lib
-    return lib
+    return _BUILD.load()

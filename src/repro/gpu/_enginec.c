@@ -380,3 +380,21 @@ i64 engine_step(EngineState *st, i64 cycle) {
     }
     return ndone;
 }
+
+/* Step a batch of independent engines one nominal clock in a single
+ * call — the co-simulator's B-lane hot path.  Each lane is the exact
+ * engine_step() above on its own state struct; lanes share nothing, so
+ * ordering across lanes cannot affect results.  Per-lane kernel-done
+ * censuses land in ndone_out; returns -(lane + 1) on the first lane
+ * whose pending-load heap overflows, else 0.
+ */
+i64 engine_step_batch(EngineState **sts, i64 nlanes, i64 cycle,
+                      i64 *ndone_out) {
+    for (i64 b = 0; b < nlanes; b++) {
+        i64 ndone = engine_step(sts[b], cycle);
+        if (ndone < 0)
+            return -(b + 1);
+        ndone_out[b] = ndone;
+    }
+    return 0;
+}

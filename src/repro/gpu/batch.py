@@ -2,25 +2,78 @@
 
 The batched co-simulator (``repro.sim.cosim.run_cosim_batch``) steps B
 scenarios per cycle.  The GPU timing model is already vectorized *within*
-one GPU (PR 5's struct-of-arrays engine), and its per-step cost is a
-small slice of the cycle budget, so batching across scenarios lands as B
-independent engines behind one facade: per-lane state (kernels, RNG
-streams, barrier bookkeeping) stays exactly the serial model's, which is
-what keeps the batch bit-identical to B serial runs.
+one GPU (PR 5's struct-of-arrays engine); batching across scenarios
+lands as B independent engines behind one facade: per-lane state
+(kernels, RNG streams, barrier bookkeeping) stays exactly the serial
+model's, which is what keeps the batch bit-identical to B serial runs.
 
-The facade's contribution is lock-step stepping into a caller-owned
-``(B, num_sms)`` power array plus per-lane access for actuation — and a
-single place to swap in a cross-lane vectorized engine later without
-touching the co-sim loop.
+When every lane runs the compiled engine backend, the facade steps all
+lanes through one ``engine_step_batch`` call per cycle instead of B
+``engine_step`` calls — the per-lane C work is unchanged (lanes share
+nothing, so cross-lane order cannot affect results); only the Python
+and ctypes dispatch around it is amortized.  Lanes with a non-empty
+barrier-exempt set (power-gating faults) or a NumPy engine fall back to
+the per-lane path for that cycle, preserving the serial protocol
+exactly.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+import ctypes
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.gpu._cbuild import CEngineState, load_engine_lib
 from repro.gpu.gpu import GPU
+
+
+class _FusedDispatch:
+    """Cached ctypes plumbing for the one-call-per-cycle batch step.
+
+    Re-homes each engine's memory-queue slot, counter pair and power
+    output as rows of shared ``(B, ...)`` arrays (then repoints the C
+    structs), so the per-cycle shuttles run as one vectorized store per
+    direction instead of B NumPy scalar stores.
+    """
+
+    __slots__ = ("lib", "ptrs", "ndone", "engines", "lanes", "slots",
+                 "counters", "powers", "call", "B", "ndone_ptr", "nsms",
+                 "last_ndone", "stale")
+
+    def __init__(self, lib: ctypes.CDLL, gpus: Sequence[GPU]) -> None:
+        self.lib = lib
+        engines = [gpu.engine for gpu in gpus]
+        self.engines = engines
+        B = len(engines)
+        self.slots = np.zeros(B)
+        self.counters = np.zeros((B, 2), dtype=np.int64)
+        self.powers = np.zeros((B, engines[0].num_sms))
+        for i, eng in enumerate(engines):
+            self.slots[i] = eng._mem_slot[0]
+            self.counters[i] = eng._mem_counters
+            self.powers[i] = eng._powers_buf
+            eng._mem_slot = self.slots[i : i + 1]
+            eng._mem_counters = self.counters[i]
+            eng._powers_buf = self.powers[i]
+            eng._rebuild_cstate()
+        self.ptrs = (ctypes.POINTER(CEngineState) * B)(
+            *[eng._cstate_ptr for eng in engines]
+        )
+        self.ndone = np.zeros(B, dtype=np.int64)
+        self.lanes = list(zip(gpus, engines, [e.memory for e in engines]))
+        # Hot-path prebinds: the per-cycle call crosses ctypes once, so
+        # everything constant about it is resolved here, not per cycle.
+        self.call = lib.engine_step_batch
+        self.B = B
+        self.ndone_ptr = self.ndone.ctypes.data
+        self.nsms = engines[0].num_sms
+        # last_ndone mirrors each engine's _c_ndone as plain ints so
+        # the per-cycle launch check reads list slots, not attributes.
+        # stale=True forces a resync from engine state (first fused
+        # cycle, and after any per-lane fallback cycle).
+        self.last_ndone: list = []
+        self.stale = True
 
 
 class GPUBatch:
@@ -34,6 +87,9 @@ class GPUBatch:
         if len(sizes) != 1:
             raise ValueError(f"lanes must share num_sms, got {sorted(sizes)}")
         self.num_sms = sizes.pop()
+        # None = not yet probed, False = ineligible (NumPy engine lane).
+        self._fused: Optional[object] = None
+        self._fused_probed = False
 
     def __len__(self) -> int:
         return len(self.gpus)
@@ -44,6 +100,24 @@ class GPUBatch:
     def __iter__(self) -> Iterator[GPU]:
         return iter(self.gpus)
 
+    def _probe_fused(self) -> Optional[_FusedDispatch]:
+        self._fused_probed = True
+        if not all(
+            gpu.vectorized and getattr(gpu.engine, "backend", "") == "c"
+            for gpu in self.gpus
+        ):
+            return None
+        # Alignment is invariant once established: both the fused and
+        # the per-lane fallback path advance every lane exactly one
+        # cycle per step_into, so checking once here suffices.
+        if len({gpu.cycle for gpu in self.gpus}) != 1:
+            return None
+        lib = load_engine_lib()
+        if lib is None:
+            return None
+        self._fused = _FusedDispatch(lib, self.gpus)
+        return self._fused
+
     def step_into(self, out: np.ndarray) -> np.ndarray:
         """Advance every lane one cycle; write per-SM powers into ``out``.
 
@@ -51,8 +125,70 @@ class GPUBatch:
         emitted powers (a copy — callers may mutate rows freely, e.g.
         for fault power scaling).
         """
-        for i, gpu in enumerate(self.gpus):
+        gpus = self.gpus
+        fused = self._fused
+        if fused is None and not self._fused_probed:
+            fused = self._probe_fused()
+        if fused is not None and not any(gpu.barrier_exempt for gpu in gpus):
+            return self._step_fused(fused, gpus[0].cycle, out)
+        if fused is not None:
+            # Per-lane stepping advances engine/memory state outside
+            # the fused mirrors; resync before the next fused cycle.
+            fused.stale = True
+        for i, gpu in enumerate(gpus):
             gpu.step_into(out[i])
+        return out
+
+    def _step_fused(
+        self, fused: _FusedDispatch, cycle: int, out: np.ndarray
+    ) -> np.ndarray:
+        """One ``engine_step_batch`` call for the whole lane set.
+
+        Mirrors ``VectorizedGPUEngine._step_c``'s per-lane protocol —
+        launch barrier, memory-queue slot shuttle, counter sync —
+        around a single crossing of the ctypes boundary.
+        """
+        lanes = fused.lanes
+        ptrs = fused.ptrs
+        if fused.stale:
+            # First fused cycle, or a fallback cycle ran since: pull
+            # the authoritative per-lane state back into the mirrors.
+            fused.slots[:] = [mem._next_service_slot for _, _, mem in lanes]
+            last = [eng._c_ndone for _, eng, _ in lanes]
+            fused.stale = False
+        else:
+            # Steady state: the C kernel stepped through the shared
+            # arrays last cycle and nothing else touched them, so the
+            # mirrors (slots rows, last_ndone ints) are already current.
+            last = fused.last_ndone
+        nsms = fused.nsms
+        for i, nd in enumerate(last):
+            if nd == nsms:
+                gpu, eng, mem = lanes[i]
+                eng._load_generation(eng.generation + 1)
+                # _rebuild_cstate allocated a fresh struct; repoint.
+                ptrs[i] = eng._cstate_ptr
+                gpu._generation = eng.generation
+                gpu.kernels_launched += 1
+                gpu.kernel_launch_cycles.append(gpu.cycle)
+        rc = fused.call(ptrs, fused.B, cycle, fused.ndone_ptr)
+        if rc < 0:
+            raise RuntimeError("C engine pending-load heap overflow")
+        ndone = fused.ndone.tolist()
+        fused.last_ndone = ndone
+        slots = fused.slots.tolist()
+        counters = fused.counters
+        served_any = counters[:, 0].tolist()
+        for i, (gpu, eng, mem) in enumerate(lanes):
+            eng._c_ndone = ndone[i]
+            mem._next_service_slot = slots[i]
+            served = served_any[i]
+            if served:
+                mem.requests_served += served
+                mem.misses += int(counters[i, 1])
+                counters[i] = 0
+            gpu.cycle += 1
+        np.copyto(out, fused.powers)
         return out
 
     def total_instructions(self) -> int:

@@ -1,0 +1,12 @@
+"""Shared infrastructure for compile-on-demand native kernels.
+
+Both the GPU step kernel (``repro.gpu._enginec``) and the batched PDN
+solver kernel (``repro.circuits._solverc``) are plain-C shared objects
+compiled by the system toolchain at first use and driven through
+:mod:`ctypes`.  :class:`repro.native.cbuild.KernelBuild` holds the build,
+cache, and loud-fallback machinery they have in common.
+"""
+
+from repro.native.cbuild import LOAD_FAILED, KernelBuild
+
+__all__ = ["KernelBuild", "LOAD_FAILED"]

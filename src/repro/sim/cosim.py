@@ -60,6 +60,22 @@ if TYPE_CHECKING:  # pragma: no cover — typing only, avoids import cost
     from repro.telemetry import Telemetry
 
 
+# Backend/shard facts from this process's most recent run_cosim_batch —
+# sweep workers thread it into their heartbeat files so `repro top` can
+# show a fleet that silently degraded to the NumPy solver fallback.
+_LAST_BATCH_SOLVER: Dict[str, object] = {}
+
+
+def last_batch_solver_info() -> Dict[str, object]:
+    """Solver backend/shard info from the most recent batch run.
+
+    Returns a copy of ``{"backend": "c"|"numpy", "shards": int,
+    "lanes": int}``, or an empty dict until :func:`run_cosim_batch`
+    has completed once in this process.
+    """
+    return dict(_LAST_BATCH_SOLVER)
+
+
 @dataclass(frozen=True)
 class LayerShutoffEvent:
     """Force a layer's SMs idle from ``start_cycle`` to ``end_cycle``."""
@@ -671,6 +687,13 @@ def _record_cosim_telemetry(
     fallbacks = build_fallback_count()
     if fallbacks:
         tele.incr("gpu.backend_fallback", fallbacks)
+    # Same accounting for the batched solver kernel (_solverc.c): the
+    # NumPy fallback is bit-identical but slow, so fleets need to see it.
+    from repro.circuits._solverc import build_fallback_count as _solver_fb
+
+    solver_fallbacks = _solver_fb()
+    if solver_fallbacks:
+        tele.incr("solver.backend_fallback", solver_fallbacks)
     if result.divergence is not None:
         tele.event("numerical_divergence", **result.divergence)
     if controller is not None:
@@ -1018,6 +1041,14 @@ def run_cosim_batch(
     powers_bt = np.empty((num_lanes, num))
     dcc_bt = np.zeros((num_lanes, num))
     voltages_bt = np.full((num_lanes, num), stack.sm_voltage)
+    # Per-cycle scratch blocks (rebuilt on quarantine compaction): the
+    # currents math and node->SM voltage extraction run as out= ufuncs
+    # on these, since at small B the loop is dispatch-bound and every
+    # avoided temporary counts.
+    cur_buf = np.empty((num_lanes, num))
+    bot_buf = np.empty((num_lanes, num))
+    volt_buf = np.empty((num_lanes, num))
+    ground_cols = np.flatnonzero(bot_is_ground)
     powers_rec_bt = np.empty((num_lanes, cycles, num))
     sm_voltages_bt = np.empty((num_lanes, cycles, num))
     supply_bt = np.empty((num_lanes, cycles))
@@ -1133,11 +1164,13 @@ def run_cosim_batch(
 
         # 2. Powers -> PDN currents, all lanes at once (the op sequence
         # matches run_cosim elementwise; see its convention note).
-        currents_bt = (powers_bt + dcc_bt) / stack.sm_voltage - conductance_bias
-        np.maximum(currents_bt, 0.0, out=batch_currents)
+        np.add(powers_bt, dcc_bt, out=cur_buf)
+        cur_buf /= stack.sm_voltage
+        cur_buf -= conductance_bias
+        np.maximum(cur_buf, 0.0, out=batch_currents)
         if recording and dcc_possible:
             # Bugfix parity with run_cosim: ledger the *applied* DCC.
-            dcc_applied = dcc_bt.sum(axis=1)
+            dcc_bt.sum(axis=1, out=dcc_applied)
 
         # 3. Circuit transient over one clock period, batched.  With the
         # guard on, a diverged lane is quarantined: marked dead, its row
@@ -1188,6 +1221,9 @@ def run_cosim_batch(
                 # untouched, so survivor physics continues bit-exactly.
                 old_rows = [ln.row for ln in survivors]
                 batch_currents = batch_currents[old_rows].copy()
+                cur_buf = np.empty((len(survivors), num))
+                bot_buf = np.empty((len(survivors), num))
+                volt_buf = np.empty((len(survivors), num))
                 for new_row, ln in enumerate(survivors):
                     ln.row = new_row
                     ln.pdn.bind_current_buffer(batch_currents[new_row])
@@ -1224,10 +1260,15 @@ def run_cosim_batch(
                 )
                 node_bt = batch_solver._sol_bt[:, : batch_solver.num_nodes]
         else:
-            for _ in range(substeps):
-                node_bt = batch_solver.step()
-        bottoms = np.where(bot_is_ground, 0.0, node_bt[:, bot_idx])
-        voltages_bt = node_bt[:, top_idx] - bottoms
+            node_bt = batch_solver.step_n(substeps)
+        # Bound-method take skips np.take's dispatch wrapper — this
+        # runs twice per recorded cycle on the hot path.
+        node_bt.take(bot_idx, axis=1, out=bot_buf)
+        if ground_cols.size:
+            bot_buf[:, ground_cols] = 0.0
+        node_bt.take(top_idx, axis=1, out=volt_buf)
+        volt_buf -= bot_buf
+        voltages_bt = volt_buf
 
         # Halted SMs per lane (shutoff events + fault-scheduled halts).
         for ln in event_lanes:
@@ -1359,7 +1400,7 @@ def run_cosim_batch(
             if alive_idx is None:
                 powers_rec_bt[:, k, :] = powers_bt
                 sm_voltages_bt[:, k, :] = voltages_bt
-                supply_bt[:, k] = batch_solver.vsource_currents("vdd")
+                batch_solver.vsource_currents("vdd", out=supply_bt[:, k])
                 if dcc_possible:
                     dcc_accum += dcc_applied
             else:
@@ -1456,6 +1497,14 @@ def run_cosim_batch(
         quarantined = sum(1 for ln in states if ln.dead)
         if quarantined:
             tele.incr("lanes_quarantined", quarantined)
+        # Batched-solver backend accounting: the NumPy fallback is
+        # bit-identical but slow, so surface both the live backend and
+        # any build-failure fallbacks that forced it.
+        from repro.circuits._solverc import build_fallback_count as _solver_fb
+
+        solver_fallbacks = _solver_fb()
+        if solver_fallbacks:
+            tele.incr("solver.backend_fallback", solver_fallbacks)
         for ln, result in zip(states, results):
             tele.event(
                 "cosim_batch_lane_done", lane=ln.index,
@@ -1464,5 +1513,14 @@ def run_cosim_batch(
                 throughput_ipc=result.throughput(),
                 diverged=bool(ln.dead),
             )
-        tele.event("cosim_batch_done", lanes=num_lanes)
+        tele.event(
+            "cosim_batch_done", lanes=num_lanes,
+            solver_backend=batch_solver.active_backend,
+            solver_shards=batch_solver.shard_count,
+        )
+    _LAST_BATCH_SOLVER.update(
+        backend=batch_solver.active_backend,
+        shards=batch_solver.shard_count,
+        lanes=num_lanes,
+    )
     return results

@@ -493,6 +493,9 @@ def _run_task(task: _Task) -> List[SweepPointResult]:
     results = result if isinstance(result, list) else [result]
     if beat is not None:
         try:
+            from repro.sim.cosim import last_batch_solver_info
+
+            solver_info = last_batch_solver_info()
             done = sum(1 for r in results if r.ok)
             beat.finish_points(
                 done=done,
@@ -500,6 +503,8 @@ def _run_task(task: _Task) -> List[SweepPointResult]:
                 retried=len(results) if task.retry else 0,
                 lane_cycles=_task_lane_cycles(task, results),
                 busy_s=sum(r.elapsed_s for r in results),
+                solver_backend=solver_info.get("backend"),
+                solver_shards=solver_info.get("shards"),
             )
         except Exception:  # noqa: BLE001 — observability must not fail work
             pass
